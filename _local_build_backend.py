@@ -1,0 +1,165 @@
+"""Minimal, stdlib-only PEP 517 build backend for offline installs.
+
+The reference environment for this reproduction has no network access and no
+``wheel`` package, so the stock ``setuptools.build_meta`` backend cannot build
+the (editable) wheel that ``pip install -e .`` requires.  This backend builds
+the wheels directly with the standard library:
+
+* :func:`build_editable` produces a wheel containing a ``.pth`` file pointing
+  at ``src/`` (the same mechanism setuptools' "compat" editable mode uses),
+* :func:`build_wheel` produces a regular wheel by copying ``src/repro`` in,
+* :func:`build_sdist` produces a plain tar.gz of the project.
+
+Project metadata (name, version, dependency, console script) is read from
+``pyproject.toml`` so it is never duplicated here.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import os
+import tarfile
+import tomllib
+import zipfile
+from pathlib import Path
+
+_ROOT = Path(__file__).resolve().parent
+
+
+def _project_metadata() -> dict:
+    with open(_ROOT / "pyproject.toml", "rb") as handle:
+        return tomllib.load(handle)["project"]
+
+
+def _dist_name(project: dict) -> str:
+    return project["name"].replace("-", "_")
+
+
+def _metadata_lines(project: dict) -> str:
+    lines = [
+        "Metadata-Version: 2.1",
+        f"Name: {project['name']}",
+        f"Version: {project['version']}",
+        f"Summary: {project.get('description', '')}",
+        f"Requires-Python: {project.get('requires-python', '')}",
+    ]
+    for dependency in project.get("dependencies", []):
+        lines.append(f"Requires-Dist: {dependency}")
+    for extra, deps in project.get("optional-dependencies", {}).items():
+        lines.append(f"Provides-Extra: {extra}")
+        for dependency in deps:
+            lines.append(f'Requires-Dist: {dependency} ; extra == "{extra}"')
+    return "\n".join(lines) + "\n"
+
+
+def _wheel_lines() -> str:
+    return (
+        "Wheel-Version: 1.0\n"
+        "Generator: repro-local-backend (1.0)\n"
+        "Root-Is-Purelib: true\n"
+        "Tag: py3-none-any\n"
+    )
+
+
+def _entry_points_lines(project: dict) -> str:
+    scripts = project.get("scripts", {})
+    if not scripts:
+        return ""
+    lines = ["[console_scripts]"]
+    for name, target in scripts.items():
+        lines.append(f"{name} = {target}")
+    return "\n".join(lines) + "\n"
+
+
+def _record_entry(archive_name: str, data: bytes) -> str:
+    digest = base64.urlsafe_b64encode(hashlib.sha256(data).digest()).rstrip(b"=")
+    return f"{archive_name},sha256={digest.decode()},{len(data)}"
+
+
+def _write_wheel(wheel_path: Path, files: dict[str, bytes], dist_info: str) -> None:
+    record_lines = []
+    with zipfile.ZipFile(wheel_path, "w", zipfile.ZIP_DEFLATED) as archive:
+        for name, data in files.items():
+            archive.writestr(name, data)
+            record_lines.append(_record_entry(name, data))
+        record_lines.append(f"{dist_info}/RECORD,,")
+        archive.writestr(f"{dist_info}/RECORD", "\n".join(record_lines) + "\n")
+
+
+def _dist_info_files(project: dict, dist_info: str) -> dict[str, bytes]:
+    files = {
+        f"{dist_info}/METADATA": _metadata_lines(project).encode(),
+        f"{dist_info}/WHEEL": _wheel_lines().encode(),
+        f"{dist_info}/top_level.txt": b"repro\n",
+    }
+    entry_points = _entry_points_lines(project)
+    if entry_points:
+        files[f"{dist_info}/entry_points.txt"] = entry_points.encode()
+    return files
+
+
+# --------------------------------------------------------------------------- #
+# PEP 517 hooks
+# --------------------------------------------------------------------------- #
+def get_requires_for_build_wheel(config_settings=None):  # noqa: D103
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):  # noqa: D103
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):  # noqa: D103
+    return []
+
+
+def build_wheel(wheel_directory, config_settings=None, metadata_directory=None):
+    """Build a regular wheel containing the ``repro`` package tree."""
+    project = _project_metadata()
+    dist = _dist_name(project)
+    version = project["version"]
+    dist_info = f"{dist}-{version}.dist-info"
+    wheel_name = f"{dist}-{version}-py3-none-any.whl"
+
+    files: dict[str, bytes] = {}
+    package_root = _ROOT / "src"
+    for path in sorted(package_root.rglob("*")):
+        if path.is_dir() or "__pycache__" in path.parts:
+            continue
+        files[str(path.relative_to(package_root)).replace(os.sep, "/")] = (
+            path.read_bytes()
+        )
+    files.update(_dist_info_files(project, dist_info))
+    _write_wheel(Path(wheel_directory) / wheel_name, files, dist_info)
+    return wheel_name
+
+
+def build_editable(wheel_directory, config_settings=None, metadata_directory=None):
+    """Build an editable wheel: a ``.pth`` file pointing at ``src/``."""
+    project = _project_metadata()
+    dist = _dist_name(project)
+    version = project["version"]
+    dist_info = f"{dist}-{version}.dist-info"
+    wheel_name = f"{dist}-{version}-py3-none-any.whl"
+
+    files = {f"__editable__.{dist}.pth": str(_ROOT / "src").encode() + b"\n"}
+    files.update(_dist_info_files(project, dist_info))
+    _write_wheel(Path(wheel_directory) / wheel_name, files, dist_info)
+    return wheel_name
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    """Build a source distribution (plain tar.gz of the project tree)."""
+    project = _project_metadata()
+    dist = _dist_name(project)
+    version = project["version"]
+    sdist_name = f"{dist}-{version}.tar.gz"
+    base = f"{dist}-{version}"
+    include = ["pyproject.toml", "setup.py", "README.md", "DESIGN.md", "src", "tests"]
+    with tarfile.open(Path(sdist_directory) / sdist_name, "w:gz") as archive:
+        for entry in include:
+            path = _ROOT / entry
+            if path.exists():
+                archive.add(path, arcname=f"{base}/{entry}")
+    return sdist_name

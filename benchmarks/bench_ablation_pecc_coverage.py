@@ -1,0 +1,74 @@
+"""Ablation: how much of the word should priority-ECC protect?
+
+The paper compares against the H(22,16) configuration (protect the MSB half).
+The P-ECC coverage knob trades parity storage for protection reach; this bench
+sweeps it (top byte, top half, top three bytes) and contrasts the achievable
+MSE-at-yield with the bit-shuffling scheme's, showing that even the widest
+P-ECC coverage leaves the unprotected LSBs as the quality floor while paying
+more parity columns than the FM-LUT.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.priority_ecc import PriorityEccScheme
+from repro.core.scheme import BitShuffleScheme
+from repro.faultmodel.yieldmodel import YieldAnalyzer
+from repro.memory.organization import MemoryOrganization
+
+ORG = MemoryOrganization.paper_16kb()
+P_CELL = 5e-6
+SAMPLES_PER_COUNT = 150
+
+
+def _coverage_sweep():
+    analyzer = YieldAnalyzer(
+        ORG, P_CELL, rng=np.random.default_rng(11), coverage=0.99999
+    )
+    shared = analyzer.shared_fault_maps(samples_per_count=SAMPLES_PER_COUNT)
+    schemes = [
+        PriorityEccScheme(32, protected_bits=8),
+        PriorityEccScheme(32, protected_bits=16),
+        PriorityEccScheme(32, protected_bits=24),
+        BitShuffleScheme(32, 2),
+        BitShuffleScheme(32, 3),
+    ]
+    return {
+        scheme.name: (
+            scheme.extra_columns,
+            analyzer.mse_distribution(scheme, fault_maps_by_count=shared),
+        )
+        for scheme in schemes
+    }
+
+
+def test_pecc_coverage_ablation(benchmark, table_printer):
+    results = benchmark.pedantic(_coverage_sweep, rounds=1, iterations=1)
+
+    rows = []
+    for name, (columns, dist) in results.items():
+        rows.append(
+            [name, columns, float(dist.mse_at_yield(0.999)), float(dist.mse_at_yield(0.9999))]
+        )
+    table_printer(
+        f"P-ECC coverage ablation at Pcell = {P_CELL:g} (16 kB memory)",
+        ["scheme", "extra columns", "MSE @ 99.9% yield", "MSE @ 99.99% yield"],
+        rows,
+    )
+
+    narrow = results["p-ecc-H(13,8)"][1]
+    default = results["p-ecc-H(22,16)"][1]
+    wide = results["p-ecc-H(30,24)"][1]
+    nfm2 = results["bit-shuffle-nfm2"][1]
+    nfm3 = results["bit-shuffle-nfm3"][1]
+
+    # Wider ECC coverage helps monotonically ...
+    assert wide.mse_at_yield(0.9999) <= default.mse_at_yield(0.9999)
+    assert default.mse_at_yield(0.9999) <= narrow.mse_at_yield(0.9999)
+    # ... but matching the widest P-ECC (6 parity columns, 8 unprotected LSBs)
+    # takes only 2 FM-LUT bits, and 3 LUT bits beat it outright.
+    assert nfm2.mse_at_yield(0.9999) <= 4 * wide.mse_at_yield(0.9999)
+    assert nfm3.mse_at_yield(0.9999) <= wide.mse_at_yield(0.9999)
+    assert results["bit-shuffle-nfm2"][0] < results["p-ecc-H(30,24)"][0]

@@ -1,0 +1,95 @@
+"""Extension: the voltage-scaling energy / quality trade-off the paper enables.
+
+The paper's conclusion is that bit-shuffling "can be used to exploit ... the
+inherent error resilience ... for allowing operation at scaled voltages".
+This bench puts numbers on that statement: for a sweep of supply voltages it
+reports the read-energy saving (CV^2 scaling), the resulting cell failure
+probability, and the local MSE that the quality-aware yield criterion must
+tolerate at 99.9 % yield with and without bit-shuffling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.no_protection import NoProtection
+from repro.core.scheme import BitShuffleScheme
+from repro.faultmodel.yieldmodel import YieldAnalyzer
+from repro.hardware.energy import VoltageScalingModel
+from repro.memory.organization import MemoryOrganization
+
+ORG = MemoryOrganization.paper_16kb()
+VDD_POINTS = [0.90, 0.83, 0.78, 0.73]
+SAMPLES_PER_COUNT = 60
+
+
+def _tradeoff_curve():
+    energy_model = VoltageScalingModel(ORG)
+    results = []
+    for vdd in VDD_POINTS:
+        point = energy_model.operating_point(vdd)
+        analyzer = YieldAnalyzer(
+            ORG, point.p_cell, rng=np.random.default_rng(7), coverage=0.999
+        )
+        shared = analyzer.shared_fault_maps(samples_per_count=SAMPLES_PER_COUNT)
+        unprotected = analyzer.mse_distribution(
+            NoProtection(32), fault_maps_by_count=shared
+        )
+        # At the most aggressive voltages multi-fault rows become common, so
+        # the multi-fault-robust minimax LUT-programming policy is used (the
+        # greedy policy's behaviour there is quantified by the dedicated
+        # multi-fault ablation bench).
+        shuffled = analyzer.mse_distribution(
+            BitShuffleScheme(32, 2, multi_fault_policy="minimax"),
+            fault_maps_by_count=shared,
+        )
+        results.append(
+            {
+                "vdd": vdd,
+                "energy_saving": point.energy_saving,
+                "p_cell": point.p_cell,
+                "expected_failures": point.expected_failures,
+                "mse_unprotected": unprotected.mse_at_yield(0.999),
+                "mse_shuffled": shuffled.mse_at_yield(0.999),
+            }
+        )
+    return results
+
+
+def test_voltage_energy_quality_tradeoff(benchmark, table_printer):
+    results = benchmark.pedantic(_tradeoff_curve, rounds=1, iterations=1)
+
+    table_printer(
+        "Voltage scaling: energy saving vs required MSE tolerance (99.9% yield)",
+        [
+            "VDD [V]",
+            "energy saving",
+            "Pcell",
+            "E[failures]",
+            "MSE unprotected",
+            "MSE bit-shuffle nFM=2",
+        ],
+        [
+            [
+                r["vdd"],
+                r["energy_saving"],
+                r["p_cell"],
+                r["expected_failures"],
+                r["mse_unprotected"],
+                r["mse_shuffled"],
+            ]
+            for r in results
+        ],
+    )
+
+    # Energy saving grows as the supply is scaled down ...
+    savings = [r["energy_saving"] for r in results]
+    assert savings == sorted(savings)
+    assert savings[-1] > 0.4
+    # ... and at every operating point the bit-shuffled memory needs a far
+    # smaller MSE tolerance than the unprotected one (or both are fault-free).
+    for r in results:
+        assert r["mse_shuffled"] <= r["mse_unprotected"]
+    worst = results[-1]
+    assert worst["mse_unprotected"] > 1e3 * max(worst["mse_shuffled"], 1e-9)

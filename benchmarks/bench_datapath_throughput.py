@@ -1,0 +1,64 @@
+"""Micro-benchmarks of the protection-scheme datapaths.
+
+These are not paper figures; they characterise the simulation performance of
+the library itself (encode/decode throughput of each scheme and the
+Monte-Carlo MSE evaluation), which determines how far the Fig. 5 / Fig. 7
+budgets can be raised on a given machine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.no_protection import NoProtection
+from repro.core.priority_ecc import PriorityEccScheme
+from repro.core.scheme import BitShuffleScheme
+from repro.core.secded_scheme import SecdedScheme
+from repro.faultmodel.montecarlo import FaultMapSampler
+from repro.memory.organization import MemoryOrganization
+from repro.quality.mse import mse_of_fault_map
+
+
+WORDS = (np.arange(1, 257, dtype=np.uint64) * np.uint64(0x01010101)) & np.uint64(
+    0xFFFFFFFF
+)
+
+
+def _roundtrip(scheme):
+    total = 0
+    for word in WORDS.tolist():
+        stored = scheme.encode_word(0, int(word))
+        total += scheme.decode_word(0, stored)
+    return total
+
+
+@pytest.mark.parametrize(
+    "scheme_factory",
+    [
+        pytest.param(lambda: NoProtection(32), id="no-protection"),
+        pytest.param(lambda: SecdedScheme(32), id="secded"),
+        pytest.param(lambda: PriorityEccScheme(32), id="p-ecc"),
+        pytest.param(lambda: BitShuffleScheme(32, 1, rows=4), id="bit-shuffle-nfm1"),
+        pytest.param(lambda: BitShuffleScheme(32, 5, rows=4), id="bit-shuffle-nfm5"),
+    ],
+)
+def test_encode_decode_throughput(benchmark, scheme_factory):
+    """Encode+decode throughput of each scheme (256 words per round)."""
+    scheme = scheme_factory()
+    result = benchmark(_roundtrip, scheme)
+    assert result > 0
+
+
+def test_mse_evaluation_throughput(benchmark):
+    """Analytical MSE evaluation rate over random 16 kB fault maps."""
+    org = MemoryOrganization.paper_16kb()
+    sampler = FaultMapSampler(org, np.random.default_rng(5))
+    fault_maps = sampler.sample_batch(100, 20)
+    scheme = BitShuffleScheme(32, 2)
+
+    def evaluate():
+        return sum(mse_of_fault_map(m, scheme) for m in fault_maps)
+
+    total = benchmark(evaluate)
+    assert total >= 0.0

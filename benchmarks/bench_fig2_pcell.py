@@ -1,0 +1,63 @@
+"""Figure 2: bit-cell failure probability and classical yield under VDD scaling.
+
+Paper reference points (28 nm, 16 kB memory):
+
+* ``Pcell`` rises by many orders of magnitude as the supply is scaled from the
+  nominal 1.0 V down to ~0.6 V;
+* the traditional zero-failure yield collapses to ~0 around 0.73 V.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import figure2_pcell_vs_vdd
+from repro.faultmodel.pcell import PcellModel
+from repro.memory.organization import MemoryOrganization
+
+
+def test_fig2_pcell_vs_vdd(benchmark, table_printer):
+    """Regenerate the Fig. 2 curve and check its paper-anchored shape."""
+    vdd = np.linspace(0.60, 1.00, 21)
+
+    data = benchmark(figure2_pcell_vs_vdd, vdd_values=vdd)
+
+    table_printer(
+        "Figure 2: Pcell and zero-failure yield vs VDD (28 nm model, 16 kB array)",
+        ["VDD [V]", "Pcell", "classical yield"],
+        [
+            (f"{v:.2f}", float(p), float(y))
+            for v, p, y in zip(data["vdd"], data["p_cell"], data["classical_yield"])
+        ],
+    )
+
+    p_cell = data["p_cell"]
+    memory_yield = data["classical_yield"]
+    # Monotone behaviour of the curve.
+    assert np.all(np.diff(p_cell) < 0)
+    assert np.all(np.diff(memory_yield) >= 0)
+    # Paper anchor: several orders of magnitude between 1.0 V and 0.6 V.
+    assert p_cell[0] / p_cell[-1] > 1e5
+    # Paper anchor: yield collapse for the 16 kB array at 0.73 V.
+    model = PcellModel.calibrated_28nm()
+    organization = MemoryOrganization.paper_16kb()
+    assert (1 - model.p_cell(0.73)) ** organization.total_cells < 1e-6
+    # Paper anchor: near-perfect zero-failure yield at the nominal voltage.
+    assert memory_yield[-1] > 0.999
+
+
+def test_fig2_operating_points(benchmark, table_printer):
+    """Map the Fig. 5 / Fig. 7 operating Pcell values back to supply voltages."""
+    model = PcellModel.calibrated_28nm()
+
+    points = benchmark(
+        lambda: {p: model.vdd_for_p_cell(p) for p in (1e-9, 5e-6, 1e-3, 1e-2)}
+    )
+
+    table_printer(
+        "Supply voltage for the paper's operating points",
+        ["Pcell", "VDD [V]"],
+        [(f"{p:g}", float(v)) for p, v in points.items()],
+    )
+    assert points[5e-6] > points[1e-3] > points[1e-2]
+    assert 0.95 < points[1e-9] <= 1.05

@@ -1,0 +1,36 @@
+"""Figure 4: worst-case error magnitude per faulty bit position for every nFM.
+
+Paper reference: with the bit-shuffling scheme programmed for the fault, the
+error magnitude of a fault at bit position ``b`` is ``2**(b mod S)`` with
+``S = 32 / 2**nFM``; the maximum error for ``nFM = 5`` is ``2**0 = 1`` and the
+worst case for every ``nFM`` is bounded by ``2**(S-1)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.figures import figure4_error_magnitude
+from repro.core.segments import worst_case_error_magnitude
+
+
+def test_fig4_error_magnitude_profiles(benchmark, table_printer):
+    """Regenerate every Fig. 4 series and verify the bounds."""
+    series = benchmark(figure4_error_magnitude, word_width=32)
+
+    headers = ["bit"] + list(series.keys())
+    rows = [
+        [position] + [float(series[name][position]) for name in series]
+        for position in range(32)
+    ]
+    table_printer("Figure 4: error magnitude per faulty bit position", headers, rows)
+
+    assert np.all(series["nfm=5"] == 1.0)
+    for n_fm in range(1, 6):
+        values = series[f"nfm={n_fm}"]
+        assert values.max() == worst_case_error_magnitude(32, n_fm)
+        assert np.all(values <= series["no-correction"])
+    # Increasing granularity is monotonically better at every position.
+    for position in range(32):
+        magnitudes = [series[f"nfm={n}"][position] for n in range(1, 6)]
+        assert magnitudes == sorted(magnitudes, reverse=True)

@@ -1,0 +1,121 @@
+"""Figure 5: CDF of the local MSE / quality-aware yield at Pcell = 5e-6.
+
+Paper reference points for the 16 kB memory:
+
+* the proposed scheme reduces the MSE that must be tolerated for a given
+  yield target by a large factor (>= 30x quoted as the minimum) compared to
+  the unprotected memory, already for nFM = 1;
+* with nFM = 2..5 the proposed scheme also outperforms H(22,16) P-ECC;
+* at an MSE target of 1e6 the nFM = 1 configuration reaches essentially full
+  yield while the unprotected memory loses a substantial fraction of dies
+  that contain faults.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import figure5_mse_cdf
+from repro.memory.organization import MemoryOrganization
+
+# Monte-Carlo budget: the paper uses 1e7 samples; this laptop-scale default is
+# enough to resolve the curves.  Raise SAMPLES_PER_COUNT for tighter tails.
+SAMPLES_PER_COUNT = 400
+P_CELL = 5e-6
+
+
+@pytest.fixture(scope="module")
+def fig5_results():
+    return figure5_mse_cdf(
+        organization=MemoryOrganization.paper_16kb(),
+        p_cell=P_CELL,
+        samples_per_count=SAMPLES_PER_COUNT,
+        coverage=0.9999999,
+        rng=np.random.default_rng(2015),
+    )
+
+
+def test_fig5_mse_cdf(benchmark, table_printer):
+    """Time a reduced Fig. 5 run and tabulate the full-budget module result."""
+    benchmark.pedantic(
+        figure5_mse_cdf,
+        kwargs={
+            "organization": MemoryOrganization.paper_16kb(),
+            "p_cell": P_CELL,
+            "samples_per_count": 50,
+            "coverage": 0.9999,
+            "n_fm_values": [1, 2],
+            "rng": np.random.default_rng(1),
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+
+def test_fig5_yield_table(benchmark, fig5_results, table_printer):
+    mse_targets = [1e0, 1e2, 1e4, 1e6, 1e8]
+
+    def build_rows():
+        return [
+            [name]
+            + [float(dist.yield_at_mse(t)) for t in mse_targets]
+            + [float(dist.mse_at_yield(0.999999))]
+            for name, dist in fig5_results.items()
+        ]
+
+    rows = benchmark(build_rows)
+    table_printer(
+        f"Figure 5: quality-aware yield, 16 kB memory, Pcell = {P_CELL:g}",
+        ["scheme"]
+        + [f"yield@MSE<={t:g}" for t in mse_targets]
+        + ["MSE @ 99.9999% yield"],
+        rows,
+    )
+
+    unprotected = fig5_results["no-protection"]
+    pecc = fig5_results["p-ecc-H(22,16)"]
+    nfm1 = fig5_results["bit-shuffle-nfm1"]
+
+    # Paper claim: >= 30x reduction in the MSE needed for a given yield, even
+    # for nFM=1.  Checked at the 99.99% yield target.
+    target_yield = 0.9999
+    assert unprotected.mse_at_yield(target_yield) >= 30 * nfm1.mse_at_yield(
+        target_yield
+    )
+    # Paper claim: nFM=1 reaches (essentially) full yield at MSE <= 1e6
+    # (99.9999 % in the paper; the Monte-Carlo tail resolution at this budget
+    # supports asserting four nines -- see EXPERIMENTS.md for the measured
+    # value).
+    assert nfm1.yield_at_mse(1e6) > 0.9999
+    # Unprotected dies with faults overwhelmingly violate that target: the
+    # unprotected yield is dominated by the fault-free fraction alone.
+    assert unprotected.yield_at_mse(1e6) < unprotected.zero_fault_probability + 0.35
+    # Paper claim: nFM=2..5 outperform P-ECC (lower MSE at the same yield).
+    for n_fm in range(2, 6):
+        dist = fig5_results[f"bit-shuffle-nfm{n_fm}"]
+        assert dist.mse_at_yield(target_yield) <= pecc.mse_at_yield(target_yield)
+
+
+def test_fig5_mse_reduction_factor(benchmark, fig5_results, table_printer):
+    """Minimum MSE-reduction factor of nFM=1 over the unprotected memory."""
+    unprotected = fig5_results["no-protection"]
+    nfm1 = fig5_results["bit-shuffle-nfm1"]
+
+    def build_rows():
+        table = []
+        for yield_target in (0.60, 0.80, 0.90, 0.99, 0.9999):
+            base = unprotected.mse_at_yield(yield_target)
+            ours = nfm1.mse_at_yield(yield_target)
+            factor = base / ours if ours > 0 else float("inf")
+            table.append([yield_target, base, ours, factor])
+        return table
+
+    rows = benchmark(build_rows)
+    factors = [row[3] for row in rows]
+    table_printer(
+        "Figure 5 summary: MSE tolerance required (unprotected vs nFM=1)",
+        ["yield target", "unprotected MSE", "nFM=1 MSE", "reduction factor"],
+        rows,
+    )
+    assert min(factors) >= 30.0

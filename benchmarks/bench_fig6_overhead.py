@@ -1,0 +1,102 @@
+"""Figure 6: read power / read delay / area overhead relative to SECDED ECC.
+
+Paper reference points (28 nm FD-SOI, 32-bit words):
+
+* bit-shuffling saves 20-83 % read power, 41-77 % read delay and 32-89 % area
+  compared to the H(39,32) SECDED overhead, depending on nFM;
+* compared to H(22,16) P-ECC the proposed scheme saves up to 59 % / 64 % /
+  57 % on the same three axes;
+* overhead grows monotonically with nFM (the quality/overhead trade-off knob).
+
+The structural gate-level model reproduces the ordering and the magnitude
+bands; the exact percentages are recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.figures import figure6_overhead
+from repro.hardware.overhead import OverheadModel
+from repro.hardware.technology import Technology
+from repro.memory.organization import MemoryOrganization
+
+
+@pytest.fixture(scope="module")
+def fig6_report():
+    return figure6_overhead()
+
+
+def test_fig6_overhead_comparison(benchmark, table_printer, fig6_report):
+    """Time the overhead model and verify the Fig. 6 ordering and bands."""
+    model = OverheadModel(MemoryOrganization.paper_16kb(), Technology.fdsoi_28nm())
+    benchmark(model.compare)
+
+    relative = fig6_report.relative_to_baseline()
+    table_printer(
+        "Figure 6: overhead relative to H(39,32) SECDED (column-LUT realisation)",
+        ["scheme", "read power", "read delay", "area"],
+        [
+            [name, rel["read_power"], rel["read_delay"], rel["area"]]
+            for name, rel in relative.items()
+        ],
+    )
+
+    savings = fig6_report.savings_vs_baseline()
+    shuffle = {k: v for k, v in savings.items() if k.startswith("bit-shuffle")}
+
+    # Every bit-shuffling configuration beats SECDED on all three axes.
+    for values in shuffle.values():
+        assert values["read_power"] > 0
+        assert values["read_delay"] > 0
+        assert values["area"] > 0
+
+    # Monotonic overhead growth with nFM (Fig. 6 bars).
+    for metric in ("read_power", "read_delay", "area"):
+        series = [relative[f"bit-shuffle-nfm{n}"][metric] for n in range(1, 6)]
+        assert series == sorted(series)
+
+    # Paper bands (allowing model slack): best-case savings in the 70-95 %
+    # range for power and area, 60-90 % for delay; worst case still positive.
+    assert 70.0 <= max(s["read_power"] for s in shuffle.values()) <= 95.0
+    assert 60.0 <= max(s["read_delay"] for s in shuffle.values()) <= 90.0
+    assert 75.0 <= max(s["area"] for s in shuffle.values()) <= 95.0
+
+    # The proposed scheme also beats P-ECC on every axis (paper: up to
+    # 59 % / 64 % / 57 % savings).
+    vs_pecc = fig6_report.savings_between("bit-shuffle-nfm1", "p-ecc-H(22,16)")
+    table_printer(
+        "Figure 6 summary: savings of nFM=1 bit-shuffling vs H(22,16) P-ECC [%]",
+        ["read power", "read delay", "area"],
+        [[vs_pecc["read_power"], vs_pecc["read_delay"], vs_pecc["area"]]],
+    )
+    assert all(value > 40.0 for value in vs_pecc.values())
+
+
+def test_fig6_register_lut_ablation(benchmark, table_printer):
+    """Ablation: FM-LUT realised as a register file instead of array columns."""
+    report = benchmark(figure6_overhead, lut_realisation="register")
+    column_report = figure6_overhead(lut_realisation="column")
+
+    rows = []
+    for n_fm in range(1, 6):
+        name = f"bit-shuffle-nfm{n_fm}"
+        rows.append(
+            [
+                name,
+                column_report.overheads[name].area_um2,
+                report.overheads[name].area_um2,
+            ]
+        )
+    table_printer(
+        "FM-LUT realisation ablation: area overhead [um^2]",
+        ["scheme", "column LUT", "register LUT"],
+        rows,
+    )
+    # For a 4096-row memory the register file is far more expensive, which is
+    # why the paper's straightforward realisation uses array columns.
+    for n_fm in range(1, 6):
+        name = f"bit-shuffle-nfm{n_fm}"
+        assert (
+            report.overheads[name].area_um2 > column_report.overheads[name].area_um2
+        )

@@ -1,0 +1,107 @@
+"""Figure 7: application quality CDFs under memory failures (Pcell = 1e-3).
+
+Paper reference points for the 16 kB memory at Pcell = 1e-3:
+
+* with no protection the quality of virtually every die collapses (the
+  Elasticnet R^2 becomes "extremely low for virtually all samples");
+* H(39,32) SECDED is the error-free reference (normalised quality 1)
+  because dies with more than one fault per word are discarded;
+* bit-shuffling with nFM = 1 already provides a large improvement, and with
+  nFM = 2 it matches or exceeds H(22,16) P-ECC for every benchmark.
+
+The Monte-Carlo budget below is sized for a laptop run (the paper uses 500
+fault maps per failure count); raise SAMPLES_PER_COUNT / COUNT_POINTS to
+tighten the curves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+import pytest
+
+from repro.analysis.figures import figure7_quality, standard_figure7_schemes
+from repro.memory.organization import MemoryOrganization
+from repro.sim.experiment import standard_benchmarks
+from repro.sim.runner import QualityDistribution
+
+SAMPLES_PER_COUNT = 3
+COUNT_POINTS = 8
+P_CELL = 1e-3
+DATASET_SCALE = 0.35
+
+
+@pytest.fixture(scope="module")
+def benchmarks():
+    return standard_benchmarks(scale=DATASET_SCALE, seed=17)
+
+
+def _run(benchmark_def, seed: int) -> Dict[str, QualityDistribution]:
+    return figure7_quality(
+        benchmark_def,
+        organization=MemoryOrganization.paper_16kb(),
+        p_cell=P_CELL,
+        samples_per_count=SAMPLES_PER_COUNT,
+        n_count_points=COUNT_POINTS,
+        schemes=standard_figure7_schemes(),
+        rng=np.random.default_rng(seed),
+    )
+
+
+def _tabulate(table_printer, name: str, results: Dict[str, QualityDistribution]) -> None:
+    quality_targets = [0.5, 0.8, 0.9, 0.95, 0.99]
+    rows = []
+    for scheme, dist in results.items():
+        rows.append(
+            [scheme]
+            + [float(dist.yield_at_quality(q)) for q in quality_targets]
+            + [float(dist.median_quality())]
+        )
+    table_printer(
+        f"Figure 7 ({name}): yield vs normalised quality at Pcell = {P_CELL:g}",
+        ["scheme"] + [f"yield@Q>={q}" for q in quality_targets] + ["median Q"],
+        rows,
+    )
+
+
+def _check_ordering(results: Dict[str, QualityDistribution]) -> None:
+    """The qualitative ordering of Fig. 7 at a representative quality target."""
+    target = 0.9
+    unprotected = results["no-protection"].yield_at_quality(target)
+    pecc = results["p-ecc-H(22,16)"].yield_at_quality(target)
+    nfm1 = results["bit-shuffle-nfm1"].yield_at_quality(target)
+    nfm2 = results["bit-shuffle-nfm2"].yield_at_quality(target)
+    # Protection never hurts, and nFM=2 matches or beats P-ECC (paper claim).
+    assert nfm1 >= unprotected - 1e-9
+    assert nfm2 >= pecc - 0.02
+    # Bit shuffling keeps the median die essentially at clean quality.
+    assert results["bit-shuffle-nfm2"].median_quality() > 0.95
+
+
+def test_fig7a_elasticnet(benchmark, table_printer, benchmarks):
+    results = benchmark.pedantic(
+        _run, args=(benchmarks["elasticnet"], 52), rounds=1, iterations=1
+    )
+    _tabulate(table_printer, "Elasticnet / R^2", results)
+    _check_ordering(results)
+    # Paper: without correction the R^2 is extremely low for virtually all
+    # faulty dies, while even nFM=1 rescues it.
+    assert results["no-protection"].median_quality() < 0.7
+    assert results["bit-shuffle-nfm1"].median_quality() > 0.9
+
+
+def test_fig7b_pca(benchmark, table_printer, benchmarks):
+    results = benchmark.pedantic(
+        _run, args=(benchmarks["pca"], 53), rounds=1, iterations=1
+    )
+    _tabulate(table_printer, "PCA / explained variance", results)
+    _check_ordering(results)
+
+
+def test_fig7c_knn(benchmark, table_printer, benchmarks):
+    results = benchmark.pedantic(
+        _run, args=(benchmarks["knn"], 54), rounds=1, iterations=1
+    )
+    _tabulate(table_printer, "KNN / classification score", results)
+    _check_ordering(results)

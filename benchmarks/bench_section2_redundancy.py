@@ -1,0 +1,63 @@
+"""Section 2 motivation: redundancy-based repair cost explodes at scaled voltages.
+
+The paper motivates its scheme by arguing that spare-row/column redundancy --
+the conventional yield-recovery technique -- becomes uneconomical as the cell
+failure probability rises under voltage scaling ("the number of redundant
+rows/columns required ... increases tremendously").  This bench quantifies
+that claim with the redundancy substrate: the number of spare rows needed to
+hold a 99 % repair yield across the paper's operating points, versus the
+constant 1-to-5-column cost of the bit-shuffling FM-LUT.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faultmodel.pcell import PcellModel
+from repro.memory.organization import MemoryOrganization
+from repro.memory.redundancy import repair_yield, spares_for_yield_target
+
+ORG = MemoryOrganization.paper_16kb()
+OPERATING_POINTS = [1e-7, 1e-6, 5e-6, 1e-4, 1e-3]
+
+
+def _spares_curve():
+    return {
+        p_cell: spares_for_yield_target(ORG, p_cell, yield_target=0.99)
+        for p_cell in OPERATING_POINTS
+    }
+
+
+def test_redundancy_cost_vs_pcell(benchmark, table_printer):
+    curve = benchmark.pedantic(_spares_curve, rounds=1, iterations=1)
+
+    model = PcellModel.calibrated_28nm()
+    rows = []
+    for p_cell, spares in curve.items():
+        overhead_cells = spares * ORG.word_width
+        rows.append(
+            [
+                f"{p_cell:g}",
+                f"{model.vdd_for_p_cell(p_cell):.3f}",
+                spares,
+                overhead_cells,
+                float(repair_yield(ORG, p_cell, spares)),
+            ]
+        )
+    table_printer(
+        "Section 2: spare rows needed for 99% repair yield (16 kB memory)",
+        ["Pcell", "~VDD [V]", "spare rows", "extra cells", "achieved yield"],
+        rows,
+    )
+
+    # The required redundancy grows monotonically and explodes by orders of
+    # magnitude between the nominal-voltage regime and the Fig. 7 operating
+    # point, while the bit-shuffling FM-LUT stays at 1..5 columns throughout.
+    spares = list(curve.values())
+    assert spares == sorted(spares)
+    assert curve[1e-7] <= 2
+    assert curve[1e-3] > 100
+    # Storage cost comparison at Pcell = 1e-3: spare rows vs a 1-bit FM-LUT.
+    redundancy_cells = curve[1e-3] * ORG.word_width
+    fm_lut_cells = ORG.rows * 1
+    assert redundancy_cells > fm_lut_cells

@@ -1,0 +1,48 @@
+"""Table 1: evaluation applications, datasets, and quality metrics.
+
+Paper reference: three error-resilient benchmarks -- Elasticnet regression
+(wine quality, R^2), PCA (Madelon, explained variance), and KNN classification
+(activity recognition, score) -- each split 0.8 : 0.2 into training and test
+partitions.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import table1_applications
+
+
+def test_table1_applications(benchmark, table_printer):
+    """Regenerate Table 1 (with the synthetic dataset analogues) and check it."""
+    rows = benchmark.pedantic(
+        table1_applications, kwargs={"scale": 0.5}, rounds=1, iterations=1
+    )
+
+    table_printer(
+        "Table 1: evaluation applications and datasets",
+        ["class", "algorithm", "metric", "train", "test", "features", "clean quality"],
+        [
+            [
+                r["class"],
+                r["algorithm"],
+                r["metric"],
+                r["train_samples"],
+                r["test_samples"],
+                r["n_features"],
+                float(r["clean_quality"]),
+            ]
+            for r in rows
+        ],
+    )
+
+    classes = {r["class"] for r in rows}
+    assert classes == {"Regression", "Dimensionality Reduction", "Classification"}
+    metrics = {r["metric"] for r in rows}
+    assert metrics == {"R2", "Explained Variance", "Score"}
+    for row in rows:
+        total = row["train_samples"] + row["test_samples"]
+        assert row["train_samples"] / total == pytest.approx(0.8, abs=0.02)
+        # Every benchmark must have meaningful fault-free quality to normalise
+        # the Fig. 7 curves against.
+        assert 0.3 < row["clean_quality"] <= 1.0

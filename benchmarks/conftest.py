@@ -1,0 +1,37 @@
+"""Shared helpers for the benchmark harness.
+
+Every ``bench_*`` module regenerates one table or figure of the paper.  The
+timed section is the experiment itself; after timing, each benchmark prints
+the reproduced data series (run pytest with ``-s`` to see the tables) and
+asserts the paper's qualitative claims so a regression in the model breaks the
+harness loudly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import pytest
+
+
+def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    """Print a plain-text table (visible with ``pytest -s``)."""
+    formatted_rows = [
+        [f"{v:.4g}" if isinstance(v, float) else str(v) for v in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in formatted_rows:
+        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+    print()
+    print(title)
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for row in formatted_rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+
+
+@pytest.fixture
+def table_printer():
+    """Fixture exposing :func:`print_table` to benchmark modules."""
+    return print_table

@@ -1,0 +1,79 @@
+"""Application quality under memory faults (Fig. 7, Table 1).
+
+Runs the three data-mining benchmarks (Elasticnet, PCA, KNN) with their
+training data stored in a faulty 16 kB memory at Pcell = 1e-3 and reports the
+yield achieved at several normalised-quality targets for each protection
+scheme -- a laptop-scale version of Fig. 7.
+
+Run with::
+
+    python examples/ml_quality.py              # all three benchmarks, quick budget
+    python examples/ml_quality.py knn 5 10     # one benchmark, 5 samples/count,
+                                               # 10 failure-count points
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+
+from repro import MemoryOrganization, standard_benchmarks
+from repro.analysis.figures import figure7_quality, standard_figure7_schemes
+
+
+def run_benchmark(name: str, benchmark, samples_per_count: int, count_points: int) -> None:
+    print()
+    print(
+        f"=== {name}: normalised {benchmark.metric_name} under memory failures "
+        f"(Pcell = 1e-3, {samples_per_count} samples/count, {count_points} counts) ==="
+    )
+    print(f"fault-free {benchmark.metric_name}: {benchmark.clean_quality():.4f}")
+
+    results = figure7_quality(
+        benchmark,
+        organization=MemoryOrganization.paper_16kb(),
+        p_cell=1e-3,
+        samples_per_count=samples_per_count,
+        n_count_points=count_points,
+        schemes=standard_figure7_schemes(),
+        rng=np.random.default_rng(2015),
+    )
+
+    targets = [0.5, 0.8, 0.9, 0.95, 0.99]
+    header = f"{'scheme':<20}" + "".join(f"  yield@Q>={q:<5}" for q in targets) + "  median Q"
+    print(header)
+    print("-" * len(header))
+    for scheme_name, dist in results.items():
+        row = f"{scheme_name:<20}"
+        for target in targets:
+            row += f"  {dist.yield_at_quality(target):<12.3f}"
+        row += f"  {dist.median_quality():.4f}"
+        print(row)
+
+
+def main() -> None:
+    selected = sys.argv[1] if len(sys.argv) > 1 else None
+    samples_per_count = int(sys.argv[2]) if len(sys.argv) > 2 else 3
+    count_points = int(sys.argv[3]) if len(sys.argv) > 3 else 8
+
+    benchmarks = standard_benchmarks(scale=0.5, seed=17)
+    if selected is not None and selected not in benchmarks:
+        raise SystemExit(f"unknown benchmark {selected!r}; choose from {sorted(benchmarks)}")
+
+    for name, benchmark in benchmarks.items():
+        if selected is not None and name != selected:
+            continue
+        run_benchmark(name, benchmark, samples_per_count, count_points)
+
+    print()
+    print(
+        "Reading of the tables: every scheme's CDF is normalised to the fault-free\n"
+        "quality.  Without protection a large fraction of dies falls well below the\n"
+        "clean quality; bit-shuffling with one or two LUT bits keeps essentially all\n"
+        "dies at (or indistinguishable from) fault-free quality, matching Fig. 7."
+    )
+
+
+if __name__ == "__main__":
+    main()

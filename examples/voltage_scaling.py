@@ -1,0 +1,54 @@
+"""Voltage scaling study (Fig. 2): cell failure probability and memory yield.
+
+Sweeps the supply voltage of a 28 nm 6T SRAM, printing the modelled bit-cell
+failure probability, the traditional zero-failure yield of a 16 kB array, and
+-- using the fault-inclusion die model -- how the fault population of one
+specific manufactured die grows as its supply is lowered.
+
+Run with::
+
+    python examples/voltage_scaling.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import MemoryOrganization, PcellModel, VoltageScalableDie, classical_yield
+
+
+def main() -> None:
+    model = PcellModel.calibrated_28nm()
+    organization = MemoryOrganization.paper_16kb()
+
+    print("Figure 2: bit-cell failure probability under VDD scaling (28 nm model)")
+    print(f"{'VDD [V]':>8} {'Pcell':>12} {'zero-failure yield (16 kB)':>28}")
+    print("-" * 52)
+    for vdd in np.arange(1.00, 0.59, -0.05):
+        p_cell = model.p_cell(float(vdd))
+        memory_yield = classical_yield(p_cell, organization.total_cells)
+        print(f"{vdd:>8.2f} {p_cell:>12.3e} {memory_yield:>28.6f}")
+
+    print()
+    print("Operating points used in the paper's evaluation:")
+    for p_cell in (5e-6, 1e-3):
+        print(f"  Pcell = {p_cell:g}  ->  VDD ~ {model.vdd_for_p_cell(p_cell):.3f} V")
+
+    # Fault inclusion on a single manufactured die: cells that fail at a given
+    # VDD keep failing at every lower VDD.
+    print()
+    print("Fault inclusion on one manufactured die (growing fault population):")
+    die = VoltageScalableDie(organization, model=model, rng=np.random.default_rng(1))
+    previous: set[tuple[int, int]] = set()
+    for vdd in (0.90, 0.80, 0.75, 0.70, 0.65):
+        faults = {(f.row, f.column) for f in die.fault_map_at(vdd)}
+        assert previous.issubset(faults), "fault inclusion violated"
+        print(
+            f"  VDD = {vdd:.2f} V: {len(faults):6d} faulty cells "
+            f"(+{len(faults) - len(previous)} new)"
+        )
+        previous = faults
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``pip install -e .`` also works on environments without the ``wheel``
+package (legacy editable installs fall back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,165 @@
+"""Data-series generators for every figure of the paper's evaluation.
+
+Each ``figureN_*`` function reproduces the corresponding figure's underlying
+data.  None of them plot; they return dictionaries of numpy arrays / result
+objects that the benchmarks print as tables and that a notebook could plot
+directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.no_protection import NoProtection
+from repro.core.priority_ecc import PriorityEccScheme
+from repro.core.scheme import BitShuffleScheme
+from repro.core.base import ProtectionScheme
+from repro.core.segments import (
+    error_magnitude_profile,
+    max_lut_bits,
+    unprotected_error_magnitude_profile,
+)
+from repro.faultmodel.pcell import PcellModel, classical_yield
+from repro.faultmodel.yieldmodel import MseDistribution, YieldAnalyzer
+from repro.hardware.overhead import OverheadModel, OverheadReport
+from repro.hardware.technology import Technology
+from repro.memory.organization import MemoryOrganization
+from repro.sim.experiment import BenchmarkDefinition
+from repro.sim.runner import QualityDistribution, QualityExperimentRunner
+
+__all__ = [
+    "figure2_pcell_vs_vdd",
+    "figure4_error_magnitude",
+    "figure5_mse_cdf",
+    "figure6_overhead",
+    "figure7_quality",
+    "standard_figure7_schemes",
+]
+
+
+def figure2_pcell_vs_vdd(
+    vdd_values: Optional[Sequence[float]] = None,
+    model: Optional[PcellModel] = None,
+    organization: Optional[MemoryOrganization] = None,
+) -> Dict[str, np.ndarray]:
+    """Fig. 2: bit-cell failure probability and classical yield versus supply voltage.
+
+    Returns a dict with the VDD sweep, the per-cell failure probability, and
+    the zero-failure yield of the given memory (16 kB by default) at each
+    voltage -- the quantity whose collapse around 0.73 V motivates the paper.
+    """
+    model = model if model is not None else PcellModel.calibrated_28nm()
+    organization = (
+        organization if organization is not None else MemoryOrganization.paper_16kb()
+    )
+    if vdd_values is None:
+        vdd_values = np.linspace(0.60, 1.00, 41)
+    vdd = np.asarray(vdd_values, dtype=np.float64)
+    p_cell = model.p_cell_curve(vdd)
+    memory_yield = np.array(
+        [classical_yield(p, organization.total_cells) for p in p_cell]
+    )
+    return {"vdd": vdd, "p_cell": p_cell, "classical_yield": memory_yield}
+
+
+def figure4_error_magnitude(word_width: int = 32) -> Dict[str, np.ndarray]:
+    """Fig. 4: worst-case error magnitude per faulty bit position for each nFM.
+
+    Returns a dict mapping ``"no-correction"`` and ``"nfm=k"`` to arrays of
+    error magnitudes indexed by the faulty bit position.
+    """
+    series: Dict[str, np.ndarray] = {
+        "no-correction": unprotected_error_magnitude_profile(word_width)
+    }
+    for n_fm in range(1, max_lut_bits(word_width) + 1):
+        series[f"nfm={n_fm}"] = error_magnitude_profile(word_width, n_fm)
+    return series
+
+
+def figure5_mse_cdf(
+    organization: Optional[MemoryOrganization] = None,
+    p_cell: float = 5e-6,
+    samples_per_count: int = 300,
+    coverage: float = 0.9999999,
+    n_fm_values: Optional[Sequence[int]] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, MseDistribution]:
+    """Fig. 5: CDF of the local MSE for every protection option.
+
+    Evaluates the unprotected memory, the H(22,16) P-ECC baseline, and the
+    bit-shuffling scheme for every requested ``nFM`` against the *same*
+    Monte-Carlo population of faulty dies, at the paper's operating point
+    (16 kB memory, Pcell = 5e-6).
+    """
+    organization = (
+        organization if organization is not None else MemoryOrganization.paper_16kb()
+    )
+    if n_fm_values is None:
+        n_fm_values = range(1, max_lut_bits(organization.word_width) + 1)
+    rng = rng if rng is not None else np.random.default_rng(2015)
+    analyzer = YieldAnalyzer(organization, p_cell, rng=rng, coverage=coverage)
+    schemes: List[ProtectionScheme] = [
+        NoProtection(organization.word_width),
+        PriorityEccScheme(organization.word_width),
+    ]
+    schemes.extend(
+        BitShuffleScheme(organization.word_width, n_fm) for n_fm in n_fm_values
+    )
+    return analyzer.compare_schemes(schemes, samples_per_count=samples_per_count)
+
+
+def figure6_overhead(
+    organization: Optional[MemoryOrganization] = None,
+    technology: Optional[Technology] = None,
+    lut_realisation: str = "column",
+) -> OverheadReport:
+    """Fig. 6: read power / read delay / area overhead relative to SECDED ECC."""
+    organization = (
+        organization if organization is not None else MemoryOrganization.paper_16kb()
+    )
+    model = OverheadModel(organization, technology)
+    return model.compare(lut_realisation=lut_realisation)
+
+
+def standard_figure7_schemes(word_width: int = 32) -> List[ProtectionScheme]:
+    """The four schemes plotted in Fig. 7: none, P-ECC, bit-shuffle nFM=1 and nFM=2."""
+    return [
+        NoProtection(word_width),
+        PriorityEccScheme(word_width),
+        BitShuffleScheme(word_width, 1),
+        BitShuffleScheme(word_width, 2),
+    ]
+
+
+def figure7_quality(
+    benchmark: BenchmarkDefinition,
+    organization: Optional[MemoryOrganization] = None,
+    p_cell: float = 1e-3,
+    samples_per_count: int = 10,
+    n_count_points: Optional[int] = 12,
+    schemes: Optional[Sequence[ProtectionScheme]] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, QualityDistribution]:
+    """Fig. 7: CDF of the application quality metric under memory failures.
+
+    Runs one benchmark (Elasticnet, PCA, or KNN) against the Fig. 7 scheme set
+    at the 16 kB / Pcell = 1e-3 operating point.  ``samples_per_count`` and
+    ``n_count_points`` control the Monte-Carlo budget (the paper uses 500
+    samples for every failure count up to Nmax; the defaults here are sized
+    for a laptop run and can be raised to match).
+    """
+    organization = (
+        organization if organization is not None else MemoryOrganization.paper_16kb()
+    )
+    rng = rng if rng is not None else np.random.default_rng(52)
+    if schemes is None:
+        schemes = standard_figure7_schemes(organization.word_width)
+    runner = QualityExperimentRunner(organization, p_cell, rng=rng)
+    return runner.run(
+        benchmark,
+        schemes,
+        samples_per_count=samples_per_count,
+        n_count_points=n_count_points,
+    )

@@ -1,0 +1,41 @@
+"""Error-resilient benchmark applications (Table 1).
+
+The paper evaluates three widely used data-mining / classification algorithms
+with their training data stored in a faulty memory:
+
+* **Elasticnet** regression on a wine-quality dataset (metric: R^2),
+* **Principal Component Analysis** on the Madelon feature-selection dataset
+  (metric: explained variance),
+* **K-Nearest Neighbours** classification on an activity-recognition dataset
+  (metric: classification score).
+
+The original UCI datasets and scikit-learn are not available offline, so this
+package provides from-scratch numpy implementations of the three algorithms
+(:mod:`repro.apps.elasticnet`, :mod:`repro.apps.pca`, :mod:`repro.apps.knn`)
+and synthetic dataset generators with matching dimensionality and statistical
+structure (:mod:`repro.apps.datasets`), plus the train/test and
+standardisation utilities of :mod:`repro.apps.preprocessing`.
+"""
+
+from repro.apps.datasets import (
+    Dataset,
+    make_activity_recognition,
+    make_madelon_like,
+    make_wine_quality_like,
+)
+from repro.apps.elasticnet import ElasticNetRegressor
+from repro.apps.knn import KNearestNeighbors
+from repro.apps.pca import PrincipalComponentAnalysis
+from repro.apps.preprocessing import StandardScaler, train_test_split
+
+__all__ = [
+    "Dataset",
+    "ElasticNetRegressor",
+    "KNearestNeighbors",
+    "PrincipalComponentAnalysis",
+    "StandardScaler",
+    "make_activity_recognition",
+    "make_madelon_like",
+    "make_wine_quality_like",
+    "train_test_split",
+]

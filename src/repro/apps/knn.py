@@ -1,0 +1,95 @@
+"""K-nearest-neighbours classification.
+
+A from-scratch replacement for ``sklearn.neighbors.KNeighborsClassifier``
+using Euclidean distance and majority voting (ties broken by the closest
+neighbour's label).  In the paper's activity-recognition benchmark the
+training samples -- the reference points every query is compared against --
+are read back from the faulty memory, so corrupted feature values directly
+perturb the distance computations and the resulting classification score.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.quality.metrics import accuracy_score
+
+__all__ = ["KNearestNeighbors"]
+
+
+class KNearestNeighbors:
+    """KNN classifier with Euclidean distance and majority vote.
+
+    Parameters
+    ----------
+    n_neighbors:
+        Number of neighbours consulted per query.
+    """
+
+    def __init__(self, n_neighbors: int = 5) -> None:
+        if n_neighbors <= 0:
+            raise ValueError("n_neighbors must be positive")
+        self.n_neighbors = n_neighbors
+        self._train_features: Optional[np.ndarray] = None
+        self._train_labels: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting (KNN just memorises the training set)
+    # ------------------------------------------------------------------ #
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> "KNearestNeighbors":
+        """Store the reference samples and their labels."""
+        features = np.asarray(features, dtype=np.float64)
+        labels = np.asarray(labels)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D (samples x features)")
+        if len(features) != len(labels):
+            raise ValueError("features and labels must have the same length")
+        if len(features) == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        if self.n_neighbors > len(features):
+            raise ValueError(
+                f"n_neighbors={self.n_neighbors} exceeds the training set size "
+                f"{len(features)}"
+            )
+        self._train_features = features
+        self._train_labels = labels
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Inference
+    # ------------------------------------------------------------------ #
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        """Predict the label of each query sample by majority vote."""
+        if self._train_features is None or self._train_labels is None:
+            raise RuntimeError("the classifier must be fitted before predict()")
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D (samples x features)")
+        # Pairwise squared Euclidean distances (queries x references).
+        distances = (
+            np.sum(features ** 2, axis=1, keepdims=True)
+            - 2.0 * features @ self._train_features.T
+            + np.sum(self._train_features ** 2, axis=1)
+        )
+        neighbor_idx = np.argsort(distances, axis=1, kind="stable")[:, : self.n_neighbors]
+        predictions = []
+        for row_idx, neighbors in enumerate(neighbor_idx):
+            labels = self._train_labels[neighbors]
+            values, counts = np.unique(labels, return_counts=True)
+            best = counts.max()
+            candidates = set(values[counts == best].tolist())
+            if len(candidates) == 1:
+                predictions.append(candidates.pop())
+            else:
+                # Tie: prefer the label of the closest neighbour among the tied ones.
+                chosen = next(
+                    label for label in labels.tolist() if label in candidates
+                )
+                predictions.append(chosen)
+        return np.asarray(predictions, dtype=self._train_labels.dtype)
+
+    def score(self, features: np.ndarray, labels: np.ndarray) -> float:
+        """Classification accuracy on the given data (Table 1 metric)."""
+        return accuracy_score(labels, self.predict(features))

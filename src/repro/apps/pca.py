@@ -1,0 +1,115 @@
+"""Principal component analysis via covariance eigendecomposition.
+
+A from-scratch replacement for ``sklearn.decomposition.PCA``: the principal
+axes are the leading eigenvectors of the training-data covariance matrix.  The
+paper's Madelon benchmark fits PCA on training data read back from the faulty
+memory and reports *explained variance* -- here measured as the fraction of
+held-out test-set variance captured when the test data is projected onto the
+learned components and reconstructed, which degrades smoothly as memory
+faults corrupt the training data and therefore the learned subspace.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["PrincipalComponentAnalysis"]
+
+
+class PrincipalComponentAnalysis:
+    """PCA fitted by eigendecomposition of the sample covariance matrix.
+
+    Parameters
+    ----------
+    n_components:
+        Number of principal components to retain.  ``None`` keeps every
+        component (up to the feature count).
+    """
+
+    def __init__(self, n_components: Optional[int] = None) -> None:
+        if n_components is not None and n_components <= 0:
+            raise ValueError("n_components must be positive")
+        self.n_components = n_components
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+        self.explained_variance_ratio_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit(self, features: np.ndarray) -> "PrincipalComponentAnalysis":
+        """Learn the principal axes of ``features``."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be 2-D (samples x features)")
+        n_samples, n_features = features.shape
+        if n_samples < 2:
+            raise ValueError("PCA needs at least two samples")
+        k = self.n_components if self.n_components is not None else n_features
+        k = min(k, n_features)
+
+        self.mean_ = features.mean(axis=0)
+        centered = features - self.mean_
+        covariance = (centered.T @ centered) / (n_samples - 1)
+        # The covariance matrix is symmetric; eigh returns ascending eigenvalues.
+        eigenvalues, eigenvectors = np.linalg.eigh(covariance)
+        order = np.argsort(eigenvalues)[::-1]
+        eigenvalues = np.clip(eigenvalues[order], 0.0, None)
+        eigenvectors = eigenvectors[:, order]
+
+        total_variance = float(eigenvalues.sum())
+        self.components_ = eigenvectors[:, :k].T
+        self.explained_variance_ = eigenvalues[:k]
+        if total_variance > 0:
+            self.explained_variance_ratio_ = eigenvalues[:k] / total_variance
+        else:
+            self.explained_variance_ratio_ = np.zeros(k)
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Transformation
+    # ------------------------------------------------------------------ #
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Project samples onto the learned principal components."""
+        self._check_fitted()
+        features = np.asarray(features, dtype=np.float64)
+        return (features - self.mean_) @ self.components_.T
+
+    def inverse_transform(self, projected: np.ndarray) -> np.ndarray:
+        """Reconstruct samples from their principal-component coordinates."""
+        self._check_fitted()
+        projected = np.asarray(projected, dtype=np.float64)
+        return projected @ self.components_ + self.mean_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit on ``features`` and return their projection."""
+        return self.fit(features).transform(features)
+
+    # ------------------------------------------------------------------ #
+    # Quality metric
+    # ------------------------------------------------------------------ #
+    def explained_variance_score(self, features: np.ndarray) -> float:
+        """Fraction of the variance of ``features`` captured by the learned subspace.
+
+        Computed as ``1 - ||X - X_hat||^2 / ||X - mean(X)||^2`` where ``X_hat``
+        is the reconstruction from the retained components.  This is the
+        Table 1 "explained variance" quality metric evaluated on clean test
+        data; it equals the sum of explained-variance ratios when evaluated on
+        the training data itself and degrades when faults corrupt the learned
+        components.
+        """
+        self._check_fitted()
+        features = np.asarray(features, dtype=np.float64)
+        reconstruction = self.inverse_transform(self.transform(features))
+        residual = float(np.sum((features - reconstruction) ** 2))
+        total = float(np.sum((features - features.mean(axis=0)) ** 2))
+        if total == 0.0:
+            return 1.0 if residual == 0.0 else 0.0
+        return 1.0 - residual / total
+
+    def _check_fitted(self) -> None:
+        if self.components_ is None or self.mean_ is None:
+            raise RuntimeError("PCA must be fitted before use")

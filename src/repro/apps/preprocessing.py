@@ -1,0 +1,89 @@
+"""Dataset preprocessing: train/test partitioning and standardisation.
+
+The paper partitions every dataset into training and testing inputs with a
+0.8 : 0.2 ratio; only the training partition is stored in the faulty memory
+(the model is built from potentially corrupted data) while the clean test
+partition measures the resulting output quality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["train_test_split", "StandardScaler"]
+
+
+def train_test_split(
+    features: np.ndarray,
+    targets: np.ndarray,
+    train_fraction: float = 0.8,
+    rng: Optional[np.random.Generator] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Randomly partition ``(features, targets)`` into train and test subsets.
+
+    Returns ``(X_train, X_test, y_train, y_test)``.  The split is performed on
+    a random permutation so class/target ordering in the source arrays does not
+    bias the partitions.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    targets = np.asarray(targets)
+    if features.ndim != 2:
+        raise ValueError("features must be a 2-D array (samples x features)")
+    if len(features) != len(targets):
+        raise ValueError("features and targets must have the same number of samples")
+    if not 0.0 < train_fraction < 1.0:
+        raise ValueError("train_fraction must be in (0, 1)")
+    n_samples = len(features)
+    n_train = int(round(n_samples * train_fraction))
+    n_train = min(max(n_train, 1), n_samples - 1)
+    rng = rng if rng is not None else np.random.default_rng()
+    order = rng.permutation(n_samples)
+    train_idx, test_idx = order[:n_train], order[n_train:]
+    return (
+        features[train_idx],
+        features[test_idx],
+        targets[train_idx],
+        targets[test_idx],
+    )
+
+
+@dataclass
+class StandardScaler:
+    """Zero-mean / unit-variance feature standardisation (fit on training data)."""
+
+    mean_: Optional[np.ndarray] = None
+    scale_: Optional[np.ndarray] = None
+
+    def fit(self, features: np.ndarray) -> "StandardScaler":
+        """Estimate per-feature mean and standard deviation."""
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2:
+            raise ValueError("features must be a 2-D array (samples x features)")
+        if len(features) == 0:
+            raise ValueError("cannot fit a scaler on an empty array")
+        self.mean_ = features.mean(axis=0)
+        scale = features.std(axis=0)
+        # Constant features would divide by zero; leave them centred only.
+        scale[scale == 0.0] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the fitted standardisation."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before transform()")
+        features = np.asarray(features, dtype=np.float64)
+        return (features - self.mean_) / self.scale_
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit on ``features`` and return the standardised array."""
+        return self.fit(features).transform(features)
+
+    def inverse_transform(self, features: np.ndarray) -> np.ndarray:
+        """Undo the standardisation."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("StandardScaler must be fitted before inverse_transform()")
+        return np.asarray(features, dtype=np.float64) * self.scale_ + self.mean_

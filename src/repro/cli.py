@@ -1,0 +1,220 @@
+"""Command-line interface: regenerate any of the paper's experiments.
+
+Usage (after ``pip install -e .``)::
+
+    repro-faulty-mem fig2                 # Pcell vs VDD and classical yield
+    repro-faulty-mem fig4                 # error magnitude per faulty bit position
+    repro-faulty-mem fig5 --samples 100   # MSE CDF / quality-aware yield
+    repro-faulty-mem fig6                 # read-path overhead comparison
+    repro-faulty-mem fig7 --benchmark knn # application quality CDF
+    repro-faulty-mem table1               # benchmark inventory
+
+Every command prints a plain-text table to stdout; the benchmark harness under
+``benchmarks/`` reuses the same analysis functions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analysis.figures import (
+    figure2_pcell_vs_vdd,
+    figure4_error_magnitude,
+    figure5_mse_cdf,
+    figure6_overhead,
+    figure7_quality,
+)
+from repro.analysis.tables import table1_applications
+from repro.memory.organization import MemoryOrganization
+from repro.sim.experiment import standard_benchmarks
+
+__all__ = ["main", "build_parser"]
+
+
+def _print_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
+    widths = [len(h) for h in headers]
+    formatted_rows: List[List[str]] = []
+    for row in rows:
+        formatted = [
+            f"{value:.4g}" if isinstance(value, float) else str(value) for value in row
+        ]
+        formatted_rows.append(formatted)
+        widths = [max(w, len(cell)) for w, cell in zip(widths, formatted)]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(line)
+    print("-" * len(line))
+    for formatted in formatted_rows:
+        print("  ".join(cell.ljust(w) for cell, w in zip(formatted, widths)))
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    data = figure2_pcell_vs_vdd()
+    rows = [
+        (f"{v:.3f}", p, y)
+        for v, p, y in zip(data["vdd"], data["p_cell"], data["classical_yield"])
+    ]
+    print("Figure 2: 6T bit-cell failure probability under VDD scaling (28 nm model)")
+    _print_table(["VDD [V]", "Pcell", "zero-failure yield (16kB)"], rows)
+    return 0
+
+
+def _cmd_fig4(args: argparse.Namespace) -> int:
+    series = figure4_error_magnitude(word_width=args.word_width)
+    positions = list(range(args.word_width))
+    headers = ["bit position"] + list(series.keys())
+    rows = []
+    for position in positions:
+        rows.append(
+            [position] + [float(series[name][position]) for name in series]
+        )
+    print("Figure 4: worst-case error magnitude per faulty bit position")
+    _print_table(headers, rows)
+    return 0
+
+
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    results = figure5_mse_cdf(
+        p_cell=args.p_cell,
+        samples_per_count=args.samples,
+        rng=np.random.default_rng(args.seed),
+    )
+    print(
+        f"Figure 5: quality-aware yield for a 16kB memory at Pcell={args.p_cell:g}"
+    )
+    mse_targets = [1e0, 1e2, 1e4, 1e6, 1e8]
+    headers = ["scheme"] + [f"yield@MSE<={t:g}" for t in mse_targets] + [
+        "MSE@99.99% yield"
+    ]
+    rows = []
+    for name, dist in results.items():
+        rows.append(
+            [name]
+            + [dist.yield_at_mse(t) for t in mse_targets]
+            + [dist.mse_at_yield(0.9999)]
+        )
+    _print_table(headers, rows)
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    report = figure6_overhead(lut_realisation=args.lut)
+    relative = report.relative_to_baseline()
+    print(
+        "Figure 6: read-path overhead relative to "
+        f"{report.baseline} (LUT realisation: {args.lut})"
+    )
+    headers = ["scheme", "read power", "read delay", "area"]
+    rows = [
+        [name, rel["read_power"], rel["read_delay"], rel["area"]]
+        for name, rel in relative.items()
+    ]
+    _print_table(headers, rows)
+    return 0
+
+
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    benchmarks = standard_benchmarks(scale=args.scale, seed=args.seed)
+    if args.benchmark not in benchmarks:
+        print(f"unknown benchmark {args.benchmark!r}", file=sys.stderr)
+        return 2
+    benchmark = benchmarks[args.benchmark]
+    results = figure7_quality(
+        benchmark,
+        p_cell=args.p_cell,
+        samples_per_count=args.samples,
+        n_count_points=args.count_points,
+        rng=np.random.default_rng(args.seed),
+    )
+    print(
+        f"Figure 7 ({args.benchmark}): normalised {benchmark.metric_name} "
+        f"under memory failures at Pcell={args.p_cell:g}"
+    )
+    quality_targets = [0.5, 0.8, 0.9, 0.95, 0.99]
+    headers = ["scheme"] + [f"yield@Q>={q}" for q in quality_targets] + ["median Q"]
+    rows = []
+    for name, dist in results.items():
+        rows.append(
+            [name]
+            + [dist.yield_at_quality(q) for q in quality_targets]
+            + [dist.median_quality()]
+        )
+    _print_table(headers, rows)
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    rows = table1_applications(scale=args.scale)
+    print("Table 1: evaluation applications and datasets")
+    _print_table(
+        ["class", "algorithm", "dataset", "metric", "train", "test", "clean quality"],
+        [
+            [
+                r["class"],
+                r["algorithm"],
+                r["dataset"],
+                r["metric"],
+                r["train_samples"],
+                r["test_samples"],
+                float(r["clean_quality"]),
+            ]
+            for r in rows
+        ],
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-faulty-mem",
+        description="Regenerate the experiments of the DAC'15 bit-shuffling paper.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig2", help="Pcell vs VDD and classical yield").set_defaults(
+        func=_cmd_fig2
+    )
+
+    p4 = sub.add_parser("fig4", help="error magnitude per faulty bit position")
+    p4.add_argument("--word-width", type=int, default=32)
+    p4.set_defaults(func=_cmd_fig4)
+
+    p5 = sub.add_parser("fig5", help="MSE CDF / quality-aware yield")
+    p5.add_argument("--p-cell", type=float, default=5e-6)
+    p5.add_argument("--samples", type=int, default=200)
+    p5.add_argument("--seed", type=int, default=2015)
+    p5.set_defaults(func=_cmd_fig5)
+
+    p6 = sub.add_parser("fig6", help="read-path overhead comparison")
+    p6.add_argument("--lut", choices=["column", "register"], default="column")
+    p6.set_defaults(func=_cmd_fig6)
+
+    p7 = sub.add_parser("fig7", help="application quality CDF")
+    p7.add_argument("--benchmark", choices=["elasticnet", "pca", "knn"], default="knn")
+    p7.add_argument("--p-cell", type=float, default=1e-3)
+    p7.add_argument("--samples", type=int, default=5)
+    p7.add_argument("--count-points", type=int, default=8)
+    p7.add_argument("--scale", type=float, default=0.5)
+    p7.add_argument("--seed", type=int, default=52)
+    p7.set_defaults(func=_cmd_fig7)
+
+    pt = sub.add_parser("table1", help="benchmark inventory")
+    pt.add_argument("--scale", type=float, default=0.5)
+    pt.set_defaults(func=_cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

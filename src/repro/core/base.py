@@ -1,0 +1,124 @@
+"""Abstract interface shared by every memory-protection scheme."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Mapping, Sequence
+
+__all__ = ["ProtectionScheme"]
+
+
+class ProtectionScheme(ABC):
+    """A write-path / read-path transformation protecting words in a faulty memory.
+
+    A scheme may add extra storage columns per row (ECC parity bits, FM-LUT
+    entries).  The bit-accurate flow is::
+
+        scheme.program(fault_columns_by_row)      # from BIST, once per die
+        stored = scheme.encode_word(row, data)    # on every write
+        ...faults corrupt ``stored``...
+        data'  = scheme.decode_word(row, observed)  # on every read
+
+    The analytical flow used by the Monte-Carlo yield model asks a single
+    question per row: *given faults at these physical data-bit positions, which
+    logical data bits can still be wrong after mitigation?*  That is
+    :meth:`residual_error_positions`.
+    """
+
+    def __init__(self, word_width: int) -> None:
+        if word_width <= 0:
+            raise ValueError(f"word_width must be positive, got {word_width}")
+        self._word_width = word_width
+
+    # ------------------------------------------------------------------ #
+    # Static properties
+    # ------------------------------------------------------------------ #
+    @property
+    def word_width(self) -> int:
+        """Width of the logical data word the scheme protects."""
+        return self._word_width
+
+    @property
+    @abstractmethod
+    def name(self) -> str:
+        """Human-readable scheme name used in reports and figures."""
+
+    @property
+    @abstractmethod
+    def extra_columns(self) -> int:
+        """Extra storage bits required per row (parity bits, FM-LUT bits)."""
+
+    @property
+    def storage_width(self) -> int:
+        """Total stored bits per row: data plus any scheme overhead."""
+        return self._word_width + self.extra_columns
+
+    # ------------------------------------------------------------------ #
+    # Die-specific programming
+    # ------------------------------------------------------------------ #
+    def program(self, fault_columns_by_row: Mapping[int, Sequence[int]]) -> None:
+        """Configure the scheme for a specific die from BIST fault locations.
+
+        ``fault_columns_by_row`` maps row index to the faulty data-bit
+        positions found by BIST.  Schemes that do not need die-specific state
+        (plain ECC, no protection) ignore the call.
+        """
+
+    # ------------------------------------------------------------------ #
+    # Operational (bit-accurate) view
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def encode_word(self, row: int, data: int) -> int:
+        """Transform ``data`` (``word_width`` bits) into the stored pattern
+        (``storage_width`` bits) for ``row``."""
+
+    @abstractmethod
+    def decode_word(self, row: int, stored: int) -> int:
+        """Recover the logical data word from the (possibly corrupted) stored
+        pattern read from ``row``."""
+
+    # ------------------------------------------------------------------ #
+    # Analytical view
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def residual_error_positions(
+        self, row: int, fault_columns: Sequence[int]
+    ) -> List[int]:
+        """Logical data-bit positions that can still be corrupted after mitigation.
+
+        ``fault_columns`` are the physical positions (0 = LSB cell) of faulty
+        cells in the row's *data* columns, matching the paper's fault-injection
+        setup where the M = R x W data cells are the fault population.  The
+        returned list may be empty (all faults neutralised), and its entries
+        are the positions whose weight ``2**b`` enters the local MSE (Eq. 6).
+        """
+
+    # ------------------------------------------------------------------ #
+    # Convenience
+    # ------------------------------------------------------------------ #
+    def worst_case_error_magnitude(self, fault_column: int) -> int:
+        """Worst-case output error magnitude caused by one fault at ``fault_column``.
+
+        Default implementation: the largest weight among residual positions for
+        a single fault, assuming 2's-complement data (weight ``2**b``).
+        """
+        positions = self.residual_error_positions(0, [fault_column])
+        if not positions:
+            return 0
+        return max(1 << b for b in positions)
+
+    def _check_data(self, data: int) -> None:
+        if data < 0 or data >> self._word_width:
+            raise ValueError(
+                f"data {data:#x} does not fit in {self._word_width} bits"
+            )
+
+    def _check_fault_columns(self, fault_columns: Sequence[int]) -> None:
+        for column in fault_columns:
+            if not 0 <= column < self._word_width:
+                raise ValueError(
+                    f"fault column {column} out of range [0, {self._word_width})"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(word_width={self._word_width})"

@@ -1,0 +1,159 @@
+"""Fault-map look-up table (FM-LUT) of the bit-shuffling scheme.
+
+The FM-LUT holds one ``nFM``-bit entry per memory row.  Each entry records the
+index of the word segment that contains the row's faulty cell, which via
+Eq. 2 determines the circular rotation applied on every write and undone on
+every read.  In the paper's straightforward hardware realisation the LUT is
+implemented as ``nFM`` extra bit columns of the array; alternative
+realisations (register file, CAM) change the overhead model but not the
+behaviour captured here.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.segments import (
+    max_lut_bits,
+    rotation_amount,
+    segment_index,
+    segment_size,
+)
+
+__all__ = ["FaultMapLut"]
+
+
+class FaultMapLut:
+    """Per-row segment indices driving the bit-shuffling rotations.
+
+    Parameters
+    ----------
+    rows:
+        Number of memory rows covered.
+    word_width:
+        Data word width ``W``.
+    n_fm:
+        Number of LUT bits per row (1..ceil(log2 W)), setting the segment
+        granularity of the scheme.
+    """
+
+    def __init__(self, rows: int, word_width: int, n_fm: int) -> None:
+        if rows <= 0:
+            raise ValueError(f"rows must be positive, got {rows}")
+        # segment_size validates n_fm against word_width.
+        self._segment_size = segment_size(word_width, n_fm)
+        self._rows = rows
+        self._word_width = word_width
+        self._n_fm = n_fm
+        self._entries = np.zeros(rows, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Parameters
+    # ------------------------------------------------------------------ #
+    @property
+    def rows(self) -> int:
+        """Number of rows covered by the LUT."""
+        return self._rows
+
+    @property
+    def word_width(self) -> int:
+        """Data word width ``W``."""
+        return self._word_width
+
+    @property
+    def n_fm(self) -> int:
+        """LUT bits per row ``nFM``."""
+        return self._n_fm
+
+    @property
+    def segment_size(self) -> int:
+        """Segment size ``S = W / 2**nFM`` (Eq. 1)."""
+        return self._segment_size
+
+    @property
+    def segment_count(self) -> int:
+        """Number of segments ``2**nFM``."""
+        return 1 << self._n_fm
+
+    @property
+    def storage_bits(self) -> int:
+        """Total LUT storage, ``rows * nFM`` bits (the extra columns of Fig. 3)."""
+        return self._rows * self._n_fm
+
+    # ------------------------------------------------------------------ #
+    # Entry access
+    # ------------------------------------------------------------------ #
+    def entry(self, row: int) -> int:
+        """The programmed segment index ``xFM(row)``."""
+        self._check_row(row)
+        return int(self._entries[row])
+
+    def set_entry(self, row: int, x_fm: int) -> None:
+        """Directly program ``xFM(row)`` (normally done via :meth:`program_row`)."""
+        self._check_row(row)
+        if not 0 <= x_fm < self.segment_count:
+            raise ValueError(
+                f"xFM {x_fm} out of range [0, {self.segment_count}) for nFM={self._n_fm}"
+            )
+        self._entries[row] = x_fm
+
+    def rotation(self, row: int) -> int:
+        """Right-rotation amount ``T(row)`` for the programmed entry (Eq. 2)."""
+        return rotation_amount(self.entry(row), self._word_width, self._n_fm)
+
+    def entries(self) -> np.ndarray:
+        """Copy of all programmed entries (index = row)."""
+        return self._entries.copy()
+
+    def rotations(self) -> np.ndarray:
+        """Vector of rotation amounts for every row (used by the bulk simulator)."""
+        s = self._segment_size
+        segments = self.segment_count
+        return ((segments - self._entries) * s) % self._word_width
+
+    # ------------------------------------------------------------------ #
+    # Programming from BIST results
+    # ------------------------------------------------------------------ #
+    def program_row(self, row: int, fault_columns: Sequence[int]) -> None:
+        """Program ``xFM(row)`` from the faulty bit positions BIST found in the row.
+
+        With a single fault the entry is simply the fault's segment index.
+        With multiple faults a single rotation cannot push every fault into the
+        lowest segment; the hardware-realistic policy implemented here selects
+        the segment of the *most significant* faulty bit, so the fault with the
+        largest potential error magnitude is the one neutralised.
+        """
+        self._check_row(row)
+        if not fault_columns:
+            self._entries[row] = 0
+            return
+        for column in fault_columns:
+            if not 0 <= column < self._word_width:
+                raise ValueError(
+                    f"fault column {column} out of range [0, {self._word_width})"
+                )
+        most_significant = max(fault_columns)
+        self._entries[row] = segment_index(
+            most_significant, self._word_width, self._n_fm
+        )
+
+    def program(self, fault_columns_by_row: Mapping[int, Sequence[int]]) -> None:
+        """Program the whole LUT from a BIST fault report (row -> fault columns)."""
+        self._entries[:] = 0
+        for row, columns in fault_columns_by_row.items():
+            self.program_row(row, columns)
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self._rows:
+            raise IndexError(f"row {row} out of range [0, {self._rows})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultMapLut(rows={self._rows}, W={self._word_width}, "
+            f"nFM={self._n_fm}, S={self._segment_size})"
+        )

@@ -1,0 +1,26 @@
+"""Error-correcting code substrate: SECDED Hamming codes.
+
+The paper compares its bit-shuffling scheme against two ECC baselines:
+
+* a full-word H(39,32) SECDED Hamming code, and
+* a priority-based ECC (P-ECC) that applies an H(22,16) SECDED code to the
+  16 most-significant bits of each 32-bit word only.
+
+This package provides the generic extended-Hamming (SECDED) construction both
+baselines are built from: parity-bit placement, encoding, syndrome decoding,
+single-error correction and double-error detection.
+"""
+
+from repro.ecc.hamming import (
+    DecodeStatus,
+    DecodeResult,
+    SecdedCode,
+    secded_code_for_data_bits,
+)
+
+__all__ = [
+    "DecodeResult",
+    "DecodeStatus",
+    "SecdedCode",
+    "secded_code_for_data_bits",
+]

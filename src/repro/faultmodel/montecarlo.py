@@ -1,0 +1,178 @@
+"""Failure-count statistics (Eq. 4) and Monte-Carlo fault-map sampling.
+
+The paper's Figs. 5 and 7 are produced by a stratified Monte-Carlo procedure:
+
+1. the probability of a die having exactly ``n`` failures follows the binomial
+   law of Eq. 4, ``Pr(N = n) = C(M, n) * Pcell**n * (1 - Pcell)**(M - n)``;
+2. a maximum failure count ``Nmax`` is chosen so that a target fraction of all
+   dies (99 % in Fig. 7) is covered;
+3. for each failure count a batch of random fault maps is generated and
+   evaluated, and the per-count results are re-weighted by ``Pr(N = n)`` when
+   the overall distribution is assembled.
+
+This module implements each of those pieces.  Binomial terms are computed in
+the log domain (``lgamma``) so they stay finite for the paper's
+``M = 131072`` cells.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from repro.memory.faults import FaultKind, FaultMap
+from repro.memory.organization import MemoryOrganization
+
+__all__ = [
+    "failure_count_pmf",
+    "failure_count_cdf",
+    "expected_failures",
+    "max_failures_for_coverage",
+    "samples_per_failure_count",
+    "FaultMapSampler",
+]
+
+
+def failure_count_pmf(total_cells: int, p_cell: float, n: int) -> float:
+    """Eq. 4: probability that a die of ``total_cells`` cells has exactly ``n`` failures."""
+    if total_cells < 0:
+        raise ValueError("total_cells must be non-negative")
+    if not 0.0 <= p_cell <= 1.0:
+        raise ValueError("p_cell must be a probability")
+    if n < 0 or n > total_cells:
+        return 0.0
+    if p_cell == 0.0:
+        return 1.0 if n == 0 else 0.0
+    if p_cell == 1.0:
+        return 1.0 if n == total_cells else 0.0
+    log_choose = (
+        math.lgamma(total_cells + 1)
+        - math.lgamma(n + 1)
+        - math.lgamma(total_cells - n + 1)
+    )
+    log_pmf = (
+        log_choose + n * math.log(p_cell) + (total_cells - n) * math.log1p(-p_cell)
+    )
+    return math.exp(log_pmf)
+
+
+def failure_count_cdf(total_cells: int, p_cell: float, n: int) -> float:
+    """``Pr(N <= n)`` under the binomial failure-count law."""
+    if n < 0:
+        return 0.0
+    n = min(n, total_cells)
+    return float(
+        sum(failure_count_pmf(total_cells, p_cell, k) for k in range(n + 1))
+    )
+
+
+def expected_failures(total_cells: int, p_cell: float) -> float:
+    """Mean number of failures ``M * Pcell``."""
+    if total_cells < 0:
+        raise ValueError("total_cells must be non-negative")
+    if not 0.0 <= p_cell <= 1.0:
+        raise ValueError("p_cell must be a probability")
+    return total_cells * p_cell
+
+
+def max_failures_for_coverage(
+    total_cells: int, p_cell: float, coverage: float = 0.99
+) -> int:
+    """Smallest ``Nmax`` such that ``Pr(N <= Nmax) >= coverage``.
+
+    This is the paper's rule for bounding the per-count sweep: "99 % of the
+    memories have no more than Nmax failures".
+    """
+    if not 0.0 < coverage < 1.0:
+        raise ValueError("coverage must be in (0, 1)")
+    cumulative = 0.0
+    n = 0
+    while n <= total_cells:
+        cumulative += failure_count_pmf(total_cells, p_cell, n)
+        if cumulative >= coverage:
+            return n
+        n += 1
+    return total_cells
+
+
+def samples_per_failure_count(
+    total_cells: int,
+    p_cell: float,
+    total_runs: int,
+    max_failures: Optional[int] = None,
+) -> Dict[int, int]:
+    """Allocate a Monte-Carlo budget across failure counts, as in Fig. 5.
+
+    The paper draws ``Pr(N = n) * Trun`` samples for each failure count ``n``
+    from 1 to ``max_failures``.  Counts whose allocation rounds to zero are
+    still given one sample so the tail of the distribution is represented.
+    """
+    if total_runs <= 0:
+        raise ValueError("total_runs must be positive")
+    if max_failures is None:
+        max_failures = max_failures_for_coverage(total_cells, p_cell, 0.999)
+    allocation: Dict[int, int] = {}
+    for n in range(1, max_failures + 1):
+        probability = failure_count_pmf(total_cells, p_cell, n)
+        count = int(round(probability * total_runs))
+        allocation[n] = max(count, 1)
+    return allocation
+
+
+class FaultMapSampler:
+    """Stratified random fault-map generator for Monte-Carlo evaluation."""
+
+    def __init__(
+        self,
+        organization: MemoryOrganization,
+        rng: Optional[np.random.Generator] = None,
+        fault_kind: FaultKind = FaultKind.BIT_FLIP,
+    ) -> None:
+        self._organization = organization
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._fault_kind = fault_kind
+
+    @property
+    def organization(self) -> MemoryOrganization:
+        """Geometry the sampled fault maps target."""
+        return self._organization
+
+    def sample_with_count(self, fault_count: int) -> FaultMap:
+        """One uniformly random fault map with exactly ``fault_count`` faults."""
+        return FaultMap.random_with_count(
+            self._organization, fault_count, self._rng, kind=self._fault_kind
+        )
+
+    def sample_batch(self, fault_count: int, batch_size: int) -> List[FaultMap]:
+        """A batch of independent fault maps with the same failure count."""
+        if batch_size < 0:
+            raise ValueError("batch_size must be non-negative")
+        return [self.sample_with_count(fault_count) for _ in range(batch_size)]
+
+    def sample_with_pcell(self, p_cell: float) -> FaultMap:
+        """One fault map where each cell fails independently with ``p_cell``."""
+        return FaultMap.random_with_pcell(
+            self._organization, p_cell, self._rng, kind=self._fault_kind
+        )
+
+    def iter_stratified(
+        self,
+        p_cell: float,
+        total_runs: int,
+        max_failures: Optional[int] = None,
+    ) -> Iterator[tuple[int, float, List[FaultMap]]]:
+        """Yield ``(failure_count, probability, fault_maps)`` per stratum.
+
+        The probability is ``Pr(N = n)`` from Eq. 4 and should be used to
+        weight the stratum's results when assembling distributions.
+        """
+        allocation = samples_per_failure_count(
+            self._organization.total_cells, p_cell, total_runs, max_failures
+        )
+        for n, batch_size in allocation.items():
+            probability = failure_count_pmf(
+                self._organization.total_cells, p_cell, n
+            )
+            yield n, probability, self.sample_batch(n, batch_size)

@@ -1,0 +1,51 @@
+"""Hardware overhead models for the 28 nm read-path comparison (Fig. 6).
+
+The paper synthesises the encoder/decoder blocks of SECDED ECC, P-ECC and all
+bit-shuffling segment options in a 28 nm FD-SOI flow and reports the read
+power, read delay and area overhead of each scheme relative to H(39,32)
+SECDED.  Without access to that flow, this package substitutes a structural,
+logical-effort-style model:
+
+* :mod:`repro.hardware.technology` -- 28 nm technology constants (gate delay,
+  gate area/energy, SRAM cell area, column read energy),
+* :mod:`repro.hardware.gates` -- gate primitives and composition rules
+  (XOR trees, mux stages),
+* :mod:`repro.hardware.ecc_logic` -- structural cost of Hamming encoders and
+  decoders derived from the actual code construction,
+* :mod:`repro.hardware.shifter` -- cost of the segment barrel rotator and the
+  FM-LUT,
+* :mod:`repro.hardware.sram_macro` -- storage-column area and read energy,
+* :mod:`repro.hardware.overhead` -- the read-path overhead comparison that
+  regenerates Fig. 6.
+"""
+
+from repro.hardware.gates import GateCost, mux_stage, xor_tree
+from repro.hardware.ecc_logic import hamming_decoder_cost, hamming_encoder_cost
+from repro.hardware.energy import OperatingPoint, VoltageScalingModel
+from repro.hardware.overhead import (
+    OverheadModel,
+    OverheadReport,
+    ReadPathOverhead,
+    WritePathOverhead,
+)
+from repro.hardware.shifter import barrel_rotator_cost, fm_lut_register_cost
+from repro.hardware.sram_macro import SramMacroModel
+from repro.hardware.technology import Technology
+
+__all__ = [
+    "GateCost",
+    "OperatingPoint",
+    "VoltageScalingModel",
+    "WritePathOverhead",
+    "OverheadModel",
+    "OverheadReport",
+    "ReadPathOverhead",
+    "SramMacroModel",
+    "Technology",
+    "barrel_rotator_cost",
+    "fm_lut_register_cost",
+    "hamming_decoder_cost",
+    "hamming_encoder_cost",
+    "mux_stage",
+    "xor_tree",
+]

@@ -1,0 +1,149 @@
+"""Gate-level cost primitives for the structural overhead model.
+
+Costs are expressed in technology-neutral units -- NAND2-equivalent area,
+reference-gate delays, and gate-energy units -- and converted to physical
+units (um^2, ps, fJ) by :class:`~repro.hardware.technology.Technology` at the
+point where a full read path is assembled.  Composition follows simple
+structural rules: areas and energies add, delays add along a series path and
+take the maximum across parallel paths.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = [
+    "GateCost",
+    "INVERTER",
+    "NAND2",
+    "AND2",
+    "OR2",
+    "XOR2",
+    "MUX2",
+    "DFF",
+    "xor_tree",
+    "and_tree",
+    "mux_stage",
+    "decoder",
+]
+
+
+@dataclass(frozen=True)
+class GateCost:
+    """Cost of a combinational/sequential block in technology-neutral units.
+
+    Attributes
+    ----------
+    area:
+        NAND2-equivalent gate area.
+    delay:
+        Critical-path depth in reference-gate delays.
+    energy:
+        Switching energy per activation in gate-energy units.
+    """
+
+    area: float = 0.0
+    delay: float = 0.0
+    energy: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.area < 0 or self.delay < 0 or self.energy < 0:
+            raise ValueError("gate costs must be non-negative")
+
+    def series(self, other: "GateCost") -> "GateCost":
+        """Compose two blocks in series: areas/energies add, delays add."""
+        return GateCost(
+            area=self.area + other.area,
+            delay=self.delay + other.delay,
+            energy=self.energy + other.energy,
+        )
+
+    def parallel(self, other: "GateCost") -> "GateCost":
+        """Compose two blocks in parallel: areas/energies add, delay is the max."""
+        return GateCost(
+            area=self.area + other.area,
+            delay=max(self.delay, other.delay),
+            energy=self.energy + other.energy,
+        )
+
+    def scaled(self, count: float) -> "GateCost":
+        """Replicate the block ``count`` times in parallel (delay unchanged)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        return GateCost(
+            area=self.area * count, delay=self.delay, energy=self.energy * count
+        )
+
+    def __add__(self, other: "GateCost") -> "GateCost":
+        return self.series(other)
+
+
+#: Reference gate costs (area in NAND2 equivalents, delay in reference gate
+#: delays, energy in gate-energy units).  Values follow typical standard-cell
+#: library ratios.
+INVERTER = GateCost(area=0.6, delay=0.6, energy=0.5)
+NAND2 = GateCost(area=1.0, delay=1.0, energy=1.0)
+AND2 = GateCost(area=1.3, delay=1.2, energy=1.1)
+OR2 = GateCost(area=1.3, delay=1.2, energy=1.1)
+XOR2 = GateCost(area=2.4, delay=1.7, energy=1.9)
+MUX2 = GateCost(area=2.0, delay=1.4, energy=1.4)
+DFF = GateCost(area=4.5, delay=2.0, energy=2.2)
+
+
+def xor_tree(inputs: int) -> GateCost:
+    """Balanced XOR reduction tree over ``inputs`` bits (parity computation)."""
+    if inputs < 1:
+        raise ValueError("an XOR tree needs at least one input")
+    if inputs == 1:
+        return GateCost()
+    gates = inputs - 1
+    depth = math.ceil(math.log2(inputs))
+    return GateCost(
+        area=gates * XOR2.area,
+        delay=depth * XOR2.delay,
+        energy=gates * XOR2.energy,
+    )
+
+
+def and_tree(inputs: int) -> GateCost:
+    """Balanced AND reduction tree over ``inputs`` bits (match/decode terms)."""
+    if inputs < 1:
+        raise ValueError("an AND tree needs at least one input")
+    if inputs == 1:
+        return GateCost()
+    gates = inputs - 1
+    depth = math.ceil(math.log2(inputs))
+    return GateCost(
+        area=gates * AND2.area,
+        delay=depth * AND2.delay,
+        energy=gates * AND2.energy,
+    )
+
+
+def mux_stage(width: int) -> GateCost:
+    """One 2:1 multiplexer stage across a ``width``-bit datapath.
+
+    The stage's delay is a single mux delay; the area and energy scale with the
+    datapath width.  A barrel rotator is a series of such stages.
+    """
+    if width < 1:
+        raise ValueError("datapath width must be at least 1")
+    return GateCost(
+        area=width * MUX2.area,
+        delay=MUX2.delay,
+        energy=width * MUX2.energy,
+    )
+
+
+def decoder(select_bits: int) -> GateCost:
+    """A ``select_bits``-to-``2**select_bits`` one-hot decoder (AND of selects)."""
+    if select_bits < 1:
+        raise ValueError("a decoder needs at least one select bit")
+    outputs = 1 << select_bits
+    per_output = and_tree(select_bits)
+    return GateCost(
+        area=outputs * per_output.area + select_bits * INVERTER.area,
+        delay=per_output.delay + INVERTER.delay,
+        energy=outputs * per_output.energy * 0.5 + select_bits * INVERTER.energy,
+    )

@@ -1,0 +1,84 @@
+"""Structural cost of the bit-shuffling datapath: barrel rotator and FM-LUT.
+
+The read path added by the proposed scheme consists of
+
+* an ``nFM``-stage barrel rotator: the rotation amount is always a multiple of
+  the segment size ``S``, so only ``nFM`` binary-weighted rotate stages
+  (by S, 2S, 4S, ...) are required, each a width-wide 2:1 mux row, plus a thin
+  control slice that converts the LUT entry into stage selects, and
+* the FM-LUT itself, which the paper realises as ``nFM`` extra bit columns of
+  the SRAM array (the storage cost is accounted by
+  :class:`~repro.hardware.sram_macro.SramMacroModel`); a register-file
+  realisation is also modelled for the ablation discussed in Section 5.1.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.gates import DFF, GateCost, INVERTER, XOR2, mux_stage
+
+__all__ = ["barrel_rotator_cost", "rotation_control_cost", "fm_lut_register_cost"]
+
+
+def barrel_rotator_cost(word_width: int, stages: int) -> GateCost:
+    """Cost of a ``stages``-stage barrel rotator across a ``word_width`` datapath.
+
+    Each stage rotates by a fixed power-of-two multiple of the segment size and
+    is enabled by one control bit, so the critical path grows linearly with the
+    number of stages -- the mechanism behind the overhead-versus-quality
+    trade-off of Fig. 6.
+    """
+    if word_width < 1:
+        raise ValueError("word_width must be at least 1")
+    if stages < 0:
+        raise ValueError("stages must be non-negative")
+    cost = GateCost()
+    for _ in range(stages):
+        cost = cost.series(mux_stage(word_width))
+    return cost
+
+
+def rotation_control_cost(n_fm: int) -> GateCost:
+    """Control slice converting the ``nFM``-bit LUT entry into stage selects.
+
+    Eq. 2 maps the LUT entry ``xFM`` to the rotation ``S * (2**nFM - xFM)``;
+    in hardware this is a small two's-complement negation of ``xFM`` (one
+    inverter and a carry chain approximated by XORs) feeding the stage enables.
+    """
+    if n_fm < 0:
+        raise ValueError("n_fm must be non-negative")
+    if n_fm == 0:
+        return GateCost()
+    return GateCost(
+        area=n_fm * (INVERTER.area + XOR2.area),
+        delay=INVERTER.delay + XOR2.delay,
+        energy=n_fm * (INVERTER.energy + XOR2.energy) * 0.5,
+    )
+
+
+def fm_lut_register_cost(rows: int, n_fm: int) -> GateCost:
+    """Register-file realisation of the FM-LUT (ablation alternative).
+
+    ``rows * nFM`` flip-flops plus a read mux tree selecting the addressed
+    entry.  Much larger in area than the in-array column realisation for big
+    memories, but removes the read-before-write penalty on the write path.
+    """
+    if rows < 1:
+        raise ValueError("rows must be at least 1")
+    if n_fm < 1:
+        raise ValueError("n_fm must be at least 1")
+    storage = GateCost(
+        area=rows * n_fm * DFF.area,
+        delay=0.0,
+        energy=n_fm * DFF.energy,  # only the addressed entry toggles its outputs
+    )
+    # Read mux: a rows-to-1 selection per LUT bit, built from 2:1 stages.
+    import math
+
+    depth = math.ceil(math.log2(rows)) if rows > 1 else 0
+    mux_gates = (rows - 1) * n_fm
+    read_mux = GateCost(
+        area=mux_gates * 2.0,
+        delay=depth * 1.4,
+        energy=depth * n_fm * 1.4,
+    )
+    return storage.series(read_mux)

@@ -1,0 +1,46 @@
+"""SRAM macro area, read-energy, and latency model.
+
+Storage overheads (ECC parity columns, FM-LUT columns) are "estimated based on
+SRAM macros available in this technology" in the paper.  This model captures
+the first-order behaviour of such macros: area proportional to the cell count
+divided by the array efficiency, read energy proportional to the number of
+columns activated per access, and a read latency that is essentially
+independent of a few extra columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.technology import Technology
+
+__all__ = ["SramMacroModel"]
+
+
+@dataclass(frozen=True)
+class SramMacroModel:
+    """First-order SRAM macro cost model bound to a technology."""
+
+    technology: Technology
+
+    def area_um2(self, rows: int, columns: int) -> float:
+        """Macro area for ``rows x columns`` bit-cells including periphery."""
+        if rows <= 0 or columns <= 0:
+            raise ValueError("rows and columns must be positive")
+        return rows * columns * self.technology.effective_cell_area_um2
+
+    def column_area_um2(self, rows: int, columns: int = 1) -> float:
+        """Area of adding ``columns`` extra bit columns to a ``rows``-row macro."""
+        if rows <= 0 or columns < 0:
+            raise ValueError("rows must be positive and columns non-negative")
+        return rows * columns * self.technology.effective_cell_area_um2
+
+    def read_energy_fj(self, columns: int) -> float:
+        """Energy of one read access activating ``columns`` bit columns."""
+        if columns < 0:
+            raise ValueError("columns must be non-negative")
+        return columns * self.technology.sram_column_read_energy_fj
+
+    def read_latency_ps(self) -> float:
+        """Intrinsic macro read latency (independent of a handful of extra columns)."""
+        return self.technology.sram_read_latency_ps

@@ -1,0 +1,79 @@
+"""28 nm FD-SOI technology constants used by the structural overhead model.
+
+The constants are representative published/typical values for a 28 nm
+FD-SOI standard-cell and SRAM process; they set the absolute scale of the
+area / power / delay estimates.  Fig. 6 of the paper normalises every scheme
+to the SECDED baseline, so the reproduction is primarily sensitive to the
+*relative* composition of each read path (how many gates, how many extra
+columns, how deep the logic), not to these absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Technology"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Process-level constants for area, delay, and energy estimation.
+
+    Attributes
+    ----------
+    name:
+        Human-readable process name.
+    gate_delay_ps:
+        Delay of one reference gate (FO4-loaded NAND2) in picoseconds.
+    nand2_area_um2:
+        Layout area of one NAND2-equivalent gate in square micrometres.
+    gate_energy_fj:
+        Average switching energy of one NAND2-equivalent gate per activation
+        in femtojoules (already includes a typical activity factor).
+    sram_cell_area_um2:
+        Area of one 6T SRAM bit-cell.
+    sram_array_efficiency:
+        Fraction of an SRAM macro occupied by the cell array (the rest is
+        periphery); dividing the cell area by this factor gives the effective
+        macro area per cell.
+    sram_column_read_energy_fj:
+        Read energy drawn by one bit column per access (bitline swing, sense
+        amplifier, column mux).
+    sram_read_latency_ps:
+        Intrinsic macro read latency (address decode to data out) without any
+        protection logic; protection schemes add their logic delay on top.
+    """
+
+    name: str = "28nm FD-SOI"
+    gate_delay_ps: float = 14.0
+    nand2_area_um2: float = 0.62
+    gate_energy_fj: float = 0.85
+    sram_cell_area_um2: float = 0.120
+    sram_array_efficiency: float = 0.72
+    sram_column_read_energy_fj: float = 4.5
+    sram_read_latency_ps: float = 480.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "gate_delay_ps",
+            "nand2_area_um2",
+            "gate_energy_fj",
+            "sram_cell_area_um2",
+            "sram_array_efficiency",
+            "sram_column_read_energy_fj",
+            "sram_read_latency_ps",
+        ):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.sram_array_efficiency > 1.0:
+            raise ValueError("sram_array_efficiency cannot exceed 1.0")
+
+    @property
+    def effective_cell_area_um2(self) -> float:
+        """Macro area attributable to one bit-cell once periphery is amortised."""
+        return self.sram_cell_area_um2 / self.sram_array_efficiency
+
+    @classmethod
+    def fdsoi_28nm(cls) -> "Technology":
+        """The default 28 nm FD-SOI calibration used throughout the benchmarks."""
+        return cls()

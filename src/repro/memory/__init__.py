@@ -1,0 +1,59 @@
+"""SRAM memory substrate: word codecs, arrays, fault maps, BIST, and controllers.
+
+This package models the physical data memory that the DAC'15 paper protects.
+It provides:
+
+* :mod:`repro.memory.words` -- bit-level word codecs (2's complement packing,
+  circular shifts) used by every protection scheme.
+* :mod:`repro.memory.organization` -- memory geometry (rows, word width,
+  capacity) of the R x W SRAM array.
+* :mod:`repro.memory.faults` -- persistent per-die fault maps with stuck-at
+  semantics and random fault-map generation.
+* :mod:`repro.memory.array` -- the bit-accurate SRAM array model whose cells
+  may be faulty.
+* :mod:`repro.memory.bist` -- memory built-in self test (March algorithms)
+  used to locate faulty cells and build the fault-map LUT.
+* :mod:`repro.memory.controller` -- a protected memory that routes every
+  read/write through a protection scheme (ECC, P-ECC, bit-shuffling, none).
+* :mod:`repro.memory.redundancy` -- spare row/column repair, the conventional
+  yield-recovery substrate the paper's Section 2 argues against at scaled
+  voltages.
+"""
+
+from repro.memory.array import SramArray
+from repro.memory.bist import BistResult, MarchAlgorithm, run_march_test
+from repro.memory.controller import ProtectedMemory
+from repro.memory.faults import FaultKind, FaultMap, FaultSite
+from repro.memory.organization import MemoryOrganization
+from repro.memory.redundancy import (
+    RedundancyRepair,
+    RepairResult,
+    repair_yield,
+    spares_for_yield_target,
+)
+from repro.memory.words import (
+    from_twos_complement,
+    rotate_left,
+    rotate_right,
+    to_twos_complement,
+)
+
+__all__ = [
+    "BistResult",
+    "FaultKind",
+    "FaultMap",
+    "FaultSite",
+    "MarchAlgorithm",
+    "MemoryOrganization",
+    "ProtectedMemory",
+    "RedundancyRepair",
+    "RepairResult",
+    "SramArray",
+    "from_twos_complement",
+    "rotate_left",
+    "repair_yield",
+    "rotate_right",
+    "run_march_test",
+    "spares_for_yield_target",
+    "to_twos_complement",
+]

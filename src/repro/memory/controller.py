@@ -1,0 +1,209 @@
+"""Protected memory: an SRAM array accessed through a protection scheme.
+
+:class:`ProtectedMemory` wires the pieces of the paper's system together into
+the full production flow:
+
+1. manufacture a die (an :class:`~repro.memory.array.SramArray` with a
+   persistent fault map),
+2. run BIST to locate the faulty cells,
+3. program the protection scheme (FM-LUT for bit-shuffling; ECC needs no
+   programming),
+4. serve word reads and writes through the scheme's encode/decode path.
+
+Signed 2's-complement accessors are provided because the applications store
+signed fixed-point values; the raw unsigned path is available too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import ProtectionScheme
+from repro.memory.array import SramArray
+from repro.memory.bist import BistResult, MarchAlgorithm, run_march_test
+from repro.memory.faults import FaultMap
+from repro.memory.organization import MemoryOrganization
+from repro.memory.words import from_twos_complement, to_twos_complement
+
+__all__ = ["ProtectedMemory"]
+
+
+class ProtectedMemory:
+    """A faulty SRAM die operated behind a protection scheme.
+
+    Parameters
+    ----------
+    organization:
+        Logical geometry (rows x data word width) of the memory.
+    scheme:
+        The protection scheme to apply.  Its ``word_width`` must match the
+        organization.
+    fault_map:
+        Fault map of the die's *data* columns.  Scheme overhead columns
+        (parity bits, FM-LUT bits) are modelled as fault-free, matching the
+        paper's evaluation where the fault population is the 16 kB of data
+        cells.
+    run_bist:
+        If true (default), BIST is executed at construction and the scheme is
+        programmed from its result.  Set to false to drive the test flow
+        manually via :meth:`test_and_program`.
+    """
+
+    def __init__(
+        self,
+        organization: MemoryOrganization,
+        scheme: ProtectionScheme,
+        fault_map: Optional[FaultMap] = None,
+        run_bist: bool = True,
+        bist_algorithm: MarchAlgorithm = MarchAlgorithm.MATS_PLUS,
+    ) -> None:
+        if scheme.word_width != organization.word_width:
+            raise ValueError(
+                f"scheme word width {scheme.word_width} does not match memory "
+                f"word width {organization.word_width}"
+            )
+        self._organization = organization
+        self._scheme = scheme
+        storage_org = MemoryOrganization(
+            rows=organization.rows, word_width=scheme.storage_width
+        )
+        storage_faults = (
+            FaultMap.empty(storage_org)
+            if fault_map is None
+            else self._lift_fault_map(fault_map, storage_org)
+        )
+        self._array = SramArray(storage_org, storage_faults)
+        self._bist_result: Optional[BistResult] = None
+        if hasattr(scheme, "attach_rows"):
+            scheme.attach_rows(organization.rows)
+        if run_bist:
+            self.test_and_program(bist_algorithm)
+
+    @staticmethod
+    def _lift_fault_map(
+        fault_map: FaultMap, storage_org: MemoryOrganization
+    ) -> FaultMap:
+        """Re-host a data-column fault map onto the wider storage organization."""
+        if fault_map.organization.rows != storage_org.rows:
+            raise ValueError("fault map row count does not match the memory")
+        if fault_map.organization.word_width > storage_org.word_width:
+            raise ValueError(
+                "fault map is wider than the storage array; faults must target "
+                "the data columns"
+            )
+        return FaultMap(storage_org, list(fault_map))
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def organization(self) -> MemoryOrganization:
+        """Logical (data) geometry of the memory."""
+        return self._organization
+
+    @property
+    def scheme(self) -> ProtectionScheme:
+        """The active protection scheme."""
+        return self._scheme
+
+    @property
+    def array(self) -> SramArray:
+        """The underlying physical array (data + scheme overhead columns)."""
+        return self._array
+
+    @property
+    def rows(self) -> int:
+        """Number of logical words the memory holds."""
+        return self._organization.rows
+
+    @property
+    def word_width(self) -> int:
+        """Logical data word width."""
+        return self._organization.word_width
+
+    @property
+    def bist_result(self) -> Optional[BistResult]:
+        """Result of the last BIST run (``None`` if BIST has not been executed)."""
+        return self._bist_result
+
+    # ------------------------------------------------------------------ #
+    # Test flow
+    # ------------------------------------------------------------------ #
+    def test_and_program(
+        self, algorithm: MarchAlgorithm = MarchAlgorithm.MATS_PLUS
+    ) -> BistResult:
+        """Run BIST on the physical array and program the scheme from its findings.
+
+        Only faults detected in the data columns are forwarded to the scheme;
+        this mirrors the FM-LUT programming step of the paper (faults in the
+        scheme's own columns would be handled by conventional repair and are
+        out of the fault population here).
+        """
+        result = run_march_test(self._array, algorithm)
+        data_faults = {
+            row: [c for c in columns if c < self.word_width]
+            for row, columns in result.faulty_columns_by_row().items()
+        }
+        data_faults = {row: cols for row, cols in data_faults.items() if cols}
+        self._scheme.program(data_faults)
+        self._bist_result = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Unsigned word access
+    # ------------------------------------------------------------------ #
+    def write_word(self, row: int, data: int) -> None:
+        """Write an unsigned data word through the protection scheme."""
+        self._organization.check_row(row)
+        self._array.write_word(row, self._scheme.encode_word(row, data))
+
+    def read_word(self, row: int) -> int:
+        """Read an unsigned data word; the scheme mitigates/corrects fault effects."""
+        self._organization.check_row(row)
+        return self._scheme.decode_word(row, self._array.read_word(row))
+
+    # ------------------------------------------------------------------ #
+    # Signed (2's complement) access
+    # ------------------------------------------------------------------ #
+    def write_int(self, row: int, value: int) -> None:
+        """Write a signed integer in 2's-complement representation."""
+        self.write_word(row, to_twos_complement(value, self.word_width))
+
+    def read_int(self, row: int) -> int:
+        """Read a signed integer in 2's-complement representation."""
+        return from_twos_complement(self.read_word(row), self.word_width)
+
+    # ------------------------------------------------------------------ #
+    # Bulk access
+    # ------------------------------------------------------------------ #
+    def write_words(self, start_row: int, data: Sequence[int] | np.ndarray) -> None:
+        """Write consecutive unsigned words starting at ``start_row``."""
+        for offset, value in enumerate(np.asarray(data, dtype=np.uint64).tolist()):
+            self.write_word(start_row + offset, int(value))
+
+    def read_words(self, start_row: int, length: int) -> np.ndarray:
+        """Read ``length`` consecutive unsigned words starting at ``start_row``."""
+        return np.array(
+            [self.read_word(start_row + offset) for offset in range(length)],
+            dtype=np.uint64,
+        )
+
+    def write_ints(self, start_row: int, values: Sequence[int] | np.ndarray) -> None:
+        """Write consecutive signed integers starting at ``start_row``."""
+        for offset, value in enumerate(np.asarray(values, dtype=np.int64).tolist()):
+            self.write_int(start_row + offset, int(value))
+
+    def read_ints(self, start_row: int, length: int) -> np.ndarray:
+        """Read ``length`` consecutive signed integers starting at ``start_row``."""
+        return np.array(
+            [self.read_int(start_row + offset) for offset in range(length)],
+            dtype=np.int64,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ProtectedMemory({self.rows}x{self.word_width}, "
+            f"scheme={self._scheme.name})"
+        )

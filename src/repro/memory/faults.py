@@ -1,0 +1,282 @@
+"""Persistent per-die fault maps with stuck-at semantics.
+
+Once a memory is manufactured, the number and location of variation-induced
+bit-cell failures is persistent (Section 2 of the paper).  A
+:class:`FaultMap` records exactly which cells of a die are faulty and how they
+misbehave, and is the single source of truth consumed by
+
+* the SRAM array model (to corrupt stored data),
+* BIST (which rediscovers the faults at test time),
+* the protection schemes (which program their FM-LUT from BIST results), and
+* the analytical yield model (which only needs fault *positions*).
+
+Two fault behaviours are modelled:
+
+``STUCK_AT_ZERO`` / ``STUCK_AT_ONE``
+    The cell always reads the stuck value regardless of what was written.
+``BIT_FLIP``
+    The cell returns the complement of the written value.  This is the
+    conservative model used by the paper's Monte-Carlo fault injection
+    ("random bit-flips were injected"), because a stuck-at fault only
+    manifests for half of the stored values while a flip always does.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.memory.organization import MemoryOrganization
+
+__all__ = ["FaultKind", "FaultSite", "FaultMap"]
+
+
+class FaultKind(str, Enum):
+    """Behaviour of a faulty bit-cell."""
+
+    STUCK_AT_ZERO = "stuck_at_zero"
+    STUCK_AT_ONE = "stuck_at_one"
+    BIT_FLIP = "bit_flip"
+
+
+@dataclass(frozen=True)
+class FaultSite:
+    """A single faulty bit-cell: its row, bit position within the word, and kind."""
+
+    row: int
+    column: int
+    kind: FaultKind = FaultKind.BIT_FLIP
+
+    def __post_init__(self) -> None:
+        if self.row < 0:
+            raise ValueError(f"row must be non-negative, got {self.row}")
+        if self.column < 0:
+            raise ValueError(f"column must be non-negative, got {self.column}")
+
+
+class FaultMap:
+    """The set of faulty cells of one manufactured memory die.
+
+    The map is immutable from the perspective of the memory model (faults are
+    persistent); construction-time helpers generate random maps according to a
+    cell-failure probability or an exact failure count, matching the paper's
+    Monte-Carlo methodology.
+    """
+
+    def __init__(
+        self,
+        organization: MemoryOrganization,
+        faults: Iterable[FaultSite] = (),
+    ) -> None:
+        self._organization = organization
+        by_cell: Dict[Tuple[int, int], FaultSite] = {}
+        for fault in faults:
+            organization.check_row(fault.row)
+            organization.check_column(fault.column)
+            key = (fault.row, fault.column)
+            if key in by_cell:
+                raise ValueError(
+                    f"duplicate fault at row {fault.row}, column {fault.column}"
+                )
+            by_cell[key] = fault
+        self._faults = by_cell
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def organization(self) -> MemoryOrganization:
+        """Geometry of the die this fault map describes."""
+        return self._organization
+
+    @property
+    def fault_count(self) -> int:
+        """Total number of faulty cells ``N`` in the die."""
+        return len(self._faults)
+
+    def __len__(self) -> int:
+        return self.fault_count
+
+    def __iter__(self) -> Iterator[FaultSite]:
+        return iter(sorted(self._faults.values(), key=lambda f: (f.row, f.column)))
+
+    def __contains__(self, cell: Tuple[int, int]) -> bool:
+        return tuple(cell) in self._faults
+
+    def fault_at(self, row: int, column: int) -> Optional[FaultSite]:
+        """Return the fault at ``(row, column)`` or ``None`` if the cell is healthy."""
+        return self._faults.get((row, column))
+
+    def faults_in_row(self, row: int) -> List[FaultSite]:
+        """All faults located in ``row``, sorted by bit position."""
+        self._organization.check_row(row)
+        return sorted(
+            (f for (r, _c), f in self._faults.items() if r == row),
+            key=lambda f: f.column,
+        )
+
+    def faulty_rows(self) -> List[int]:
+        """Sorted list of rows containing at least one faulty cell."""
+        return sorted({r for (r, _c) in self._faults})
+
+    def faulty_columns_by_row(self) -> Dict[int, List[int]]:
+        """Mapping row -> sorted faulty bit positions, for rows with faults only."""
+        result: Dict[int, List[int]] = {}
+        for (row, column) in self._faults:
+            result.setdefault(row, []).append(column)
+        for columns in result.values():
+            columns.sort()
+        return result
+
+    def max_faults_per_row(self) -> int:
+        """Largest number of faulty cells sharing a single row (0 if fault-free)."""
+        by_row = self.faulty_columns_by_row()
+        if not by_row:
+            return 0
+        return max(len(columns) for columns in by_row.values())
+
+    def bit_positions(self) -> np.ndarray:
+        """Bit positions (column indices) of all faults, one entry per fault.
+
+        This is the only information the analytical MSE/yield model (Eq. 6)
+        needs about a die.
+        """
+        return np.array(sorted(f.column for f in self._faults.values()), dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Application of faults to data
+    # ------------------------------------------------------------------ #
+    def corrupt_word(self, row: int, pattern: int) -> int:
+        """Return the pattern that a read of ``row`` would observe for stored ``pattern``.
+
+        Applies each fault in the row according to its :class:`FaultKind`.
+        """
+        self._organization.check_row(row)
+        width = self._organization.word_width
+        if pattern < 0 or pattern >> width:
+            raise ValueError(f"pattern does not fit in {width} bits")
+        corrupted = pattern
+        for fault in self.faults_in_row(row):
+            bit = 1 << fault.column
+            if fault.kind is FaultKind.STUCK_AT_ZERO:
+                corrupted &= ~bit
+            elif fault.kind is FaultKind.STUCK_AT_ONE:
+                corrupted |= bit
+            else:  # BIT_FLIP
+                corrupted ^= bit
+        return corrupted
+
+    def flip_masks(self) -> np.ndarray:
+        """Per-row XOR masks for ``BIT_FLIP`` faults (vectorised corruption).
+
+        Only meaningful when every fault is a ``BIT_FLIP``; stuck-at faults are
+        data-dependent and cannot be expressed as a fixed XOR mask.
+        """
+        masks = np.zeros(self._organization.rows, dtype=np.uint64)
+        for fault in self._faults.values():
+            if fault.kind is not FaultKind.BIT_FLIP:
+                raise ValueError("flip_masks() requires a pure bit-flip fault map")
+            masks[fault.row] |= np.uint64(1 << fault.column)
+        return masks
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def empty(cls, organization: MemoryOrganization) -> "FaultMap":
+        """A fault-free die."""
+        return cls(organization, ())
+
+    @classmethod
+    def from_cells(
+        cls,
+        organization: MemoryOrganization,
+        cells: Sequence[Tuple[int, int]],
+        kind: FaultKind = FaultKind.BIT_FLIP,
+    ) -> "FaultMap":
+        """Build a map from explicit ``(row, column)`` cell coordinates."""
+        return cls(organization, (FaultSite(r, c, kind) for r, c in cells))
+
+    @classmethod
+    def random_with_count(
+        cls,
+        organization: MemoryOrganization,
+        fault_count: int,
+        rng: np.random.Generator,
+        kind: FaultKind = FaultKind.BIT_FLIP,
+    ) -> "FaultMap":
+        """Draw exactly ``fault_count`` faulty cells uniformly without replacement.
+
+        This mirrors the paper's fault-injection procedure: "generating maps of
+        random bit-flip locations for each failure count".
+        """
+        if fault_count < 0:
+            raise ValueError("fault_count must be non-negative")
+        total = organization.total_cells
+        if fault_count > total:
+            raise ValueError(
+                f"cannot place {fault_count} faults in a memory of {total} cells"
+            )
+        flat = rng.choice(total, size=fault_count, replace=False)
+        width = organization.word_width
+        cells = [(int(i) // width, int(i) % width) for i in flat]
+        return cls.from_cells(organization, cells, kind=kind)
+
+    @classmethod
+    def random_with_pcell(
+        cls,
+        organization: MemoryOrganization,
+        p_cell: float,
+        rng: np.random.Generator,
+        kind: FaultKind = FaultKind.BIT_FLIP,
+    ) -> "FaultMap":
+        """Draw a die where every cell independently fails with probability ``p_cell``."""
+        if not 0.0 <= p_cell <= 1.0:
+            raise ValueError("p_cell must be a probability in [0, 1]")
+        count = int(rng.binomial(organization.total_cells, p_cell))
+        return cls.random_with_count(organization, count, rng, kind=kind)
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (used to persist BIST results)."""
+        return {
+            "rows": self._organization.rows,
+            "word_width": self._organization.word_width,
+            "faults": [
+                {"row": f.row, "column": f.column, "kind": f.kind.value}
+                for f in self
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FaultMap":
+        """Inverse of :meth:`to_dict`."""
+        organization = MemoryOrganization(
+            rows=int(data["rows"]), word_width=int(data["word_width"])
+        )
+        faults = [
+            FaultSite(int(f["row"]), int(f["column"]), FaultKind(f["kind"]))
+            for f in data["faults"]  # type: ignore[index]
+        ]
+        return cls(organization, faults)
+
+    def to_json(self) -> str:
+        """Serialise the map to a JSON string."""
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultMap":
+        """Deserialise a map produced by :meth:`to_json`."""
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultMap({self._organization.rows}x{self._organization.word_width}, "
+            f"{self.fault_count} faults)"
+        )

@@ -1,0 +1,99 @@
+"""Memory geometry: rows, word width, capacity.
+
+The paper evaluates a 16 kB data memory with 32-bit words (4096 rows of
+32 bit-cells).  :class:`MemoryOrganization` captures that geometry and the
+derived quantities every other module needs (total cell count ``M = R * W``,
+address ranges, byte capacity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MemoryOrganization"]
+
+
+@dataclass(frozen=True)
+class MemoryOrganization:
+    """Geometry of an R x W SRAM array storing one W-bit word per row.
+
+    Parameters
+    ----------
+    rows:
+        Number of word rows ``R``.
+    word_width:
+        Bits per word ``W`` (the paper uses 32).
+    """
+
+    rows: int
+    word_width: int = 32
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0:
+            raise ValueError(f"rows must be positive, got {self.rows}")
+        if self.word_width <= 0:
+            raise ValueError(f"word_width must be positive, got {self.word_width}")
+
+    @property
+    def total_cells(self) -> int:
+        """Total bit-cell count ``M = R * W`` (enters the yield formula, Eq. 4)."""
+        return self.rows * self.word_width
+
+    @property
+    def capacity_bits(self) -> int:
+        """Usable data capacity in bits (same as :attr:`total_cells`)."""
+        return self.total_cells
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Usable data capacity in bytes (rounded down)."""
+        return self.capacity_bits // 8
+
+    @property
+    def capacity_kib(self) -> float:
+        """Usable data capacity in KiB."""
+        return self.capacity_bytes / 1024.0
+
+    def check_row(self, row: int) -> None:
+        """Raise :class:`IndexError` if ``row`` is not a valid row address."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"row {row} out of range [0, {self.rows})")
+
+    def check_column(self, column: int) -> None:
+        """Raise :class:`IndexError` if ``column`` is not a valid bit position."""
+        if not 0 <= column < self.word_width:
+            raise IndexError(
+                f"column {column} out of range [0, {self.word_width})"
+            )
+
+    @classmethod
+    def from_capacity(
+        cls, capacity_bytes: int, word_width: int = 32
+    ) -> "MemoryOrganization":
+        """Build the organization for a memory of ``capacity_bytes`` total data bytes.
+
+        The paper's 16 kB / 32-bit memory corresponds to
+        ``MemoryOrganization.from_capacity(16 * 1024)`` -> 4096 rows.
+        """
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if word_width % 8 != 0:
+            raise ValueError("word_width must be a multiple of 8 to size by bytes")
+        bytes_per_word = word_width // 8
+        if capacity_bytes % bytes_per_word != 0:
+            raise ValueError(
+                f"capacity {capacity_bytes} B is not a whole number of "
+                f"{bytes_per_word}-byte words"
+            )
+        return cls(rows=capacity_bytes // bytes_per_word, word_width=word_width)
+
+    @classmethod
+    def paper_16kb(cls) -> "MemoryOrganization":
+        """The 16 kB, 32-bit-word memory used throughout the paper's evaluation."""
+        return cls.from_capacity(16 * 1024, word_width=32)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MemoryOrganization({self.rows} rows x {self.word_width} bits, "
+            f"{self.capacity_kib:.1f} KiB)"
+        )

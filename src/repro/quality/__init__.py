@@ -1,0 +1,33 @@
+"""Quality metrics and distribution utilities.
+
+* :mod:`repro.quality.mse` -- the local mean-square-error metric of Eq. 6,
+  the paper's test-time proxy for application output quality.
+* :mod:`repro.quality.metrics` -- application-level quality metrics used in
+  Table 1 / Fig. 7 (R^2, explained variance, classification accuracy).
+* :mod:`repro.quality.cdf` -- weighted empirical CDF utilities used to build
+  the yield-versus-quality curves of Figs. 5 and 7.
+"""
+
+from repro.quality.cdf import WeightedEcdf
+from repro.quality.metrics import (
+    accuracy_score,
+    explained_variance_score,
+    mean_squared_error,
+    r2_score,
+)
+from repro.quality.mse import (
+    mse_from_error_positions,
+    mse_of_fault_map,
+    word_error_energy,
+)
+
+__all__ = [
+    "WeightedEcdf",
+    "accuracy_score",
+    "explained_variance_score",
+    "mean_squared_error",
+    "mse_from_error_positions",
+    "mse_of_fault_map",
+    "r2_score",
+    "word_error_energy",
+]

@@ -1,0 +1,126 @@
+"""Weighted empirical cumulative distribution functions.
+
+The yield analysis of the paper builds CDFs of a quality metric over memory
+samples whose importance differs: a sample drawn for failure count ``n``
+represents probability mass ``Pr(N = n) / (samples for that n)``.  The
+:class:`WeightedEcdf` collects (value, weight) pairs -- including an explicit
+point mass at the fault-free quality -- and answers the questions the figures
+need: ``P(Q <= q)`` for Fig. 5 style metrics where *smaller is better*, and
+``P(Q >= q)`` for Fig. 7 style metrics where *larger is better*.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["WeightedEcdf"]
+
+
+class WeightedEcdf:
+    """Empirical CDF over weighted observations."""
+
+    def __init__(
+        self,
+        values: Sequence[float] | np.ndarray,
+        weights: Sequence[float] | np.ndarray | None = None,
+    ) -> None:
+        values = np.asarray(values, dtype=np.float64).ravel()
+        if values.size == 0:
+            raise ValueError("an empirical CDF needs at least one observation")
+        if weights is None:
+            weights = np.full(values.shape, 1.0 / values.size)
+        else:
+            weights = np.asarray(weights, dtype=np.float64).ravel()
+            if weights.shape != values.shape:
+                raise ValueError("values and weights must have the same length")
+            if np.any(weights < 0):
+                raise ValueError("weights must be non-negative")
+            total = float(weights.sum())
+            if total <= 0:
+                raise ValueError("weights must not all be zero")
+            weights = weights / total
+        order = np.argsort(values, kind="stable")
+        self._values = values[order]
+        self._weights = weights[order]
+        self._cumulative = np.cumsum(self._weights)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def values(self) -> np.ndarray:
+        """Sorted observation values."""
+        return self._values.copy()
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Normalised weights in the same order as :attr:`values`."""
+        return self._weights.copy()
+
+    def __len__(self) -> int:
+        return self._values.size
+
+    # ------------------------------------------------------------------ #
+    # Evaluation
+    # ------------------------------------------------------------------ #
+    def probability_at_most(self, threshold: float | np.ndarray) -> float | np.ndarray:
+        """``P(X <= threshold)`` -- the yield when small metric values are good."""
+        threshold = np.asarray(threshold, dtype=np.float64)
+        idx = np.searchsorted(self._values, threshold, side="right")
+        result = np.where(idx > 0, self._cumulative[np.maximum(idx - 1, 0)], 0.0)
+        if result.ndim == 0:
+            return float(result)
+        return result
+
+    def probability_at_least(self, threshold: float | np.ndarray) -> float | np.ndarray:
+        """``P(X >= threshold)`` -- the yield when large metric values are good."""
+        threshold = np.asarray(threshold, dtype=np.float64)
+        idx = np.searchsorted(self._values, threshold, side="left")
+        remaining = 1.0 - np.where(
+            idx > 0, self._cumulative[np.maximum(idx - 1, 0)], 0.0
+        )
+        if remaining.ndim == 0:
+            return float(remaining)
+        return remaining
+
+    def quantile(self, q: float) -> float:
+        """Smallest value ``x`` with ``P(X <= x) >= q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile level must be in [0, 1], got {q}")
+        idx = int(np.searchsorted(self._cumulative, q, side="left"))
+        idx = min(idx, self._values.size - 1)
+        return float(self._values[idx])
+
+    def curve(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(x, F(x))`` step-curve points suitable for plotting or tabulation."""
+        return self._values.copy(), self._cumulative.copy()
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_groups(
+        cls, groups: Iterable[Tuple[np.ndarray, float]]
+    ) -> "WeightedEcdf":
+        """Build a CDF from groups of equally likely samples with a group weight.
+
+        Each ``(samples, group_probability)`` pair contributes
+        ``group_probability / len(samples)`` weight per sample -- exactly the
+        importance structure of the per-failure-count Monte-Carlo sweeps in
+        the paper.
+        """
+        values = []
+        weights = []
+        for samples, probability in groups:
+            samples = np.asarray(samples, dtype=np.float64).ravel()
+            if probability < 0:
+                raise ValueError("group probability must be non-negative")
+            if samples.size == 0:
+                continue
+            values.append(samples)
+            weights.append(np.full(samples.shape, probability / samples.size))
+        if not values:
+            raise ValueError("no samples supplied")
+        return cls(np.concatenate(values), np.concatenate(weights))

@@ -1,0 +1,12 @@
+"""Fixed-point quantisation used to place application data in the memory model.
+
+The paper stores 32-bit 2's-complement values in the faulty memory; the
+application datasets are real-valued, so they are quantised to a Q-format
+fixed-point representation before being written and de-quantised after being
+read back.  :class:`~repro.quantize.fixedpoint.FixedPointFormat` captures that
+conversion (with saturation) for scalars and numpy arrays.
+"""
+
+from repro.quantize.fixedpoint import FixedPointFormat
+
+__all__ = ["FixedPointFormat"]

@@ -1,0 +1,37 @@
+"""Application-level fault-injection simulation framework (Fig. 7).
+
+This package reproduces the paper's software simulation flow: the training
+dataset of each benchmark is quantised, stored in a functional model of a
+faulty 16 kB memory operated behind a protection scheme, read back (with
+whatever corruption survives the scheme), the model is trained on the
+corrupted data, and the output quality is measured on clean test data.
+
+* :mod:`repro.sim.faulty_storage` -- the functional faulty-memory model that
+  round-trips numpy arrays through quantisation, the protection scheme, and
+  the fault map.
+* :mod:`repro.sim.experiment` -- benchmark definitions binding a dataset, a
+  learning algorithm and a quality metric (the rows of Table 1).
+* :mod:`repro.sim.runner` -- the stratified Monte-Carlo runner that sweeps
+  failure counts and assembles the quality CDFs of Fig. 7.
+"""
+
+from repro.sim.experiment import (
+    BenchmarkDefinition,
+    elasticnet_benchmark,
+    knn_benchmark,
+    pca_benchmark,
+    standard_benchmarks,
+)
+from repro.sim.faulty_storage import FaultyTensorStore
+from repro.sim.runner import QualityDistribution, QualityExperimentRunner
+
+__all__ = [
+    "BenchmarkDefinition",
+    "FaultyTensorStore",
+    "QualityDistribution",
+    "QualityExperimentRunner",
+    "elasticnet_benchmark",
+    "knn_benchmark",
+    "pca_benchmark",
+    "standard_benchmarks",
+]

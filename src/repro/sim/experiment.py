@@ -1,0 +1,211 @@
+"""Benchmark definitions: the rows of Table 1.
+
+Each :class:`BenchmarkDefinition` binds together a dataset generator, a
+learning algorithm, and the quality metric the paper reports for it, and
+knows how to evaluate itself when its training features have been corrupted by
+the faulty memory.  Three standard benchmarks mirror Table 1:
+
+=====================  ========================  =====================
+Algorithm              Dataset analogue          Quality metric
+=====================  ========================  =====================
+Elasticnet             wine-quality-like         R^2
+PCA                    madelon-like              explained variance
+K-Nearest Neighbours   activity-recognition-like classification score
+=====================  ========================  =====================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.apps.datasets import (
+    Dataset,
+    make_activity_recognition,
+    make_madelon_like,
+    make_wine_quality_like,
+)
+from repro.apps.elasticnet import ElasticNetRegressor
+from repro.apps.knn import KNearestNeighbors
+from repro.apps.pca import PrincipalComponentAnalysis
+from repro.apps.preprocessing import StandardScaler, train_test_split
+
+__all__ = [
+    "BenchmarkDefinition",
+    "elasticnet_benchmark",
+    "pca_benchmark",
+    "knn_benchmark",
+    "standard_benchmarks",
+]
+
+
+@dataclass
+class BenchmarkDefinition:
+    """A Table 1 benchmark: dataset split plus a train-and-score procedure.
+
+    Attributes
+    ----------
+    name:
+        Benchmark identifier (``"elasticnet"``, ``"pca"``, ``"knn"``).
+    metric_name:
+        Name of the quality metric the evaluation returns.
+    train_features / train_targets:
+        The training partition; the *features* are what gets stored in the
+        faulty memory.
+    test_features / test_targets:
+        The clean held-out partition used to measure output quality.
+    evaluate:
+        Callable ``evaluate(train_features, train_targets, test_features,
+        test_targets) -> float`` that trains the algorithm on (possibly
+        corrupted) training features and returns the quality metric.
+    """
+
+    name: str
+    metric_name: str
+    train_features: np.ndarray
+    train_targets: np.ndarray
+    test_features: np.ndarray
+    test_targets: np.ndarray
+    evaluate: Callable[[np.ndarray, np.ndarray, np.ndarray, np.ndarray], float]
+
+    def clean_quality(self) -> float:
+        """Quality obtained with uncorrupted training data (the normalisation point)."""
+        return self.evaluate(
+            self.train_features,
+            self.train_targets,
+            self.test_features,
+            self.test_targets,
+        )
+
+    def quality_with_corrupted_features(self, corrupted_features: np.ndarray) -> float:
+        """Quality obtained when the stored training features came back corrupted."""
+        corrupted_features = np.asarray(corrupted_features, dtype=np.float64)
+        if corrupted_features.shape != self.train_features.shape:
+            raise ValueError(
+                "corrupted features must have the same shape as the training features"
+            )
+        return self.evaluate(
+            corrupted_features,
+            self.train_targets,
+            self.test_features,
+            self.test_targets,
+        )
+
+
+def _evaluate_elasticnet(
+    train_features: np.ndarray,
+    train_targets: np.ndarray,
+    test_features: np.ndarray,
+    test_targets: np.ndarray,
+) -> float:
+    scaler = StandardScaler().fit(train_features)
+    model = ElasticNetRegressor(alpha=0.02, l1_ratio=0.5, max_iter=400)
+    model.fit(scaler.transform(train_features), train_targets)
+    return model.score(scaler.transform(test_features), test_targets)
+
+
+def _evaluate_pca(
+    train_features: np.ndarray,
+    train_targets: np.ndarray,
+    test_features: np.ndarray,
+    test_targets: np.ndarray,
+) -> float:
+    del train_targets, test_targets  # PCA is unsupervised
+    model = PrincipalComponentAnalysis(n_components=10)
+    model.fit(train_features)
+    return model.explained_variance_score(test_features)
+
+
+def _evaluate_knn(
+    train_features: np.ndarray,
+    train_targets: np.ndarray,
+    test_features: np.ndarray,
+    test_targets: np.ndarray,
+) -> float:
+    scaler = StandardScaler().fit(train_features)
+    model = KNearestNeighbors(n_neighbors=5)
+    model.fit(scaler.transform(train_features), train_targets.astype(np.int64))
+    return model.score(scaler.transform(test_features), test_targets.astype(np.int64))
+
+
+def _split(dataset: Dataset, rng: np.random.Generator):
+    return train_test_split(
+        dataset.features, dataset.targets, train_fraction=0.8, rng=rng
+    )
+
+
+def elasticnet_benchmark(
+    n_samples: int = 1000, seed: int = 7
+) -> BenchmarkDefinition:
+    """Elasticnet regression on the wine-quality-like dataset (metric: R^2)."""
+    rng = np.random.default_rng(seed)
+    dataset = make_wine_quality_like(n_samples=n_samples, rng=rng)
+    x_train, x_test, y_train, y_test = _split(dataset, rng)
+    return BenchmarkDefinition(
+        name="elasticnet",
+        metric_name="r2",
+        train_features=x_train,
+        train_targets=y_train,
+        test_features=x_test,
+        test_targets=y_test,
+        evaluate=_evaluate_elasticnet,
+    )
+
+
+def pca_benchmark(
+    n_samples: int = 600, n_noise: int = 100, seed: int = 11
+) -> BenchmarkDefinition:
+    """PCA on the madelon-like dataset (metric: explained variance)."""
+    rng = np.random.default_rng(seed)
+    dataset = make_madelon_like(n_samples=n_samples, n_noise=n_noise, rng=rng)
+    x_train, x_test, y_train, y_test = _split(dataset, rng)
+    return BenchmarkDefinition(
+        name="pca",
+        metric_name="explained_variance",
+        train_features=x_train,
+        train_targets=y_train,
+        test_features=x_test,
+        test_targets=y_test,
+        evaluate=_evaluate_pca,
+    )
+
+
+def knn_benchmark(n_samples: int = 900, seed: int = 13) -> BenchmarkDefinition:
+    """KNN activity recognition (metric: classification score)."""
+    rng = np.random.default_rng(seed)
+    dataset = make_activity_recognition(n_samples=n_samples, rng=rng)
+    x_train, x_test, y_train, y_test = _split(dataset, rng)
+    return BenchmarkDefinition(
+        name="knn",
+        metric_name="score",
+        train_features=x_train,
+        train_targets=y_train,
+        test_features=x_test,
+        test_targets=y_test,
+        evaluate=_evaluate_knn,
+    )
+
+
+def standard_benchmarks(
+    scale: float = 1.0, seed: int = 17
+) -> Dict[str, BenchmarkDefinition]:
+    """The three Table 1 benchmarks, optionally scaled down for quick runs.
+
+    ``scale`` multiplies the default sample counts (0.25 gives a fast smoke
+    configuration; 1.0 matches the default experiment sizes).
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return {
+        "elasticnet": elasticnet_benchmark(
+            n_samples=max(int(1000 * scale), 50), seed=seed
+        ),
+        "pca": pca_benchmark(
+            n_samples=max(int(600 * scale), 50),
+            n_noise=max(int(100 * scale), 10),
+            seed=seed + 1,
+        ),
+        "knn": knn_benchmark(n_samples=max(int(900 * scale), 50), seed=seed + 2),
+    }

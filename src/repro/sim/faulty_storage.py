@@ -1,0 +1,173 @@
+"""Functional model of storing numpy arrays in a faulty, protected memory.
+
+:class:`FaultyTensorStore` round-trips a real-valued array through the full
+storage pipeline of the paper's simulation framework:
+
+1. quantise every value to the configured fixed-point format,
+2. write the resulting 2's-complement words into the memory (one word per
+   value), applying the protection scheme's write transform,
+3. corrupt the stored patterns according to the die's fault map,
+4. apply the scheme's read transform, and
+5. de-quantise back to floats.
+
+Datasets larger than the memory are stored in consecutive *pages*: the same
+physical rows (and therefore the same faulty cells) are reused for each chunk
+of ``rows`` values, which is how a real system would stream a large training
+set through a small on-chip buffer.
+
+Healthy rows round-trip bit-exactly through every scheme (encode and decode
+are inverses), so only the rows containing faults are pushed through the full
+scalar encode/corrupt/decode path; this keeps Monte-Carlo sweeps over
+thousands of fault maps tractable while remaining bit-accurate where it
+matters.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.base import ProtectionScheme
+from repro.memory.faults import FaultMap
+from repro.memory.organization import MemoryOrganization
+from repro.memory.words import from_twos_complement, to_twos_complement
+from repro.quantize.fixedpoint import FixedPointFormat
+
+__all__ = ["FaultyTensorStore"]
+
+
+class FaultyTensorStore:
+    """Store-and-load pipeline through a protected, faulty memory.
+
+    Parameters
+    ----------
+    organization:
+        Geometry of the data memory (16 kB / 32-bit words in the paper).
+    scheme:
+        Protection scheme guarding the memory.  Its FM-LUT (if any) is
+        programmed from the supplied fault map, mirroring the BIST flow.
+    fault_map:
+        Persistent fault map of the die's data columns.
+    fixed_point:
+        Quantisation format used for the stored values (Q15.16 by default).
+    """
+
+    def __init__(
+        self,
+        organization: MemoryOrganization,
+        scheme: ProtectionScheme,
+        fault_map: FaultMap,
+        fixed_point: Optional[FixedPointFormat] = None,
+    ) -> None:
+        if scheme.word_width != organization.word_width:
+            raise ValueError("scheme word width does not match the memory")
+        if fault_map.organization.rows != organization.rows:
+            raise ValueError("fault map row count does not match the memory")
+        if fault_map.organization.word_width != organization.word_width:
+            raise ValueError("fault map word width does not match the memory")
+        fixed_point = (
+            fixed_point
+            if fixed_point is not None
+            else FixedPointFormat(total_bits=organization.word_width, frac_bits=16)
+        )
+        if fixed_point.total_bits != organization.word_width:
+            raise ValueError(
+                "fixed-point word width must match the memory word width"
+            )
+        self._organization = organization
+        self._scheme = scheme
+        self._fault_map = fault_map
+        self._fixed_point = fixed_point
+        self._faulty_rows = fault_map.faulty_columns_by_row()
+        if hasattr(scheme, "attach_rows"):
+            scheme.attach_rows(organization.rows)
+        scheme.program(self._faulty_rows)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def organization(self) -> MemoryOrganization:
+        """Geometry of the modelled memory."""
+        return self._organization
+
+    @property
+    def scheme(self) -> ProtectionScheme:
+        """Protection scheme in use."""
+        return self._scheme
+
+    @property
+    def fault_map(self) -> FaultMap:
+        """Fault map of the modelled die."""
+        return self._fault_map
+
+    @property
+    def fixed_point(self) -> FixedPointFormat:
+        """Quantisation format for stored values."""
+        return self._fixed_point
+
+    # ------------------------------------------------------------------ #
+    # Round trip
+    # ------------------------------------------------------------------ #
+    def quantization_roundtrip(self, values: np.ndarray) -> np.ndarray:
+        """Quantise and de-quantise without fault effects (the fault-free reference)."""
+        values = np.asarray(values, dtype=np.float64)
+        raw = self._fixed_point.quantize_array(values)
+        return self._fixed_point.dequantize_array(raw).reshape(values.shape)
+
+    def store_and_load(self, values: np.ndarray) -> np.ndarray:
+        """Round-trip an array through the faulty memory and return what comes back.
+
+        The output has the same shape as the input; values mapped to healthy
+        rows return with only quantisation error, values mapped to faulty rows
+        exhibit whatever corruption the protection scheme failed to prevent.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        original_shape = values.shape
+        flat = values.ravel()
+        raw = self._fixed_point.quantize_array(flat)
+        width = self._organization.word_width
+        rows = self._organization.rows
+
+        # Only rows with faults need the full encode/corrupt/decode treatment.
+        corrupted_raw = raw.copy()
+        if self._faulty_rows:
+            total = flat.size
+            for row in self._faulty_rows:
+                # The same physical row hosts value indices row, row + rows,
+                # row + 2*rows, ... (consecutive pages through the memory).
+                for index in range(row, total, rows):
+                    pattern = to_twos_complement(int(raw[index]), width)
+                    stored = self._scheme.encode_word(row, pattern)
+                    observed = self._corrupt(row, stored)
+                    recovered = self._scheme.decode_word(row, observed)
+                    corrupted_raw[index] = from_twos_complement(recovered, width)
+
+        restored = self._fixed_point.dequantize_array(corrupted_raw)
+        return restored.reshape(original_shape)
+
+    def _corrupt(self, row: int, stored: int) -> int:
+        """Apply the row's fault behaviour to a stored pattern.
+
+        The fault map is defined over the data columns; scheme overhead
+        columns (parity, FM-LUT) are fault-free in this model, matching the
+        paper's 16 kB fault population.
+        """
+        data_mask = (1 << self._organization.word_width) - 1
+        data_part = stored & data_mask
+        upper_part = stored & ~data_mask
+        return self._fault_map.corrupt_word(row, data_part) | upper_part
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def affected_value_indices(self, n_values: int) -> np.ndarray:
+        """Flat indices of values that land on faulty rows when storing ``n_values``."""
+        if n_values < 0:
+            raise ValueError("n_values must be non-negative")
+        rows = self._organization.rows
+        indices = []
+        for row in self._faulty_rows:
+            indices.extend(range(row, n_values, rows))
+        return np.array(sorted(indices), dtype=np.int64)

@@ -1,0 +1,246 @@
+"""Stratified Monte-Carlo runner for the application quality study (Fig. 7).
+
+For every failure count ``N = 1..Nmax`` (where ``Nmax`` covers 99 % of all
+dies at the operating ``Pcell``) the runner draws random fault maps, stores
+each benchmark's training features through the faulty memory behind every
+scheme under study, retrains, and records the resulting quality metric.  The
+per-count results are weighted by ``Pr(N = n)`` (Eq. 4) -- together with the
+fault-free point mass -- to form the quality CDFs plotted in Fig. 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import ProtectionScheme
+from repro.faultmodel.montecarlo import (
+    FaultMapSampler,
+    failure_count_pmf,
+    max_failures_for_coverage,
+)
+from repro.memory.faults import FaultMap
+from repro.memory.organization import MemoryOrganization
+from repro.quality.cdf import WeightedEcdf
+from repro.quantize.fixedpoint import FixedPointFormat
+from repro.sim.experiment import BenchmarkDefinition
+from repro.sim.faulty_storage import FaultyTensorStore
+
+__all__ = ["QualityDistribution", "QualityExperimentRunner"]
+
+
+@dataclass
+class QualityDistribution:
+    """Distribution of a benchmark's quality metric for one scheme (a Fig. 7 curve).
+
+    Attributes
+    ----------
+    benchmark:
+        Benchmark name (``"elasticnet"``, ``"pca"``, ``"knn"``).
+    metric_name:
+        Name of the quality metric.
+    scheme_name:
+        Protection scheme the distribution belongs to.
+    p_cell:
+        Operating-point bit-cell failure probability.
+    clean_quality:
+        Quality obtained with uncorrupted training data (normalisation point).
+    ecdf:
+        Weighted empirical CDF of the *normalised* quality (faulty quality
+        divided by ``clean_quality``), including the fault-free point mass.
+    samples:
+        Number of fault maps evaluated.
+    """
+
+    benchmark: str
+    metric_name: str
+    scheme_name: str
+    p_cell: float
+    clean_quality: float
+    ecdf: WeightedEcdf
+    samples: int
+
+    def yield_at_quality(self, normalized_target: float) -> float:
+        """Fraction of dies whose normalised quality reaches ``normalized_target``."""
+        return float(self.ecdf.probability_at_least(normalized_target))
+
+    def cdf_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(normalised quality, P(Q <= q))`` step points -- the Fig. 7 curve."""
+        return self.ecdf.curve()
+
+    def median_quality(self) -> float:
+        """Median normalised quality across the die population."""
+        return self.ecdf.quantile(0.5)
+
+
+class QualityExperimentRunner:
+    """Runs one benchmark against several schemes over a shared set of faulty dies.
+
+    Parameters
+    ----------
+    organization:
+        Memory geometry (the 16 kB / 32-bit configuration in the paper).
+    p_cell:
+        Bit-cell failure probability of the operating point (1e-3 in Fig. 7).
+    rng:
+        Seeded random generator for reproducible fault maps.
+    coverage:
+        Fraction of the die population covered by the failure-count sweep.
+    fixed_point:
+        Quantisation format for the stored training features.
+    """
+
+    def __init__(
+        self,
+        organization: MemoryOrganization,
+        p_cell: float,
+        rng: Optional[np.random.Generator] = None,
+        coverage: float = 0.99,
+        fixed_point: Optional[FixedPointFormat] = None,
+    ) -> None:
+        if not 0.0 < p_cell < 1.0:
+            raise ValueError("p_cell must be in (0, 1)")
+        self._organization = organization
+        self._p_cell = p_cell
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._coverage = coverage
+        self._fixed_point = fixed_point
+        self._max_failures = max_failures_for_coverage(
+            organization.total_cells, p_cell, coverage
+        )
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def organization(self) -> MemoryOrganization:
+        """Memory geometry under study."""
+        return self._organization
+
+    @property
+    def p_cell(self) -> float:
+        """Operating-point bit-cell failure probability."""
+        return self._p_cell
+
+    @property
+    def max_failures(self) -> int:
+        """Largest failure count in the sweep (coverage-determined Nmax)."""
+        return self._max_failures
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def failure_counts(self, n_points: Optional[int] = None) -> List[int]:
+        """Failure counts included in the sweep.
+
+        By default every count ``1..Nmax`` is evaluated.  When ``n_points`` is
+        given, a geometric subsample of the counts is used so expensive
+        benchmarks stay tractable; interpolation between the evaluated counts
+        is unnecessary because the per-count probabilities of the skipped
+        counts are re-assigned to the nearest evaluated count.
+        """
+        counts = list(range(1, self._max_failures + 1))
+        if n_points is None or n_points >= len(counts):
+            return counts
+        if n_points < 1:
+            raise ValueError("n_points must be at least 1")
+        positions = np.unique(
+            np.geomspace(1, self._max_failures, n_points).round().astype(int)
+        )
+        return positions.tolist()
+
+    def _count_probabilities(self, evaluated_counts: Sequence[int]) -> Dict[int, float]:
+        """Assign each failure count's probability to the nearest evaluated count."""
+        evaluated = np.asarray(sorted(evaluated_counts))
+        probabilities = {int(c): 0.0 for c in evaluated}
+        for n in range(1, self._max_failures + 1):
+            p = failure_count_pmf(self._organization.total_cells, self._p_cell, n)
+            nearest = int(evaluated[np.argmin(np.abs(evaluated - n))])
+            probabilities[nearest] += p
+        return probabilities
+
+    def run(
+        self,
+        benchmark: BenchmarkDefinition,
+        schemes: Sequence[ProtectionScheme],
+        samples_per_count: int = 20,
+        n_count_points: Optional[int] = None,
+        discard_multi_fault_words: bool = True,
+    ) -> Dict[str, QualityDistribution]:
+        """Run the benchmark for every scheme over a shared population of dies.
+
+        ``discard_multi_fault_words`` reproduces the paper's simplification for
+        Fig. 7: fault maps containing a row with more than one faulty cell are
+        redrawn, so the SECDED reference is exactly error-free and the
+        comparison isolates the single-fault-per-word regime.
+        """
+        if samples_per_count <= 0:
+            raise ValueError("samples_per_count must be positive")
+        clean_quality = benchmark.clean_quality()
+        if clean_quality == 0.0:
+            raise ValueError(
+                "the benchmark's fault-free quality is zero; cannot normalise"
+            )
+
+        evaluated_counts = self.failure_counts(n_count_points)
+        probabilities = self._count_probabilities(evaluated_counts)
+        zero_probability = failure_count_pmf(
+            self._organization.total_cells, self._p_cell, 0
+        )
+        sampler = FaultMapSampler(self._organization, self._rng)
+
+        groups: Dict[str, List[Tuple[np.ndarray, float]]] = {
+            scheme.name: [(np.array([1.0]), zero_probability)] for scheme in schemes
+        }
+        total_samples = 0
+        for count in evaluated_counts:
+            fault_maps = [
+                self._draw_fault_map(sampler, count, discard_multi_fault_words)
+                for _ in range(samples_per_count)
+            ]
+            total_samples += len(fault_maps)
+            per_scheme: Dict[str, List[float]] = {s.name: [] for s in schemes}
+            for fault_map in fault_maps:
+                for scheme in schemes:
+                    store = FaultyTensorStore(
+                        self._organization, scheme, fault_map, self._fixed_point
+                    )
+                    corrupted = store.store_and_load(benchmark.train_features)
+                    quality = benchmark.quality_with_corrupted_features(corrupted)
+                    per_scheme[scheme.name].append(quality / clean_quality)
+            for scheme in schemes:
+                groups[scheme.name].append(
+                    (np.asarray(per_scheme[scheme.name]), probabilities[count])
+                )
+
+        return {
+            scheme.name: QualityDistribution(
+                benchmark=benchmark.name,
+                metric_name=benchmark.metric_name,
+                scheme_name=scheme.name,
+                p_cell=self._p_cell,
+                clean_quality=clean_quality,
+                ecdf=WeightedEcdf.from_groups(groups[scheme.name]),
+                samples=total_samples,
+            )
+            for scheme in schemes
+        }
+
+    def _draw_fault_map(
+        self,
+        sampler: FaultMapSampler,
+        fault_count: int,
+        discard_multi_fault_words: bool,
+        max_attempts: int = 1000,
+    ) -> FaultMap:
+        """Draw a fault map, optionally rejecting dies with >1 fault in any word."""
+        for _ in range(max_attempts):
+            fault_map = sampler.sample_with_count(fault_count)
+            if not discard_multi_fault_words or fault_map.max_faults_per_row() <= 1:
+                return fault_map
+        raise RuntimeError(
+            "could not draw a fault map without multi-fault words; "
+            "lower the failure count or disable discard_multi_fault_words"
+        )

@@ -1,0 +1,39 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory.faults import FaultMap
+from repro.memory.organization import MemoryOrganization
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministically seeded random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_org() -> MemoryOrganization:
+    """A small 64-row x 32-bit memory used by most unit tests."""
+    return MemoryOrganization(rows=64, word_width=32)
+
+
+@pytest.fixture
+def tiny_org() -> MemoryOrganization:
+    """A tiny 8-row x 8-bit memory for exhaustive checks."""
+    return MemoryOrganization(rows=8, word_width=8)
+
+
+@pytest.fixture
+def paper_org() -> MemoryOrganization:
+    """The paper's 16 kB / 32-bit memory (4096 rows)."""
+    return MemoryOrganization.paper_16kb()
+
+
+@pytest.fixture
+def single_fault_map(small_org: MemoryOrganization) -> FaultMap:
+    """A fault map with one fault in the MSB of row 3."""
+    return FaultMap.from_cells(small_org, [(3, 31)])

@@ -1,0 +1,134 @@
+"""Tests for the bit-accurate SRAM array model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory.array import SramArray
+from repro.memory.faults import FaultKind, FaultMap
+from repro.memory.organization import MemoryOrganization
+
+
+class TestHealthyArray:
+    def test_write_read_roundtrip(self, small_org):
+        array = SramArray(small_org)
+        array.write_word(0, 0xDEADBEEF)
+        assert array.read_word(0) == 0xDEADBEEF
+
+    def test_initial_contents_zero(self, small_org):
+        array = SramArray(small_org)
+        assert array.read_word(5) == 0
+
+    def test_rejects_oversized_pattern(self, small_org):
+        array = SramArray(small_org)
+        with pytest.raises(ValueError):
+            array.write_word(0, 1 << 32)
+
+    def test_rejects_negative_pattern(self, small_org):
+        array = SramArray(small_org)
+        with pytest.raises(ValueError):
+            array.write_word(0, -1)
+
+    def test_rejects_out_of_range_row(self, small_org):
+        array = SramArray(small_org)
+        with pytest.raises(IndexError):
+            array.write_word(small_org.rows, 0)
+        with pytest.raises(IndexError):
+            array.read_word(small_org.rows)
+
+    def test_access_counters(self, small_org):
+        array = SramArray(small_org)
+        array.write_word(0, 1)
+        array.write_word(1, 2)
+        array.read_word(0)
+        assert array.write_count == 2
+        assert array.read_count == 1
+
+    def test_has_faults_false(self, small_org):
+        assert not SramArray(small_org).has_faults()
+
+    def test_rejects_wide_words(self):
+        with pytest.raises(ValueError):
+            SramArray(MemoryOrganization(rows=4, word_width=64))
+
+
+class TestFaultyArray:
+    def test_bit_flip_fault_corrupts_read(self, small_org):
+        fault_map = FaultMap.from_cells(small_org, [(3, 31)])
+        array = SramArray(small_org, fault_map)
+        array.write_word(3, 0)
+        assert array.read_word(3) == 1 << 31
+        assert array.read_word_raw(3) == 0
+
+    def test_stuck_at_zero_only_affects_ones(self, small_org):
+        fault_map = FaultMap.from_cells(
+            small_org, [(0, 2)], kind=FaultKind.STUCK_AT_ZERO
+        )
+        array = SramArray(small_org, fault_map)
+        array.write_word(0, 0b100)
+        assert array.read_word(0) == 0
+        array.write_word(0, 0b011)
+        assert array.read_word(0) == 0b011
+
+    def test_faults_are_persistent_across_writes(self, small_org):
+        fault_map = FaultMap.from_cells(small_org, [(1, 0)])
+        array = SramArray(small_org, fault_map)
+        for value in (0, 1, 0xFFFFFFFF, 0x12345678):
+            array.write_word(1, value)
+            assert array.read_word(1) == value ^ 1
+
+    def test_only_faulty_rows_affected(self, small_org, rng):
+        fault_map = FaultMap.from_cells(small_org, [(7, 15)])
+        array = SramArray(small_org, fault_map)
+        values = rng.integers(0, 2 ** 32, size=small_org.rows, dtype=np.uint64)
+        array.write_block(0, values)
+        readback = array.read_block(0, small_org.rows)
+        mismatches = np.nonzero(readback != values)[0]
+        assert mismatches.tolist() == [7]
+
+    def test_observed_error_mask(self, small_org):
+        fault_map = FaultMap.from_cells(small_org, [(2, 5)])
+        array = SramArray(small_org, fault_map)
+        array.write_word(2, 0)
+        assert array.observed_error_mask(2) == 1 << 5
+
+    def test_mismatched_fault_map_rejected(self, small_org, tiny_org):
+        fault_map = FaultMap.empty(tiny_org)
+        with pytest.raises(ValueError):
+            SramArray(small_org, fault_map)
+
+
+class TestBlockAccess:
+    def test_write_read_block(self, small_org, rng):
+        array = SramArray(small_org)
+        values = rng.integers(0, 2 ** 32, size=10, dtype=np.uint64)
+        array.write_block(5, values)
+        assert np.array_equal(array.read_block(5, 10), values)
+
+    def test_block_bounds_checked(self, small_org):
+        array = SramArray(small_org)
+        with pytest.raises(IndexError):
+            array.write_block(small_org.rows - 2, np.zeros(5, dtype=np.uint64))
+        with pytest.raises(IndexError):
+            array.read_block(small_org.rows - 2, 5)
+
+    def test_block_rejects_oversized_patterns(self, small_org):
+        array = SramArray(small_org)
+        with pytest.raises(ValueError):
+            array.write_block(0, np.array([1 << 33], dtype=np.uint64))
+
+    def test_empty_block_read(self, small_org):
+        array = SramArray(small_org)
+        assert array.read_block(0, 0).size == 0
+
+    def test_fill_and_clear(self, small_org):
+        array = SramArray(small_org)
+        array.fill(0xFFFFFFFF)
+        assert array.read_word_raw(10) == 0xFFFFFFFF
+        array.clear()
+        assert array.read_word_raw(10) == 0
+
+    def test_dump_shape(self, small_org):
+        array = SramArray(small_org)
+        assert array.dump().shape == (small_org.rows,)

@@ -1,0 +1,125 @@
+"""Tests for the weighted empirical CDF utility."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.quality.cdf import WeightedEcdf
+
+
+class TestConstruction:
+    def test_uniform_weights_by_default(self):
+        ecdf = WeightedEcdf([3.0, 1.0, 2.0])
+        assert ecdf.weights.tolist() == pytest.approx([1 / 3] * 3)
+        assert ecdf.values.tolist() == [1.0, 2.0, 3.0]
+
+    def test_weights_are_normalised(self):
+        ecdf = WeightedEcdf([1.0, 2.0], weights=[2.0, 6.0])
+        assert ecdf.weights.tolist() == pytest.approx([0.25, 0.75])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            WeightedEcdf([])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            WeightedEcdf([1.0], weights=[-1.0])
+
+    def test_rejects_zero_total_weight(self):
+        with pytest.raises(ValueError):
+            WeightedEcdf([1.0, 2.0], weights=[0.0, 0.0])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            WeightedEcdf([1.0, 2.0], weights=[1.0])
+
+
+class TestEvaluation:
+    def test_probability_at_most(self):
+        ecdf = WeightedEcdf([1.0, 2.0, 3.0, 4.0])
+        assert ecdf.probability_at_most(0.5) == 0.0
+        assert ecdf.probability_at_most(1.0) == pytest.approx(0.25)
+        assert ecdf.probability_at_most(2.5) == pytest.approx(0.5)
+        assert ecdf.probability_at_most(10.0) == 1.0
+
+    def test_probability_at_least(self):
+        ecdf = WeightedEcdf([1.0, 2.0, 3.0, 4.0])
+        assert ecdf.probability_at_least(0.5) == 1.0
+        assert ecdf.probability_at_least(2.0) == pytest.approx(0.75)
+        assert ecdf.probability_at_least(4.5) == 0.0
+
+    def test_vectorised_evaluation(self):
+        ecdf = WeightedEcdf([1.0, 2.0, 3.0, 4.0])
+        out = ecdf.probability_at_most(np.array([1.0, 2.0, 3.0]))
+        assert np.allclose(out, [0.25, 0.5, 0.75])
+
+    def test_complementarity(self):
+        values = [1.0, 1.0, 2.0, 5.0]
+        ecdf = WeightedEcdf(values)
+        # For thresholds not equal to any sample, at_most + at_least == 1.
+        for t in (0.5, 1.5, 3.0, 6.0):
+            assert ecdf.probability_at_most(t) + ecdf.probability_at_least(t) == (
+                pytest.approx(1.0)
+            )
+
+    def test_quantile(self):
+        ecdf = WeightedEcdf([10.0, 20.0, 30.0, 40.0])
+        assert ecdf.quantile(0.0) == 10.0
+        assert ecdf.quantile(0.25) == 10.0
+        assert ecdf.quantile(0.26) == 20.0
+        assert ecdf.quantile(1.0) == 40.0
+
+    def test_quantile_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            WeightedEcdf([1.0]).quantile(1.5)
+
+    def test_curve_is_monotone(self, rng):
+        ecdf = WeightedEcdf(rng.normal(size=100))
+        x, f = ecdf.curve()
+        assert np.all(np.diff(x) >= 0)
+        assert np.all(np.diff(f) >= -1e-12)
+        assert f[-1] == pytest.approx(1.0)
+
+    def test_point_mass_dominates(self):
+        # 90% of the probability sits at zero.
+        ecdf = WeightedEcdf([0.0, 100.0], weights=[0.9, 0.1])
+        assert ecdf.probability_at_most(0.0) == pytest.approx(0.9)
+        assert ecdf.quantile(0.5) == 0.0
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=40),
+        st.floats(min_value=-1e6, max_value=1e6),
+    )
+    def test_probability_bounds(self, values, threshold):
+        ecdf = WeightedEcdf(values)
+        p = ecdf.probability_at_most(threshold)
+        assert 0.0 <= p <= 1.0 + 1e-12
+
+
+class TestFromGroups:
+    def test_group_weighting(self):
+        ecdf = WeightedEcdf.from_groups(
+            [
+                (np.array([0.0]), 0.5),
+                (np.array([1.0, 1.0]), 0.5),
+            ]
+        )
+        assert ecdf.probability_at_most(0.0) == pytest.approx(0.5)
+        assert ecdf.probability_at_most(1.0) == pytest.approx(1.0)
+
+    def test_empty_groups_skipped(self):
+        ecdf = WeightedEcdf.from_groups(
+            [(np.array([]), 0.3), (np.array([2.0]), 0.7)]
+        )
+        assert len(ecdf) == 1
+
+    def test_all_empty_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedEcdf.from_groups([(np.array([]), 1.0)])
+
+    def test_negative_probability_rejected(self):
+        with pytest.raises(ValueError):
+            WeightedEcdf.from_groups([(np.array([1.0]), -0.1)])

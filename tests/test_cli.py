@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("fig2", "fig4", "fig5", "fig6", "fig7", "table1"):
+            args = parser.parse_args([command])
+            assert callable(args.func)
+
+    def test_fig7_benchmark_choices(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig7", "--benchmark", "svm"])
+
+
+class TestCommands:
+    def test_fig2_prints_table(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "Pcell" in out
+
+    def test_fig4_prints_all_series(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "nfm=5" in out
+
+    def test_fig4_custom_width(self, capsys):
+        assert main(["fig4", "--word-width", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "nfm=4" in out
+        assert "nfm=5" not in out
+
+    def test_fig5_quick_run(self, capsys):
+        assert main(["fig5", "--samples", "5", "--p-cell", "1e-4"]) == 0
+        out = capsys.readouterr().out
+        assert "bit-shuffle-nfm1" in out
+        assert "p-ecc-H(22,16)" in out
+
+    def test_fig6_prints_relative_overheads(self, capsys):
+        assert main(["fig6"]) == 0
+        out = capsys.readouterr().out
+        assert "secded-H(39,32)" in out
+        assert "read power" in out
+
+    def test_fig6_register_lut(self, capsys):
+        assert main(["fig6", "--lut", "register"]) == 0
+        assert "register" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--scale", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Elasticnet" in out
+        assert "K-Nearest Neighbors" in out
+
+    def test_fig7_quick_run(self, capsys):
+        assert (
+            main(
+                [
+                    "fig7",
+                    "--benchmark",
+                    "knn",
+                    "--samples",
+                    "1",
+                    "--count-points",
+                    "2",
+                    "--scale",
+                    "0.2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "no-protection" in out

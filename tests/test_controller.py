@@ -1,0 +1,127 @@
+"""Tests for the protected memory controller (full BIST -> program -> access flow)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.no_protection import NoProtection
+from repro.core.priority_ecc import PriorityEccScheme
+from repro.core.scheme import BitShuffleScheme
+from repro.core.secded_scheme import SecdedScheme
+from repro.memory.controller import ProtectedMemory
+from repro.memory.faults import FaultMap
+from repro.memory.organization import MemoryOrganization
+
+
+class TestConstruction:
+    def test_mismatched_word_width_rejected(self, small_org):
+        with pytest.raises(ValueError):
+            ProtectedMemory(small_org, NoProtection(16))
+
+    def test_storage_array_width_includes_scheme_overhead(self, small_org):
+        memory = ProtectedMemory(small_org, SecdedScheme(32))
+        assert memory.array.word_width == 39
+
+    def test_bist_runs_on_construction(self, small_org, single_fault_map):
+        memory = ProtectedMemory(small_org, NoProtection(32), single_fault_map)
+        assert memory.bist_result is not None
+        assert memory.bist_result.faulty_cells == [(3, 31)]
+
+    def test_bist_can_be_deferred(self, small_org):
+        memory = ProtectedMemory(small_org, NoProtection(32), run_bist=False)
+        assert memory.bist_result is None
+
+    def test_fault_map_wider_than_storage_rejected(self, small_org):
+        wide_org = MemoryOrganization(rows=small_org.rows, word_width=45)
+        fault_map = FaultMap.from_cells(wide_org, [(0, 44)])
+        with pytest.raises(ValueError):
+            ProtectedMemory(small_org, SecdedScheme(32), fault_map)
+
+
+class TestHealthyMemory:
+    @pytest.mark.parametrize(
+        "scheme_factory",
+        [
+            lambda: NoProtection(32),
+            lambda: SecdedScheme(32),
+            lambda: PriorityEccScheme(32),
+            lambda: BitShuffleScheme(32, 1),
+            lambda: BitShuffleScheme(32, 5),
+        ],
+    )
+    def test_roundtrip_unsigned(self, small_org, scheme_factory, rng):
+        memory = ProtectedMemory(small_org, scheme_factory())
+        values = rng.integers(0, 2 ** 32, size=small_org.rows, dtype=np.uint64)
+        memory.write_words(0, values)
+        assert np.array_equal(memory.read_words(0, small_org.rows), values)
+
+    def test_roundtrip_signed(self, small_org):
+        memory = ProtectedMemory(small_org, BitShuffleScheme(32, 2))
+        memory.write_int(0, -123456789)
+        memory.write_int(1, 2 ** 31 - 1)
+        memory.write_int(2, -(2 ** 31))
+        assert memory.read_int(0) == -123456789
+        assert memory.read_int(1) == 2 ** 31 - 1
+        assert memory.read_int(2) == -(2 ** 31)
+
+    def test_bulk_signed_roundtrip(self, small_org, rng):
+        memory = ProtectedMemory(small_org, SecdedScheme(32))
+        values = rng.integers(-(2 ** 31), 2 ** 31, size=20, dtype=np.int64)
+        memory.write_ints(4, values)
+        assert np.array_equal(memory.read_ints(4, 20), values)
+
+
+class TestFaultyMemory:
+    def test_secded_corrects_single_fault(self, small_org, single_fault_map):
+        memory = ProtectedMemory(small_org, SecdedScheme(32), single_fault_map)
+        memory.write_word(3, 0x12345678)
+        assert memory.read_word(3) == 0x12345678
+
+    def test_unprotected_msb_fault_flips_sign_magnitude(
+        self, small_org, single_fault_map
+    ):
+        memory = ProtectedMemory(small_org, NoProtection(32), single_fault_map)
+        memory.write_int(3, 0)
+        assert abs(memory.read_int(3)) == 2 ** 31
+
+    def test_bit_shuffle_bounds_msb_fault(self, small_org, single_fault_map):
+        memory = ProtectedMemory(
+            small_org, BitShuffleScheme(32, 5), single_fault_map
+        )
+        memory.write_int(3, 0)
+        assert abs(memory.read_int(3)) <= 1
+
+    def test_bit_shuffle_bound_for_each_nfm(self, small_org, single_fault_map):
+        for n_fm, bound in [(1, 2 ** 15), (2, 2 ** 7), (3, 2 ** 3), (4, 2), (5, 1)]:
+            memory = ProtectedMemory(
+                small_org, BitShuffleScheme(32, n_fm), single_fault_map
+            )
+            memory.write_int(3, 1000)
+            assert abs(memory.read_int(3) - 1000) <= bound
+
+    def test_priority_ecc_corrects_msb_fault(self, small_org, single_fault_map):
+        memory = ProtectedMemory(small_org, PriorityEccScheme(32), single_fault_map)
+        memory.write_word(3, 0xFFFFFFFF)
+        assert memory.read_word(3) == 0xFFFFFFFF
+
+    def test_priority_ecc_lsb_fault_passes_through(self, small_org):
+        fault_map = FaultMap.from_cells(small_org, [(2, 0)])
+        memory = ProtectedMemory(small_org, PriorityEccScheme(32), fault_map)
+        memory.write_word(2, 0)
+        assert memory.read_word(2) == 1
+
+    def test_healthy_rows_unaffected(self, small_org, single_fault_map, rng):
+        memory = ProtectedMemory(small_org, NoProtection(32), single_fault_map)
+        values = rng.integers(0, 2 ** 32, size=small_org.rows, dtype=np.uint64)
+        memory.write_words(0, values)
+        readback = memory.read_words(0, small_org.rows)
+        mismatches = np.nonzero(readback != values)[0]
+        assert mismatches.tolist() == [3]
+
+    def test_bist_detects_only_data_column_faults_for_programming(self, small_org):
+        fault_map = FaultMap.from_cells(small_org, [(1, 31), (9, 0)])
+        memory = ProtectedMemory(small_org, BitShuffleScheme(32, 5), fault_map)
+        lut = memory.scheme.lut
+        assert lut.entry(1) == 31
+        assert lut.entry(9) == 0

@@ -1,0 +1,127 @@
+"""Tests for the synthetic dataset generators (Table 1 analogues)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.datasets import (
+    Dataset,
+    make_activity_recognition,
+    make_madelon_like,
+    make_wine_quality_like,
+)
+
+
+class TestDatasetContainer:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros(3), np.zeros(3), "x", "regression")
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4), "x", "regression")
+
+    def test_task_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(3), "x", "clustering")
+
+    def test_size_properties(self):
+        ds = Dataset(np.zeros((5, 3)), np.zeros(5), "x", "regression")
+        assert ds.n_samples == 5
+        assert ds.n_features == 3
+
+
+class TestWineQuality:
+    def test_dimensions(self):
+        ds = make_wine_quality_like(n_samples=200)
+        assert ds.n_samples == 200
+        assert ds.n_features == 11
+        assert ds.task == "regression"
+        assert len(ds.feature_names) == 11
+
+    def test_quality_scores_in_range(self):
+        ds = make_wine_quality_like(n_samples=500)
+        assert ds.targets.min() >= 3
+        assert ds.targets.max() <= 9
+
+    def test_targets_are_integral_scores(self):
+        ds = make_wine_quality_like(n_samples=100)
+        assert np.allclose(ds.targets, np.rint(ds.targets))
+
+    def test_features_are_learnable(self):
+        # The target must be predictable from the features, otherwise the
+        # benchmark cannot show a meaningful R^2 degradation.
+        ds = make_wine_quality_like(n_samples=800, rng=np.random.default_rng(4))
+        standardized = (ds.features - ds.features.mean(0)) / ds.features.std(0)
+        coeffs, *_ = np.linalg.lstsq(
+            np.hstack([standardized, np.ones((len(standardized), 1))]),
+            ds.targets,
+            rcond=None,
+        )
+        prediction = np.hstack([standardized, np.ones((len(standardized), 1))]) @ coeffs
+        correlation = np.corrcoef(prediction, ds.targets)[0, 1]
+        assert correlation > 0.6
+
+    def test_reproducible(self):
+        a = make_wine_quality_like(rng=np.random.default_rng(1))
+        b = make_wine_quality_like(rng=np.random.default_rng(1))
+        assert np.array_equal(a.features, b.features)
+
+    def test_rejects_tiny_sample_counts(self):
+        with pytest.raises(ValueError):
+            make_wine_quality_like(n_samples=5)
+
+
+class TestMadelon:
+    def test_dimensions(self):
+        ds = make_madelon_like(
+            n_samples=100, n_informative=4, n_redundant=6, n_noise=20
+        )
+        assert ds.n_samples == 100
+        assert ds.n_features == 30
+        assert set(np.unique(ds.targets)) <= {0, 1}
+
+    def test_variance_concentrated_in_low_dimensional_subspace(self):
+        ds = make_madelon_like(n_samples=400, rng=np.random.default_rng(5))
+        centered = ds.features - ds.features.mean(0)
+        eigenvalues = np.linalg.eigvalsh(np.cov(centered.T))[::-1]
+        top = eigenvalues[:20].sum()
+        assert top / eigenvalues.sum() > 0.5
+
+    def test_rejects_zero_informative(self):
+        with pytest.raises(ValueError):
+            make_madelon_like(n_informative=0)
+
+    def test_reproducible(self):
+        a = make_madelon_like(rng=np.random.default_rng(2))
+        b = make_madelon_like(rng=np.random.default_rng(2))
+        assert np.array_equal(a.features, b.features)
+
+
+class TestActivityRecognition:
+    def test_dimensions(self):
+        ds = make_activity_recognition(n_samples=300, n_classes=4)
+        assert ds.n_samples == 300
+        assert ds.n_features == 7
+        assert set(np.unique(ds.targets)) <= set(range(4))
+
+    def test_classes_are_separable(self):
+        # A nearest-centroid rule should already classify well above chance,
+        # otherwise the KNN benchmark carries no signal.
+        ds = make_activity_recognition(n_samples=600, rng=np.random.default_rng(6))
+        centroids = np.array(
+            [ds.features[ds.targets == c].mean(0) for c in np.unique(ds.targets)]
+        )
+        distances = np.linalg.norm(ds.features[:, None, :] - centroids, axis=2)
+        predicted = np.argmin(distances, axis=1)
+        accuracy = float(np.mean(predicted == ds.targets))
+        assert accuracy > 0.7
+
+    def test_rejects_bad_class_count(self):
+        with pytest.raises(ValueError):
+            make_activity_recognition(n_classes=1)
+        with pytest.raises(ValueError):
+            make_activity_recognition(n_classes=9)
+
+    def test_rejects_fewer_samples_than_classes(self):
+        with pytest.raises(ValueError):
+            make_activity_recognition(n_samples=3, n_classes=5)

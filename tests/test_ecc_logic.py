@@ -1,0 +1,64 @@
+"""Tests for the structural Hamming encoder/decoder cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ecc.hamming import secded_code_for_data_bits
+from repro.hardware.ecc_logic import (
+    hamming_decoder_cost,
+    hamming_encoder_cost,
+    parity_coverage,
+)
+from repro.hardware.technology import Technology
+
+
+class TestParityCoverage:
+    def test_h39_32_has_six_hamming_parities(self):
+        coverage = parity_coverage(secded_code_for_data_bits(32))
+        assert len(coverage) == 6
+        assert all(c > 0 for c in coverage)
+
+    def test_coverage_bounded_by_codeword(self):
+        code = secded_code_for_data_bits(32)
+        inner = code.data_bits + code.parity_bits - 1
+        coverage = parity_coverage(code)
+        assert all(0 < covered <= inner for covered in coverage)
+        # The low-order parity bits each cover roughly half the codeword.
+        assert max(coverage) >= inner // 2
+
+
+class TestEncoderCost:
+    def test_larger_code_costs_more(self):
+        small = hamming_encoder_cost(secded_code_for_data_bits(16))
+        large = hamming_encoder_cost(secded_code_for_data_bits(32))
+        assert large.area > small.area
+        assert large.energy > small.energy
+
+    def test_encoder_delay_is_tree_depth(self):
+        cost = hamming_encoder_cost(secded_code_for_data_bits(32))
+        assert cost.delay > 0
+
+
+class TestDecoderCost:
+    def test_decoder_costs_more_than_encoder(self):
+        code = secded_code_for_data_bits(32)
+        assert hamming_decoder_cost(code).area > hamming_encoder_cost(code).area
+
+    def test_h39_32_decoder_depth_matches_paper_ballpark(self):
+        """The paper quotes ~13 gate delays for SECDED decode on the read path."""
+        cost = hamming_decoder_cost(secded_code_for_data_bits(32))
+        assert 10.0 <= cost.delay <= 18.0
+
+    def test_smaller_code_is_faster(self):
+        d32 = hamming_decoder_cost(secded_code_for_data_bits(32))
+        d16 = hamming_decoder_cost(secded_code_for_data_bits(16))
+        assert d16.delay <= d32.delay
+        assert d16.area < d32.area
+
+    def test_physical_delay_in_reasonable_range(self):
+        tech = Technology.fdsoi_28nm()
+        cost = hamming_decoder_cost(secded_code_for_data_bits(32))
+        delay_ps = cost.delay * tech.gate_delay_ps
+        # A SECDED decoder in 28 nm sits in the 100-300 ps range.
+        assert 100.0 < delay_ps < 400.0

@@ -1,0 +1,89 @@
+"""Tests for the coordinate-descent Elasticnet regressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.elasticnet import ElasticNetRegressor
+
+
+def _linear_data(rng, n=200, p=6, noise=0.1):
+    x = rng.normal(size=(n, p))
+    true_coef = np.array([2.0, -1.5, 0.0, 0.0, 3.0, 0.5])[:p]
+    y = x @ true_coef + 1.7 + rng.normal(scale=noise, size=n)
+    return x, y, true_coef
+
+
+class TestFitting:
+    def test_recovers_linear_relationship(self, rng):
+        x, y, true_coef = _linear_data(rng)
+        model = ElasticNetRegressor(alpha=0.001, l1_ratio=0.5).fit(x, y)
+        assert np.allclose(model.coef_, true_coef, atol=0.1)
+        assert model.intercept_ == pytest.approx(1.7, abs=0.1)
+
+    def test_high_r2_on_clean_data(self, rng):
+        x, y, _ = _linear_data(rng)
+        model = ElasticNetRegressor(alpha=0.01).fit(x, y)
+        assert model.score(x, y) > 0.95
+
+    def test_strong_l1_drives_coefficients_to_zero(self, rng):
+        x, y, _ = _linear_data(rng, noise=0.5)
+        model = ElasticNetRegressor(alpha=50.0, l1_ratio=1.0).fit(x, y)
+        assert np.allclose(model.coef_, 0.0)
+        # With all-zero weights the prediction is the target mean.
+        assert model.intercept_ == pytest.approx(float(np.mean(y)), abs=1e-6)
+
+    def test_l1_sparsity_increases_with_alpha(self, rng):
+        x, y, _ = _linear_data(rng, noise=0.3)
+        weak = ElasticNetRegressor(alpha=0.01, l1_ratio=1.0).fit(x, y)
+        strong = ElasticNetRegressor(alpha=1.0, l1_ratio=1.0).fit(x, y)
+        assert np.sum(np.abs(strong.coef_) < 1e-8) >= np.sum(np.abs(weak.coef_) < 1e-8)
+
+    def test_ridge_shrinks_but_keeps_coefficients(self, rng):
+        x, y, true_coef = _linear_data(rng)
+        ridge = ElasticNetRegressor(alpha=5.0, l1_ratio=0.0).fit(x, y)
+        assert np.all(np.abs(ridge.coef_) < np.abs(true_coef) + 0.1)
+        assert np.any(np.abs(ridge.coef_) > 1e-3)
+
+    def test_constant_feature_gets_zero_weight(self, rng):
+        x, y, _ = _linear_data(rng, p=3)
+        x = np.hstack([x, np.ones((len(x), 1))])
+        model = ElasticNetRegressor(alpha=0.01).fit(x, y)
+        assert model.coef_[-1] == 0.0
+
+    def test_without_intercept(self, rng):
+        x = rng.normal(size=(100, 2))
+        y = x @ np.array([1.0, -2.0])
+        model = ElasticNetRegressor(alpha=0.001, fit_intercept=False).fit(x, y)
+        assert model.intercept_ == 0.0
+        assert np.allclose(model.coef_, [1.0, -2.0], atol=0.05)
+
+    def test_converges_and_reports_iterations(self, rng):
+        x, y, _ = _linear_data(rng)
+        model = ElasticNetRegressor(alpha=0.01, max_iter=500).fit(x, y)
+        assert 1 <= model.n_iter_ <= 500
+
+
+class TestValidation:
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            ElasticNetRegressor(alpha=-1.0)
+        with pytest.raises(ValueError):
+            ElasticNetRegressor(l1_ratio=1.5)
+        with pytest.raises(ValueError):
+            ElasticNetRegressor(max_iter=0)
+        with pytest.raises(ValueError):
+            ElasticNetRegressor(tol=0.0)
+
+    def test_rejects_mismatched_shapes(self, rng):
+        with pytest.raises(ValueError):
+            ElasticNetRegressor().fit(rng.normal(size=(10, 2)), rng.normal(size=9))
+
+    def test_rejects_1d_features(self, rng):
+        with pytest.raises(ValueError):
+            ElasticNetRegressor().fit(rng.normal(size=10), rng.normal(size=10))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            ElasticNetRegressor().predict(np.zeros((2, 2)))

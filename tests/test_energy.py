@@ -1,0 +1,78 @@
+"""Tests for the voltage-scaling energy model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hardware.energy import VoltageScalingModel
+from repro.memory.organization import MemoryOrganization
+
+
+@pytest.fixture
+def model(paper_org) -> VoltageScalingModel:
+    return VoltageScalingModel(paper_org)
+
+
+class TestEnergyScaling:
+    def test_quadratic_dynamic_energy(self, model):
+        assert model.read_energy_fj(0.5) == pytest.approx(
+            0.25 * model.read_energy_fj(1.0)
+        )
+
+    def test_linear_leakage(self, model):
+        assert model.leakage_power_nw(0.5) == pytest.approx(
+            0.5 * model.leakage_power_nw(1.0)
+        )
+
+    def test_energy_saving_at_nominal_is_zero(self, model):
+        assert model.energy_saving(1.0) == pytest.approx(0.0)
+
+    def test_energy_saving_monotone_in_scaling(self, model):
+        savings = [model.energy_saving(v) for v in (0.9, 0.8, 0.7, 0.6)]
+        assert savings == sorted(savings)
+        assert all(0.0 < s < 1.0 for s in savings)
+
+    def test_vdd_for_energy_saving_inverts(self, model):
+        for saving in (0.1, 0.3, 0.5):
+            vdd = model.vdd_for_energy_saving(saving)
+            assert model.energy_saving(vdd) == pytest.approx(saving, abs=1e-9)
+
+    def test_rejects_invalid_arguments(self, model):
+        with pytest.raises(ValueError):
+            model.read_energy_fj(0.0)
+        with pytest.raises(ValueError):
+            model.leakage_power_nw(-1.0)
+        with pytest.raises(ValueError):
+            model.vdd_for_energy_saving(1.0)
+
+    def test_rejects_bad_construction(self, paper_org):
+        with pytest.raises(ValueError):
+            VoltageScalingModel(paper_org, nominal_vdd=0.0)
+        with pytest.raises(ValueError):
+            VoltageScalingModel(paper_org, leakage_per_cell_nw=-1.0)
+
+
+class TestOperatingPoints:
+    def test_operating_point_fields_consistent(self, model):
+        point = model.operating_point(0.7)
+        assert point.vdd == 0.7
+        assert point.p_cell == pytest.approx(model.pcell_model.p_cell(0.7))
+        assert point.read_energy_fj == pytest.approx(model.read_energy_fj(0.7))
+        assert point.expected_failures == pytest.approx(
+            point.p_cell * MemoryOrganization.paper_16kb().total_cells
+        )
+
+    def test_scaling_trades_energy_for_faults(self, model):
+        nominal = model.operating_point(1.0)
+        scaled = model.operating_point(0.68)
+        assert scaled.read_energy_fj < 0.5 * nominal.read_energy_fj
+        assert scaled.expected_failures > 100 * max(nominal.expected_failures, 1e-9)
+
+    def test_sweep_ordering(self, model):
+        sweep = model.sweep(np.array([1.0, 0.9, 0.8]))
+        assert list(sweep) == [1.0, 0.9, 0.8]
+
+    def test_fig7_operating_point_saves_over_half_the_energy(self, model):
+        vdd = model.pcell_model.vdd_for_p_cell(1e-3)
+        assert model.energy_saving(vdd) > 0.5

@@ -1,0 +1,90 @@
+"""Tests for the benchmark definitions (Table 1 rows)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.experiment import (
+    BenchmarkDefinition,
+    elasticnet_benchmark,
+    knn_benchmark,
+    pca_benchmark,
+    standard_benchmarks,
+)
+
+
+class TestBenchmarkFactories:
+    def test_elasticnet_split_ratio(self):
+        bench = elasticnet_benchmark(n_samples=500)
+        assert bench.name == "elasticnet"
+        assert bench.metric_name == "r2"
+        assert len(bench.train_features) == 400
+        assert len(bench.test_features) == 100
+
+    def test_pca_configuration(self):
+        bench = pca_benchmark(n_samples=200, n_noise=30)
+        assert bench.name == "pca"
+        assert bench.metric_name == "explained_variance"
+        assert bench.train_features.shape[1] == 5 + 15 + 30
+
+    def test_knn_configuration(self):
+        bench = knn_benchmark(n_samples=300)
+        assert bench.name == "knn"
+        assert bench.metric_name == "score"
+        assert bench.train_features.shape[1] == 7
+
+    def test_standard_benchmarks_contains_all_three(self):
+        benches = standard_benchmarks(scale=0.25)
+        assert set(benches) == {"elasticnet", "pca", "knn"}
+
+    def test_scale_reduces_sample_counts(self):
+        small = standard_benchmarks(scale=0.25)["elasticnet"]
+        large = standard_benchmarks(scale=1.0)["elasticnet"]
+        assert len(small.train_features) < len(large.train_features)
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            standard_benchmarks(scale=0.0)
+
+    def test_reproducible_with_seed(self):
+        a = elasticnet_benchmark(n_samples=200, seed=5)
+        b = elasticnet_benchmark(n_samples=200, seed=5)
+        assert np.array_equal(a.train_features, b.train_features)
+
+
+class TestCleanQuality:
+    def test_elasticnet_clean_quality_reasonable(self):
+        bench = elasticnet_benchmark(n_samples=600)
+        quality = bench.clean_quality()
+        assert 0.3 < quality <= 1.0
+
+    def test_pca_clean_quality_reasonable(self):
+        bench = pca_benchmark(n_samples=300)
+        quality = bench.clean_quality()
+        assert 0.3 < quality <= 1.0
+
+    def test_knn_clean_quality_reasonable(self):
+        bench = knn_benchmark(n_samples=400)
+        quality = bench.clean_quality()
+        assert 0.7 < quality <= 1.0
+
+
+class TestCorruptedEvaluation:
+    def test_identical_features_give_identical_quality(self):
+        bench = knn_benchmark(n_samples=300)
+        assert bench.quality_with_corrupted_features(
+            bench.train_features.copy()
+        ) == pytest.approx(bench.clean_quality())
+
+    def test_heavy_corruption_degrades_quality(self, rng):
+        bench = elasticnet_benchmark(n_samples=500)
+        corrupted = bench.train_features + rng.normal(
+            scale=1e4, size=bench.train_features.shape
+        )
+        assert bench.quality_with_corrupted_features(corrupted) < bench.clean_quality()
+
+    def test_shape_mismatch_rejected(self):
+        bench = knn_benchmark(n_samples=200)
+        with pytest.raises(ValueError):
+            bench.quality_with_corrupted_features(np.zeros((3, 3)))

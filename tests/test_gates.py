@@ -1,0 +1,96 @@
+"""Tests for the gate-level cost primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hardware.gates import (
+    AND2,
+    DFF,
+    GateCost,
+    INVERTER,
+    MUX2,
+    NAND2,
+    OR2,
+    XOR2,
+    and_tree,
+    decoder,
+    mux_stage,
+    xor_tree,
+)
+
+
+class TestGateCost:
+    def test_series_composition(self):
+        combined = NAND2.series(XOR2)
+        assert combined.area == NAND2.area + XOR2.area
+        assert combined.delay == NAND2.delay + XOR2.delay
+        assert combined.energy == NAND2.energy + XOR2.energy
+
+    def test_parallel_composition_takes_max_delay(self):
+        combined = NAND2.parallel(XOR2)
+        assert combined.delay == max(NAND2.delay, XOR2.delay)
+        assert combined.area == NAND2.area + XOR2.area
+
+    def test_scaled(self):
+        scaled = MUX2.scaled(8)
+        assert scaled.area == 8 * MUX2.area
+        assert scaled.delay == MUX2.delay
+
+    def test_add_operator_is_series(self):
+        assert (NAND2 + NAND2).delay == 2 * NAND2.delay
+
+    def test_rejects_negative_costs(self):
+        with pytest.raises(ValueError):
+            GateCost(area=-1.0)
+        with pytest.raises(ValueError):
+            MUX2.scaled(-1)
+
+    def test_reference_gate_ordering(self):
+        # Sanity on the library ratios: XOR is the largest combinational cell,
+        # a flip-flop is bigger still.
+        assert INVERTER.area < NAND2.area < XOR2.area < DFF.area
+        assert AND2.area == OR2.area
+
+
+class TestTrees:
+    def test_xor_tree_gate_count(self):
+        assert xor_tree(8).area == 7 * XOR2.area
+
+    def test_xor_tree_depth_is_logarithmic(self):
+        assert xor_tree(8).delay == 3 * XOR2.delay
+        assert xor_tree(9).delay == 4 * XOR2.delay
+
+    def test_single_input_tree_is_free(self):
+        assert xor_tree(1).area == 0.0
+        assert and_tree(1).delay == 0.0
+
+    def test_rejects_zero_inputs(self):
+        with pytest.raises(ValueError):
+            xor_tree(0)
+        with pytest.raises(ValueError):
+            and_tree(0)
+
+    def test_and_tree_structure(self):
+        cost = and_tree(6)
+        assert cost.area == 5 * AND2.area
+        assert cost.delay == 3 * AND2.delay
+
+
+class TestMuxAndDecoder:
+    def test_mux_stage_scales_with_width(self):
+        assert mux_stage(32).area == 32 * MUX2.area
+        assert mux_stage(32).delay == MUX2.delay
+
+    def test_mux_stage_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            mux_stage(0)
+
+    def test_decoder_grows_exponentially_with_selects(self):
+        assert decoder(3).area > decoder(2).area > decoder(1).area
+
+    def test_decoder_rejects_zero_selects(self):
+        with pytest.raises(ValueError):
+            decoder(0)

@@ -1,0 +1,90 @@
+"""Tests for the K-nearest-neighbours classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.knn import KNearestNeighbors
+
+
+def _blobs(rng, n_per_class=60, spread=0.4):
+    centers = np.array([[0.0, 0.0], [4.0, 0.0], [0.0, 4.0]])
+    features, labels = [], []
+    for label, center in enumerate(centers):
+        features.append(center + rng.normal(scale=spread, size=(n_per_class, 2)))
+        labels.append(np.full(n_per_class, label))
+    return np.vstack(features), np.concatenate(labels)
+
+
+class TestClassification:
+    def test_single_neighbor_memorises_training_set(self, rng):
+        x, y = _blobs(rng)
+        model = KNearestNeighbors(n_neighbors=1).fit(x, y)
+        assert model.score(x, y) == 1.0
+
+    def test_separable_blobs_classified_correctly(self, rng):
+        x, y = _blobs(rng)
+        x_test, y_test = _blobs(np.random.default_rng(99))
+        model = KNearestNeighbors(n_neighbors=5).fit(x, y)
+        assert model.score(x_test, y_test) > 0.95
+
+    def test_prediction_dtype_matches_labels(self, rng):
+        x, y = _blobs(rng)
+        model = KNearestNeighbors(n_neighbors=3).fit(x, y.astype(np.int64))
+        assert model.predict(x[:5]).dtype == np.int64
+
+    def test_majority_vote(self):
+        x = np.array([[0.0], [0.1], [0.2], [5.0], [5.1]])
+        y = np.array([0, 0, 0, 1, 1])
+        model = KNearestNeighbors(n_neighbors=5).fit(x, y)
+        assert model.predict(np.array([[0.05]]))[0] == 0
+
+    def test_tie_broken_by_closest_neighbor(self):
+        x = np.array([[0.0], [1.0], [10.0], [11.0]])
+        y = np.array([0, 0, 1, 1])
+        model = KNearestNeighbors(n_neighbors=4).fit(x, y)
+        # Query near the label-0 cluster: the tie over 4 neighbours (2 vs 2)
+        # is resolved in favour of the closest neighbour's label.
+        assert model.predict(np.array([[0.4]]))[0] == 0
+        assert model.predict(np.array([[10.6]]))[0] == 1
+
+    def test_corrupted_references_reduce_score(self, rng):
+        x, y = _blobs(rng, spread=0.6)
+        x_test, y_test = _blobs(np.random.default_rng(7), spread=0.6)
+        clean = KNearestNeighbors(n_neighbors=5).fit(x, y).score(x_test, y_test)
+        corrupted_x = x.copy()
+        corrupted_x[:60] += rng.normal(scale=50.0, size=(60, 2))
+        corrupted = KNearestNeighbors(n_neighbors=5).fit(corrupted_x, y).score(
+            x_test, y_test
+        )
+        assert corrupted < clean
+
+
+class TestValidation:
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            KNearestNeighbors(n_neighbors=0)
+
+    def test_rejects_k_larger_than_training_set(self, rng):
+        x, y = _blobs(rng, n_per_class=2)
+        with pytest.raises(ValueError):
+            KNearestNeighbors(n_neighbors=100).fit(x, y)
+
+    def test_rejects_mismatched_lengths(self, rng):
+        with pytest.raises(ValueError):
+            KNearestNeighbors().fit(rng.normal(size=(5, 2)), np.zeros(4))
+
+    def test_rejects_1d_features(self, rng):
+        with pytest.raises(ValueError):
+            KNearestNeighbors().fit(rng.normal(size=5), np.zeros(5))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            KNearestNeighbors().predict(np.zeros((1, 2)))
+
+    def test_predict_rejects_1d_queries(self, rng):
+        x, y = _blobs(rng)
+        model = KNearestNeighbors().fit(x, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros(2))

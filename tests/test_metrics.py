@@ -1,0 +1,88 @@
+"""Tests for the application quality metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.quality.metrics import (
+    accuracy_score,
+    explained_variance_score,
+    mean_squared_error,
+    r2_score,
+)
+
+
+class TestR2Score:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == 1.0
+
+    def test_mean_prediction_scores_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full_like(y, 2.0)) == pytest.approx(0.0)
+
+    def test_bad_prediction_is_negative(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.array([3.0, 2.0, 1.0])) < 0.0
+
+    def test_constant_targets(self):
+        y = np.array([2.0, 2.0, 2.0])
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, np.array([1.0, 2.0, 3.0])) == 0.0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            r2_score(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            r2_score(np.array([]), np.array([]))
+
+
+class TestExplainedVariance:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert explained_variance_score(y, y) == 1.0
+
+    def test_constant_offset_still_explains_variance(self):
+        # Unlike R^2, a constant bias does not reduce explained variance.
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert explained_variance_score(y, y + 10.0) == pytest.approx(1.0)
+
+    def test_uncorrelated_prediction_scores_low(self, rng):
+        y = rng.normal(size=200)
+        pred = rng.normal(size=200)
+        assert explained_variance_score(y, pred) < 0.5
+
+    def test_constant_targets(self):
+        y = np.zeros(5)
+        assert explained_variance_score(y, y) == 1.0
+        assert explained_variance_score(y, np.arange(5.0)) == 0.0
+
+
+class TestAccuracy:
+    def test_all_correct(self):
+        assert accuracy_score([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_half_correct(self):
+        assert accuracy_score([1, 2, 3, 4], [1, 2, 0, 0]) == 0.5
+
+    def test_string_labels(self):
+        assert accuracy_score(["a", "b"], ["a", "c"]) == 0.5
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1], [1, 2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_score([], [])
+
+
+class TestMeanSquaredError:
+    def test_zero_for_perfect(self):
+        assert mean_squared_error([1.0, 2.0], [1.0, 2.0]) == 0.0
+
+    def test_known_value(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, 3.0]) == pytest.approx(5.0)

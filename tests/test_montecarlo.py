@@ -1,0 +1,142 @@
+"""Tests for the failure-count statistics and Monte-Carlo samplers (Eq. 4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.faultmodel.montecarlo import (
+    FaultMapSampler,
+    expected_failures,
+    failure_count_cdf,
+    failure_count_pmf,
+    max_failures_for_coverage,
+    samples_per_failure_count,
+)
+from repro.memory.organization import MemoryOrganization
+
+
+class TestFailureCountPmf:
+    def test_matches_direct_binomial_for_small_m(self):
+        m, p = 20, 0.1
+        for n in range(0, 21):
+            direct = math.comb(m, n) * p ** n * (1 - p) ** (m - n)
+            assert failure_count_pmf(m, p, n) == pytest.approx(direct, rel=1e-9)
+
+    def test_sums_to_one_small_m(self):
+        m, p = 50, 0.03
+        total = sum(failure_count_pmf(m, p, n) for n in range(m + 1))
+        assert total == pytest.approx(1.0, abs=1e-9)
+
+    def test_large_memory_does_not_overflow(self):
+        # M = 131072 would overflow a naive comb() product.
+        value = failure_count_pmf(131072, 1e-3, 131)
+        assert 0.0 < value < 1.0
+
+    def test_zero_pcell(self):
+        assert failure_count_pmf(100, 0.0, 0) == 1.0
+        assert failure_count_pmf(100, 0.0, 1) == 0.0
+
+    def test_unit_pcell(self):
+        assert failure_count_pmf(100, 1.0, 100) == 1.0
+        assert failure_count_pmf(100, 1.0, 50) == 0.0
+
+    def test_out_of_support(self):
+        assert failure_count_pmf(10, 0.1, 11) == 0.0
+        assert failure_count_pmf(10, 0.1, -1) == 0.0
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            failure_count_pmf(-1, 0.1, 0)
+        with pytest.raises(ValueError):
+            failure_count_pmf(10, 1.5, 0)
+
+    def test_paper_fig5_operating_point_mostly_fault_free(self):
+        # 16 kB at Pcell = 5e-6: mean 0.65 failures, >50% of dies fault free.
+        assert failure_count_pmf(131072, 5e-6, 0) > 0.5
+
+
+class TestFailureCountCdf:
+    def test_cdf_reaches_one(self):
+        assert failure_count_cdf(50, 0.02, 50) == pytest.approx(1.0, abs=1e-9)
+
+    def test_cdf_monotone(self):
+        values = [failure_count_cdf(100, 0.05, n) for n in range(0, 20)]
+        assert values == sorted(values)
+
+    def test_negative_n(self):
+        assert failure_count_cdf(10, 0.1, -1) == 0.0
+
+
+class TestExpectedFailures:
+    def test_mean(self):
+        assert expected_failures(131072, 1e-3) == pytest.approx(131.072)
+
+    def test_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            expected_failures(-1, 0.5)
+
+
+class TestCoverage:
+    def test_covers_requested_fraction(self):
+        m, p = 131072, 5e-6
+        n_max = max_failures_for_coverage(m, p, 0.99)
+        assert failure_count_cdf(m, p, n_max) >= 0.99
+        if n_max > 0:
+            assert failure_count_cdf(m, p, n_max - 1) < 0.99
+
+    def test_higher_coverage_needs_more_failures(self):
+        m, p = 131072, 1e-3
+        assert max_failures_for_coverage(m, p, 0.999) >= max_failures_for_coverage(
+            m, p, 0.9
+        )
+
+    def test_fig7_nmax_scale(self):
+        # At Pcell = 1e-3 the mean is ~131; Nmax for 99% coverage sits above it.
+        n_max = max_failures_for_coverage(131072, 1e-3, 0.99)
+        assert 131 < n_max < 200
+
+    def test_rejects_bad_coverage(self):
+        with pytest.raises(ValueError):
+            max_failures_for_coverage(100, 0.1, 1.0)
+
+
+class TestSampleAllocation:
+    def test_allocations_positive(self):
+        allocation = samples_per_failure_count(131072, 5e-6, 1000)
+        assert all(v >= 1 for v in allocation.values())
+
+    def test_allocation_proportional_to_pmf(self):
+        allocation = samples_per_failure_count(131072, 5e-6, 10 ** 6, max_failures=3)
+        assert allocation[1] > allocation[2] > allocation[3]
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            samples_per_failure_count(100, 0.1, 0)
+
+
+class TestFaultMapSampler:
+    def test_sample_with_count(self, small_org, rng):
+        sampler = FaultMapSampler(small_org, rng)
+        assert sampler.sample_with_count(7).fault_count == 7
+
+    def test_sample_batch_length(self, small_org, rng):
+        sampler = FaultMapSampler(small_org, rng)
+        assert len(sampler.sample_batch(2, 13)) == 13
+
+    def test_sample_batch_negative_rejected(self, small_org, rng):
+        with pytest.raises(ValueError):
+            FaultMapSampler(small_org, rng).sample_batch(1, -1)
+
+    def test_stratified_iteration_weights(self, rng):
+        org = MemoryOrganization(rows=128, word_width=32)
+        sampler = FaultMapSampler(org, rng)
+        strata = list(sampler.iter_stratified(1e-4, total_runs=50, max_failures=3))
+        assert [n for n, _, _ in strata] == [1, 2, 3]
+        for n, probability, maps in strata:
+            assert probability == pytest.approx(
+                failure_count_pmf(org.total_cells, 1e-4, n)
+            )
+            assert all(m.fault_count == n for m in maps)

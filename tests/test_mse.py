@@ -1,0 +1,106 @@
+"""Tests for the local MSE metric (Eq. 6)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.no_protection import NoProtection
+from repro.core.priority_ecc import PriorityEccScheme
+from repro.core.scheme import BitShuffleScheme
+from repro.core.secded_scheme import SecdedScheme
+from repro.memory.faults import FaultMap
+from repro.memory.organization import MemoryOrganization
+from repro.quality.mse import (
+    mse_from_error_positions,
+    mse_of_fault_map,
+    word_error_energy,
+)
+
+
+class TestWordErrorEnergy:
+    def test_empty(self):
+        assert word_error_energy([]) == 0.0
+
+    def test_single_bit(self):
+        assert word_error_energy([3]) == (2 ** 3) ** 2
+
+    def test_multiple_bits_add(self):
+        assert word_error_energy([0, 31]) == pytest.approx(1 + (2 ** 31) ** 2)
+
+
+class TestMseFromPositions:
+    def test_equation_six_single_fault(self):
+        # MSE = (1/R) * (2**b)**2.
+        assert mse_from_error_positions([[5]], rows=16) == (2 ** 5) ** 2 / 16
+
+    def test_multiple_words_accumulate(self):
+        value = mse_from_error_positions([[0], [1]], rows=4)
+        assert value == (1 + 4) / 4
+
+    def test_fault_free_memory_is_zero(self):
+        assert mse_from_error_positions([], rows=128) == 0.0
+
+    def test_rejects_non_positive_rows(self):
+        with pytest.raises(ValueError):
+            mse_from_error_positions([[1]], rows=0)
+
+    @given(st.lists(st.integers(min_value=0, max_value=31), max_size=8))
+    def test_non_negative(self, positions):
+        assert mse_from_error_positions([positions], rows=64) >= 0.0
+
+
+class TestMseOfFaultMap:
+    def test_unprotected_single_msb_fault(self, paper_org):
+        fault_map = FaultMap.from_cells(paper_org, [(0, 31)])
+        mse = mse_of_fault_map(fault_map, NoProtection(32))
+        assert mse == pytest.approx((2 ** 31) ** 2 / paper_org.rows)
+
+    def test_secded_single_fault_gives_zero(self, paper_org):
+        fault_map = FaultMap.from_cells(paper_org, [(0, 31)])
+        assert mse_of_fault_map(fault_map, SecdedScheme(32)) == 0.0
+
+    def test_bit_shuffle_bounds_mse(self, paper_org):
+        fault_map = FaultMap.from_cells(paper_org, [(0, 31)])
+        for n_fm, segment in [(1, 16), (2, 8), (3, 4), (4, 2), (5, 1)]:
+            mse = mse_of_fault_map(fault_map, BitShuffleScheme(32, n_fm))
+            assert mse <= (2 ** (segment - 1)) ** 2 / paper_org.rows
+
+    def test_scheme_ordering_for_msb_fault(self, paper_org):
+        """For an MSB fault: no-protection >> P-ECC-corrected == shuffle-corrected."""
+        fault_map = FaultMap.from_cells(paper_org, [(0, 31)])
+        unprotected = mse_of_fault_map(fault_map, NoProtection(32))
+        pecc = mse_of_fault_map(fault_map, PriorityEccScheme(32))
+        shuffled = mse_of_fault_map(fault_map, BitShuffleScheme(32, 1))
+        assert pecc == 0.0
+        assert shuffled < unprotected
+
+    def test_pecc_lsb_fault_equals_unprotected(self, paper_org):
+        fault_map = FaultMap.from_cells(paper_org, [(0, 12)])
+        assert mse_of_fault_map(fault_map, PriorityEccScheme(32)) == mse_of_fault_map(
+            fault_map, NoProtection(32)
+        )
+
+    def test_bit_shuffle_lower_than_pecc_for_lsb_half_fault(self, paper_org):
+        # Fault at bit 15: P-ECC leaves it (error 2**15); nFM=2 shuffling
+        # bounds it to 2**7.
+        fault_map = FaultMap.from_cells(paper_org, [(0, 15)])
+        assert mse_of_fault_map(fault_map, BitShuffleScheme(32, 2)) < mse_of_fault_map(
+            fault_map, PriorityEccScheme(32)
+        )
+
+    def test_word_width_mismatch_rejected(self, paper_org):
+        fault_map = FaultMap.from_cells(paper_org, [(0, 0)])
+        with pytest.raises(ValueError):
+            mse_of_fault_map(fault_map, NoProtection(16))
+
+    def test_increasing_nfm_never_increases_mse(self, paper_org, rng):
+        fault_map = FaultMap.random_with_count(paper_org, 20, rng)
+        if fault_map.max_faults_per_row() > 1:  # pragma: no cover - extremely unlikely
+            pytest.skip("multi-fault row drawn")
+        values = [
+            mse_of_fault_map(fault_map, BitShuffleScheme(32, n_fm))
+            for n_fm in range(1, 6)
+        ]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,53 @@
+"""Tests for the unprotected baseline scheme."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.no_protection import NoProtection
+
+
+class TestNoProtection:
+    def test_identity_paths(self):
+        scheme = NoProtection(32)
+        assert scheme.encode_word(0, 0x12345678) == 0x12345678
+        assert scheme.decode_word(0, 0x12345678) == 0x12345678
+
+    def test_no_extra_columns(self):
+        scheme = NoProtection(32)
+        assert scheme.extra_columns == 0
+        assert scheme.storage_width == 32
+
+    def test_name(self):
+        assert NoProtection(32).name == "no-protection"
+
+    def test_residual_positions_are_the_fault_positions(self):
+        scheme = NoProtection(32)
+        assert scheme.residual_error_positions(0, [31, 4, 4]) == [4, 31]
+        assert scheme.residual_error_positions(3, []) == []
+
+    def test_worst_case_error_magnitude(self):
+        scheme = NoProtection(32)
+        assert scheme.worst_case_error_magnitude(31) == 2 ** 31
+        assert scheme.worst_case_error_magnitude(0) == 1
+
+    def test_rejects_oversized_data(self):
+        scheme = NoProtection(8)
+        with pytest.raises(ValueError):
+            scheme.encode_word(0, 256)
+        with pytest.raises(ValueError):
+            scheme.decode_word(0, 256)
+
+    def test_rejects_bad_fault_columns(self):
+        scheme = NoProtection(8)
+        with pytest.raises(ValueError):
+            scheme.residual_error_positions(0, [8])
+
+    def test_program_is_a_no_op(self):
+        scheme = NoProtection(32)
+        scheme.program({0: [5]})  # must not raise
+        assert scheme.encode_word(0, 7) == 7
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            NoProtection(0)

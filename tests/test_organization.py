@@ -1,0 +1,82 @@
+"""Tests for the memory geometry description."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.organization import MemoryOrganization
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        org = MemoryOrganization(rows=128, word_width=32)
+        assert org.total_cells == 128 * 32
+        assert org.capacity_bits == 128 * 32
+        assert org.capacity_bytes == 128 * 4
+
+    def test_rejects_non_positive_rows(self):
+        with pytest.raises(ValueError):
+            MemoryOrganization(rows=0)
+        with pytest.raises(ValueError):
+            MemoryOrganization(rows=-4)
+
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(ValueError):
+            MemoryOrganization(rows=4, word_width=0)
+
+    def test_is_hashable_and_comparable(self):
+        a = MemoryOrganization(rows=16, word_width=32)
+        b = MemoryOrganization(rows=16, word_width=32)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestPaperConfiguration:
+    def test_paper_16kb_geometry(self):
+        org = MemoryOrganization.paper_16kb()
+        assert org.rows == 4096
+        assert org.word_width == 32
+        assert org.capacity_bytes == 16 * 1024
+        assert org.total_cells == 131072
+
+    def test_capacity_kib(self):
+        assert MemoryOrganization.paper_16kb().capacity_kib == pytest.approx(16.0)
+
+
+class TestFromCapacity:
+    def test_exact_capacity(self):
+        org = MemoryOrganization.from_capacity(1024, word_width=32)
+        assert org.rows == 256
+
+    def test_rejects_non_word_multiple(self):
+        with pytest.raises(ValueError):
+            MemoryOrganization.from_capacity(1023, word_width=32)
+
+    def test_rejects_non_byte_width(self):
+        with pytest.raises(ValueError):
+            MemoryOrganization.from_capacity(1024, word_width=12)
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MemoryOrganization.from_capacity(0)
+
+
+class TestBoundsChecks:
+    def test_check_row_accepts_valid(self):
+        org = MemoryOrganization(rows=4, word_width=8)
+        org.check_row(0)
+        org.check_row(3)
+
+    def test_check_row_rejects_invalid(self):
+        org = MemoryOrganization(rows=4, word_width=8)
+        with pytest.raises(IndexError):
+            org.check_row(4)
+        with pytest.raises(IndexError):
+            org.check_row(-1)
+
+    def test_check_column_rejects_invalid(self):
+        org = MemoryOrganization(rows=4, word_width=8)
+        with pytest.raises(IndexError):
+            org.check_column(8)
+        with pytest.raises(IndexError):
+            org.check_column(-1)

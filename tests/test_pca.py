@@ -1,0 +1,102 @@
+"""Tests for the principal component analysis implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.pca import PrincipalComponentAnalysis
+
+
+def _low_rank_data(rng, n=300, p=10, rank=3):
+    basis = rng.normal(size=(rank, p))
+    weights = rng.normal(size=(n, rank)) * np.array([5.0, 3.0, 1.0])[:rank]
+    return weights @ basis + rng.normal(scale=0.05, size=(n, p))
+
+
+class TestFitting:
+    def test_components_shape(self, rng):
+        x = _low_rank_data(rng)
+        pca = PrincipalComponentAnalysis(n_components=4).fit(x)
+        assert pca.components_.shape == (4, 10)
+        assert pca.explained_variance_.shape == (4,)
+
+    def test_components_are_orthonormal(self, rng):
+        x = _low_rank_data(rng)
+        pca = PrincipalComponentAnalysis(n_components=5).fit(x)
+        gram = pca.components_ @ pca.components_.T
+        assert np.allclose(gram, np.eye(5), atol=1e-8)
+
+    def test_explained_variance_sorted_descending(self, rng):
+        x = _low_rank_data(rng)
+        pca = PrincipalComponentAnalysis().fit(x)
+        ev = pca.explained_variance_
+        assert np.all(np.diff(ev) <= 1e-9)
+
+    def test_low_rank_structure_recovered(self, rng):
+        x = _low_rank_data(rng, rank=3)
+        pca = PrincipalComponentAnalysis(n_components=3).fit(x)
+        assert pca.explained_variance_ratio_.sum() > 0.98
+
+    def test_n_components_capped_at_features(self, rng):
+        x = rng.normal(size=(20, 4))
+        pca = PrincipalComponentAnalysis(n_components=10).fit(x)
+        assert pca.components_.shape[0] == 4
+
+    def test_rejects_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            PrincipalComponentAnalysis(n_components=0)
+        with pytest.raises(ValueError):
+            PrincipalComponentAnalysis().fit(rng.normal(size=10))
+        with pytest.raises(ValueError):
+            PrincipalComponentAnalysis().fit(rng.normal(size=(1, 4)))
+
+
+class TestTransform:
+    def test_transform_matches_projection(self, rng):
+        x = _low_rank_data(rng)
+        pca = PrincipalComponentAnalysis(n_components=3).fit(x)
+        projected = pca.transform(x)
+        assert projected.shape == (len(x), 3)
+
+    def test_full_rank_reconstruction_is_exact(self, rng):
+        x = rng.normal(size=(50, 6))
+        pca = PrincipalComponentAnalysis().fit(x)
+        reconstructed = pca.inverse_transform(pca.transform(x))
+        assert np.allclose(reconstructed, x, atol=1e-8)
+
+    def test_fit_transform_equivalent(self, rng):
+        x = _low_rank_data(rng)
+        a = PrincipalComponentAnalysis(n_components=2)
+        b = PrincipalComponentAnalysis(n_components=2)
+        assert np.allclose(a.fit_transform(x), b.fit(x).transform(x))
+
+    def test_use_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            PrincipalComponentAnalysis().transform(np.zeros((2, 2)))
+
+
+class TestExplainedVarianceScore:
+    def test_training_data_score_matches_ratio_sum(self, rng):
+        x = _low_rank_data(rng)
+        pca = PrincipalComponentAnalysis(n_components=3).fit(x)
+        score = pca.explained_variance_score(x)
+        assert score == pytest.approx(pca.explained_variance_ratio_.sum(), abs=0.02)
+
+    def test_heldout_score_high_for_shared_structure(self, rng):
+        x = _low_rank_data(rng, n=400)
+        train, test = x[:300], x[300:]
+        pca = PrincipalComponentAnalysis(n_components=3).fit(train)
+        assert pca.explained_variance_score(test) > 0.9
+
+    def test_score_degrades_when_components_corrupted(self, rng):
+        x = _low_rank_data(rng)
+        pca = PrincipalComponentAnalysis(n_components=3).fit(x)
+        clean = pca.explained_variance_score(x)
+        pca.components_ = rng.normal(size=pca.components_.shape)
+        assert pca.explained_variance_score(x) < clean
+
+    def test_score_bounded_above_by_one(self, rng):
+        x = _low_rank_data(rng)
+        pca = PrincipalComponentAnalysis(n_components=5).fit(x)
+        assert pca.explained_variance_score(x) <= 1.0 + 1e-9

@@ -1,0 +1,81 @@
+"""Tests for dataset preprocessing utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.preprocessing import StandardScaler, train_test_split
+
+
+class TestTrainTestSplit:
+    def test_partition_sizes(self, rng):
+        x = np.arange(100).reshape(50, 2).astype(float)
+        y = np.arange(50)
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, 0.8, rng)
+        assert len(x_tr) == 40
+        assert len(x_te) == 10
+        assert len(y_tr) == 40
+        assert len(y_te) == 10
+
+    def test_partitions_are_disjoint_and_complete(self, rng):
+        x = np.arange(60).reshape(30, 2).astype(float)
+        y = np.arange(30)
+        _, _, y_tr, y_te = train_test_split(x, y, 0.7, rng)
+        assert sorted(np.concatenate([y_tr, y_te]).tolist()) == list(range(30))
+
+    def test_rows_stay_aligned(self, rng):
+        x = np.arange(40).reshape(20, 2).astype(float)
+        y = x[:, 0] * 10
+        x_tr, x_te, y_tr, y_te = train_test_split(x, y, 0.5, rng)
+        assert np.allclose(x_tr[:, 0] * 10, y_tr)
+        assert np.allclose(x_te[:, 0] * 10, y_te)
+
+    def test_extreme_fractions_keep_both_sides_non_empty(self, rng):
+        x = np.zeros((10, 1))
+        y = np.zeros(10)
+        x_tr, x_te, *_ = train_test_split(x, y, 0.99, rng)
+        assert len(x_tr) >= 1 and len(x_te) >= 1
+
+    def test_rejects_invalid_inputs(self, rng):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros(5), np.zeros(5), 0.8, rng)
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((5, 1)), np.zeros(4), 0.8, rng)
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((5, 1)), np.zeros(5), 1.0, rng)
+
+    def test_reproducible_with_seed(self):
+        x = np.arange(20).reshape(10, 2).astype(float)
+        y = np.arange(10)
+        a = train_test_split(x, y, 0.8, np.random.default_rng(3))
+        b = train_test_split(x, y, 0.8, np.random.default_rng(3))
+        assert np.array_equal(a[0], b[0])
+
+
+class TestStandardScaler:
+    def test_transform_zero_mean_unit_variance(self, rng):
+        x = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(x)
+        assert np.allclose(scaled.mean(0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(0), 1.0, atol=1e-9)
+
+    def test_constant_features_handled(self):
+        x = np.hstack([np.ones((10, 1)), np.arange(10).reshape(10, 1).astype(float)])
+        scaled = StandardScaler().fit_transform(x)
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_transform(self, rng):
+        x = rng.normal(size=(50, 3))
+        scaler = StandardScaler().fit(x)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(x)), x)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+
+    def test_fit_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 3)))

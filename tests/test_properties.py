@@ -1,0 +1,149 @@
+"""Cross-module property-based tests on the core system invariants.
+
+These complement the per-module hypothesis tests with end-to-end invariants
+that tie several subsystems together: any protection scheme must be lossless
+on healthy rows, bit-shuffling must honour the 2**(S-1) bound for arbitrary
+data and fault positions, the analytical residual model must never
+under-estimate the errors the bit-accurate path produces, and the MSE / yield
+machinery must respect basic dominance relations between schemes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.no_protection import NoProtection
+from repro.core.priority_ecc import PriorityEccScheme
+from repro.core.scheme import BitShuffleScheme
+from repro.core.secded_scheme import SecdedScheme
+from repro.core.segments import segment_size
+from repro.memory.faults import FaultMap
+from repro.memory.organization import MemoryOrganization
+from repro.memory.words import from_twos_complement
+from repro.quality.mse import mse_of_fault_map
+from repro.quantize.fixedpoint import FixedPointFormat
+from repro.sim.faulty_storage import FaultyTensorStore
+
+WORD32 = st.integers(min_value=0, max_value=2 ** 32 - 1)
+COLUMN = st.integers(min_value=0, max_value=31)
+NFM = st.integers(min_value=1, max_value=5)
+
+
+def _all_schemes(n_fm: int = 2):
+    return [
+        NoProtection(32),
+        SecdedScheme(32),
+        PriorityEccScheme(32),
+        BitShuffleScheme(32, n_fm, rows=4),
+    ]
+
+
+class TestLosslessOnHealthyRows:
+    @given(WORD32, NFM)
+    @settings(max_examples=60)
+    def test_every_scheme_roundtrips_without_faults(self, data, n_fm):
+        for scheme in _all_schemes(n_fm):
+            if hasattr(scheme, "attach_rows"):
+                scheme.attach_rows(4)
+            assert scheme.decode_word(1, scheme.encode_word(1, data)) == data
+
+
+class TestBitShuffleBound:
+    @given(WORD32, COLUMN, NFM)
+    @settings(max_examples=120)
+    def test_single_fault_error_bounded_for_any_data(self, data, fault_column, n_fm):
+        """|error| <= 2**(S-1) for any data word and any single fault position."""
+        scheme = BitShuffleScheme(32, n_fm, rows=2)
+        scheme.program({0: [fault_column]})
+        stored = scheme.encode_word(0, data)
+        corrupted = stored ^ (1 << fault_column)
+        recovered = scheme.decode_word(0, corrupted)
+        error = abs(
+            from_twos_complement(recovered, 32) - from_twos_complement(data, 32)
+        )
+        assert error <= 1 << (segment_size(32, n_fm) - 1)
+
+    @given(WORD32, COLUMN, NFM)
+    @settings(max_examples=60)
+    def test_shuffled_error_never_larger_than_unprotected(self, data, column, n_fm):
+        unprotected_error = 1 << column
+        scheme = BitShuffleScheme(32, n_fm, rows=2)
+        scheme.program({0: [column]})
+        stored = scheme.encode_word(0, data)
+        recovered = scheme.decode_word(0, stored ^ (1 << column))
+        error = abs(
+            from_twos_complement(recovered, 32) - from_twos_complement(data, 32)
+        )
+        assert error <= unprotected_error
+
+
+class TestAnalyticalModelSoundness:
+    @given(WORD32, COLUMN, NFM)
+    @settings(max_examples=60)
+    def test_observed_flips_are_subset_of_predicted_positions(
+        self, data, fault_column, n_fm
+    ):
+        """The residual-position model never under-reports what can go wrong."""
+        for scheme in (
+            NoProtection(32),
+            SecdedScheme(32),
+            PriorityEccScheme(32),
+            BitShuffleScheme(32, n_fm, rows=2),
+        ):
+            if hasattr(scheme, "attach_rows"):
+                scheme.attach_rows(2)
+            scheme.program({0: [fault_column]})
+            predicted = set(scheme.residual_error_positions(0, [fault_column]))
+            stored = scheme.encode_word(0, data)
+            # The physical fault hits the cell at `fault_column` of the data
+            # columns (the paper's fault population).
+            corrupted = stored ^ (1 << fault_column)
+            recovered = scheme.decode_word(0, corrupted)
+            observed = {b for b in range(32) if (recovered ^ data) >> b & 1}
+            assert observed <= predicted
+
+
+class TestSchemeDominance:
+    @given(st.integers(min_value=0, max_value=2 ** 32 - 1))
+    @settings(max_examples=30)
+    def test_mse_dominance_for_single_fault_maps(self, seed):
+        """SECDED <= bit-shuffle <= unprotected for any single-fault die."""
+        org = MemoryOrganization(rows=64, word_width=32)
+        rng = np.random.default_rng(seed)
+        fault_map = FaultMap.random_with_count(org, 1, rng)
+        secded = mse_of_fault_map(fault_map, SecdedScheme(32))
+        shuffled = mse_of_fault_map(fault_map, BitShuffleScheme(32, 3))
+        unprotected = mse_of_fault_map(fault_map, NoProtection(32))
+        assert secded <= shuffled <= unprotected
+
+    @given(st.integers(min_value=1, max_value=4), st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=30)
+    def test_nfm_refinement_dominance_single_faults(self, n_fm, seed):
+        org = MemoryOrganization(rows=64, word_width=32)
+        rng = np.random.default_rng(seed)
+        fault_map = FaultMap.random_with_count(org, 1, rng)
+        coarse = mse_of_fault_map(fault_map, BitShuffleScheme(32, n_fm))
+        fine = mse_of_fault_map(fault_map, BitShuffleScheme(32, n_fm + 1))
+        assert fine <= coarse
+
+
+class TestStoragePipeline:
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.floats(min_value=-1000.0, max_value=1000.0, allow_nan=False),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_faulty_storage_error_bound_end_to_end(self, seed, magnitude):
+        """Quantisation + storage + single fault stays within the combined bound."""
+        org = MemoryOrganization(rows=32, word_width=32)
+        rng = np.random.default_rng(seed)
+        fault_map = FaultMap.random_with_count(org, 1, rng)
+        fmt = FixedPointFormat(total_bits=32, frac_bits=16)
+        store = FaultyTensorStore(org, BitShuffleScheme(32, 2), fault_map, fmt)
+        values = np.full(org.rows, magnitude)
+        loaded = store.store_and_load(values)
+        bound = (1 << 7) * fmt.scale + fmt.scale  # 2**(S-1) codes + rounding
+        assert np.max(np.abs(loaded - values)) <= bound

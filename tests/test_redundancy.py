@@ -1,0 +1,104 @@
+"""Tests for the spare row/column redundancy repair substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.faults import FaultMap
+from repro.memory.organization import MemoryOrganization
+from repro.memory.redundancy import (
+    RedundancyRepair,
+    repair_yield,
+    spares_for_yield_target,
+)
+
+
+class TestRepairAllocation:
+    def test_fault_free_die_needs_no_spares(self, small_org):
+        result = RedundancyRepair(spare_rows=0).repair(FaultMap.empty(small_org))
+        assert result.repaired
+        assert result.spare_rows_used == 0
+
+    def test_single_fault_repaired_by_one_row(self, small_org):
+        fault_map = FaultMap.from_cells(small_org, [(3, 31)])
+        result = RedundancyRepair(spare_rows=1).repair(fault_map)
+        assert result.repaired
+        assert result.row_replacements == {3: 0}
+
+    def test_insufficient_spares_leaves_faults(self, small_org):
+        fault_map = FaultMap.from_cells(small_org, [(1, 0), (2, 0), (3, 0)])
+        result = RedundancyRepair(spare_rows=2).repair(fault_map)
+        assert not result.repaired
+        assert len(result.uncovered_faults) == 1
+
+    def test_column_spares_cover_shared_column(self, small_org):
+        # Three faults in the same column need only one spare column.
+        fault_map = FaultMap.from_cells(small_org, [(1, 5), (2, 5), (3, 5)])
+        result = RedundancyRepair(spare_rows=0, spare_columns=1).repair(fault_map)
+        assert result.repaired
+        assert result.spare_columns_used == 1
+
+    def test_rows_with_most_faults_replaced_first(self, small_org):
+        fault_map = FaultMap.from_cells(
+            small_org, [(1, 0), (1, 1), (1, 2), (2, 7)]
+        )
+        result = RedundancyRepair(spare_rows=1, spare_columns=1).repair(fault_map)
+        assert result.repaired
+        assert 1 in result.row_replacements
+        assert 7 in result.column_replacements
+
+    def test_mixed_row_and_column_repair(self, small_org):
+        fault_map = FaultMap.from_cells(small_org, [(1, 0), (2, 9), (5, 9)])
+        result = RedundancyRepair(spare_rows=1, spare_columns=1).repair(fault_map)
+        assert result.repaired
+
+    def test_rejects_negative_spares(self):
+        with pytest.raises(ValueError):
+            RedundancyRepair(spare_rows=-1)
+
+    def test_overhead_cells(self, small_org):
+        repair = RedundancyRepair(spare_rows=2, spare_columns=1)
+        expected = 2 * small_org.word_width + 1 * (small_org.rows + 2)
+        assert repair.overhead_cells(small_org) == expected
+
+
+class TestRepairYield:
+    def test_zero_spares_equals_zero_failure_yield(self, paper_org):
+        p_cell = 1e-5
+        assert repair_yield(paper_org, p_cell, 0) == pytest.approx(
+            (1 - p_cell) ** paper_org.total_cells, rel=1e-9
+        )
+
+    def test_more_spares_never_reduce_yield(self, paper_org):
+        p_cell = 5e-5
+        values = [repair_yield(paper_org, p_cell, s) for s in (0, 2, 8, 32)]
+        assert values == sorted(values)
+
+    def test_yield_bounded_by_one(self, paper_org):
+        assert repair_yield(paper_org, 1e-6, 100) <= 1.0
+
+    def test_rejects_invalid_arguments(self, paper_org):
+        with pytest.raises(ValueError):
+            repair_yield(paper_org, 1.5, 1)
+        with pytest.raises(ValueError):
+            repair_yield(paper_org, 0.1, -1)
+
+
+class TestSparesForYieldTarget:
+    def test_low_pcell_needs_few_spares(self, paper_org):
+        assert spares_for_yield_target(paper_org, 1e-7, 0.99) <= 2
+
+    def test_required_spares_explode_with_pcell(self, paper_org):
+        """Section 2: redundancy cost "increases tremendously" at scaled voltages."""
+        low = spares_for_yield_target(paper_org, 5e-6, 0.99)
+        high = spares_for_yield_target(paper_org, 1e-3, 0.99)
+        assert high > 20 * max(low, 1)
+        assert high > 130  # around the mean failure count at Pcell = 1e-3
+
+    def test_rejects_bad_target(self, paper_org):
+        with pytest.raises(ValueError):
+            spares_for_yield_target(paper_org, 1e-4, 1.0)
+
+    def test_unreachable_target_raises(self, small_org):
+        with pytest.raises(RuntimeError):
+            spares_for_yield_target(small_org, 0.9, 0.999999, max_spares=1)

@@ -1,0 +1,115 @@
+"""Tests for the application-quality Monte-Carlo runner (Fig. 7 flow)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.no_protection import NoProtection
+from repro.core.scheme import BitShuffleScheme
+from repro.core.secded_scheme import SecdedScheme
+from repro.memory.organization import MemoryOrganization
+from repro.sim.experiment import knn_benchmark
+from repro.sim.runner import QualityExperimentRunner
+
+
+@pytest.fixture(scope="module")
+def knn_bench():
+    return knn_benchmark(n_samples=150, seed=3)
+
+
+@pytest.fixture
+def runner(rng):
+    # Small memory and elevated Pcell keep the Monte-Carlo sweep cheap while
+    # exercising the full stratified flow.
+    org = MemoryOrganization(rows=256, word_width=32)
+    return QualityExperimentRunner(org, p_cell=2e-3, rng=rng, coverage=0.9)
+
+
+class TestConfiguration:
+    def test_rejects_bad_pcell(self, small_org, rng):
+        with pytest.raises(ValueError):
+            QualityExperimentRunner(small_org, 0.0, rng)
+
+    def test_failure_counts_full_range(self, runner):
+        counts = runner.failure_counts()
+        assert counts[0] == 1
+        assert counts[-1] == runner.max_failures
+
+    def test_failure_counts_subsampled(self, runner):
+        counts = runner.failure_counts(n_points=4)
+        assert len(counts) <= 4
+        assert counts[0] >= 1
+        assert counts[-1] <= runner.max_failures
+
+    def test_failure_counts_rejects_zero_points(self, runner):
+        with pytest.raises(ValueError):
+            runner.failure_counts(n_points=0)
+
+    def test_count_probabilities_sum_to_fault_mass(self, runner):
+        counts = runner.failure_counts(n_points=5)
+        probabilities = runner._count_probabilities(counts)
+        total = sum(probabilities.values())
+        from repro.faultmodel.montecarlo import failure_count_pmf
+
+        expected = sum(
+            failure_count_pmf(runner.organization.total_cells, runner.p_cell, n)
+            for n in range(1, runner.max_failures + 1)
+        )
+        assert total == pytest.approx(expected)
+
+
+class TestRun:
+    def test_run_produces_distribution_per_scheme(self, runner, knn_bench):
+        schemes = [NoProtection(32), BitShuffleScheme(32, 2)]
+        results = runner.run(
+            knn_bench, schemes, samples_per_count=2, n_count_points=3
+        )
+        assert set(results) == {"no-protection", "bit-shuffle-nfm2"}
+        for dist in results.values():
+            assert dist.benchmark == "knn"
+            assert dist.samples > 0
+            assert 0.0 <= dist.yield_at_quality(0.5) <= 1.0
+
+    def test_secded_reference_stays_at_clean_quality(self, runner, knn_bench):
+        # With multi-fault words discarded, SECDED corrects everything and the
+        # normalised quality is exactly 1 for every die.
+        results = runner.run(
+            knn_bench,
+            [SecdedScheme(32)],
+            samples_per_count=2,
+            n_count_points=3,
+        )
+        dist = results["secded-H(39,32)"]
+        assert dist.yield_at_quality(1.0 - 1e-9) == pytest.approx(1.0)
+
+    def test_protected_yield_not_worse_than_unprotected(self, runner, knn_bench):
+        results = runner.run(
+            knn_bench,
+            [NoProtection(32), BitShuffleScheme(32, 2)],
+            samples_per_count=2,
+            n_count_points=3,
+        )
+        target = 0.9
+        assert results["bit-shuffle-nfm2"].yield_at_quality(target) >= results[
+            "no-protection"
+        ].yield_at_quality(target) - 1e-9
+
+    def test_rejects_non_positive_samples(self, runner, knn_bench):
+        with pytest.raises(ValueError):
+            runner.run(knn_bench, [NoProtection(32)], samples_per_count=0)
+
+    def test_cdf_series_shapes(self, runner, knn_bench):
+        results = runner.run(
+            knn_bench, [NoProtection(32)], samples_per_count=2, n_count_points=2
+        )
+        x, y = results["no-protection"].cdf_series()
+        assert len(x) == len(y)
+        assert np.all(np.diff(y) >= -1e-12)
+
+    def test_median_quality_bounded(self, runner, knn_bench):
+        results = runner.run(
+            knn_bench, [BitShuffleScheme(32, 1)], samples_per_count=2, n_count_points=2
+        )
+        median = results["bit-shuffle-nfm1"].median_quality()
+        assert 0.0 <= median <= 1.5

@@ -1,0 +1,71 @@
+"""Tests for the barrel-rotator and FM-LUT hardware cost models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.gates import MUX2
+from repro.hardware.shifter import (
+    barrel_rotator_cost,
+    fm_lut_register_cost,
+    rotation_control_cost,
+)
+
+
+class TestBarrelRotator:
+    def test_zero_stages_is_free(self):
+        cost = barrel_rotator_cost(32, 0)
+        assert cost.area == 0.0
+        assert cost.delay == 0.0
+
+    def test_area_scales_linearly_with_stages(self):
+        one = barrel_rotator_cost(32, 1)
+        five = barrel_rotator_cost(32, 5)
+        assert five.area == pytest.approx(5 * one.area)
+        assert five.delay == pytest.approx(5 * one.delay)
+
+    def test_single_stage_is_width_muxes(self):
+        cost = barrel_rotator_cost(32, 1)
+        assert cost.area == 32 * MUX2.area
+        assert cost.delay == MUX2.delay
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            barrel_rotator_cost(0, 1)
+        with pytest.raises(ValueError):
+            barrel_rotator_cost(32, -1)
+
+
+class TestRotationControl:
+    def test_zero_bits_free(self):
+        assert rotation_control_cost(0).area == 0.0
+
+    def test_scales_with_nfm(self):
+        assert rotation_control_cost(5).area > rotation_control_cost(1).area
+
+    def test_delay_independent_of_nfm(self):
+        assert rotation_control_cost(5).delay == rotation_control_cost(1).delay
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            rotation_control_cost(-1)
+
+
+class TestRegisterLut:
+    def test_area_scales_with_rows_and_bits(self):
+        small = fm_lut_register_cost(64, 1)
+        tall = fm_lut_register_cost(128, 1)
+        wide = fm_lut_register_cost(64, 3)
+        assert tall.area > small.area
+        assert wide.area > small.area
+
+    def test_register_lut_much_larger_than_rotator_for_big_memories(self):
+        lut = fm_lut_register_cost(4096, 1)
+        rotator = barrel_rotator_cost(32, 1)
+        assert lut.area > 100 * rotator.area
+
+    def test_rejects_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            fm_lut_register_cost(0, 1)
+        with pytest.raises(ValueError):
+            fm_lut_register_cost(16, 0)

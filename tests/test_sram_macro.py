@@ -1,0 +1,72 @@
+"""Tests for the SRAM macro cost model and technology constants."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.hardware.sram_macro import SramMacroModel
+from repro.hardware.technology import Technology
+
+
+@pytest.fixture
+def macro() -> SramMacroModel:
+    return SramMacroModel(Technology.fdsoi_28nm())
+
+
+class TestTechnology:
+    def test_defaults_are_positive(self):
+        tech = Technology.fdsoi_28nm()
+        assert tech.gate_delay_ps > 0
+        assert tech.sram_cell_area_um2 > 0
+
+    def test_effective_cell_area_includes_periphery(self):
+        tech = Technology.fdsoi_28nm()
+        assert tech.effective_cell_area_um2 > tech.sram_cell_area_um2
+
+    def test_rejects_invalid_efficiency(self):
+        with pytest.raises(ValueError):
+            Technology(sram_array_efficiency=1.5)
+
+    def test_rejects_non_positive_parameters(self):
+        with pytest.raises(ValueError):
+            Technology(gate_delay_ps=0.0)
+
+    def test_is_frozen(self):
+        tech = Technology.fdsoi_28nm()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            tech.gate_delay_ps = 1.0  # type: ignore[misc]
+
+
+class TestMacroModel:
+    def test_area_scales_with_cells(self, macro):
+        assert macro.area_um2(4096, 39) > macro.area_um2(4096, 32)
+        assert macro.area_um2(4096, 32) == pytest.approx(
+            4096 * 32 * Technology.fdsoi_28nm().effective_cell_area_um2
+        )
+
+    def test_column_area_additive(self, macro):
+        assert macro.column_area_um2(4096, 7) == pytest.approx(
+            7 * macro.column_area_um2(4096, 1)
+        )
+
+    def test_read_energy_per_column(self, macro):
+        assert macro.read_energy_fj(39) > macro.read_energy_fj(32)
+        assert macro.read_energy_fj(0) == 0.0
+
+    def test_read_latency_positive(self, macro):
+        assert macro.read_latency_ps() > 0
+
+    def test_rejects_invalid_dimensions(self, macro):
+        with pytest.raises(ValueError):
+            macro.area_um2(0, 32)
+        with pytest.raises(ValueError):
+            macro.read_energy_fj(-1)
+        with pytest.raises(ValueError):
+            macro.column_area_um2(-1, 1)
+
+    def test_16kb_macro_area_plausible(self, macro):
+        # A 16 kB SRAM in 28 nm occupies on the order of 0.02-0.05 mm^2.
+        area_mm2 = macro.area_um2(4096, 32) / 1e6
+        assert 0.005 < area_mm2 < 0.1

@@ -1,0 +1,43 @@
+"""Tests for the Table 1 generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import table1_applications
+
+
+class TestTable1:
+    def test_contains_three_rows(self):
+        rows = table1_applications(scale=0.2)
+        assert len(rows) == 3
+
+    def test_row_structure(self):
+        rows = table1_applications(scale=0.2)
+        expected_keys = {
+            "class",
+            "algorithm",
+            "dataset",
+            "metric",
+            "train_samples",
+            "test_samples",
+            "n_features",
+            "clean_quality",
+        }
+        for row in rows:
+            assert set(row) == expected_keys
+
+    def test_matches_paper_table_structure(self):
+        rows = {r["metric"]: r for r in table1_applications(scale=0.2)}
+        assert rows["R2"]["class"] == "Regression"
+        assert rows["Explained Variance"]["class"] == "Dimensionality Reduction"
+        assert rows["Score"]["class"] == "Classification"
+
+    def test_split_ratio_is_80_20(self):
+        for row in table1_applications(scale=0.5):
+            total = row["train_samples"] + row["test_samples"]
+            assert row["train_samples"] / total == pytest.approx(0.8, abs=0.02)
+
+    def test_clean_quality_positive(self):
+        for row in table1_applications(scale=0.2):
+            assert 0.0 < row["clean_quality"] <= 1.0

@@ -1,0 +1,57 @@
+"""Tests for the write-path overhead model (LUT read-before-write penalty)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.hardware.overhead import OverheadModel
+from repro.memory.organization import MemoryOrganization
+
+
+@pytest.fixture
+def model(paper_org) -> OverheadModel:
+    return OverheadModel(paper_org)
+
+
+class TestWritePathOverheads:
+    def test_secded_write_path_is_encoder_dominated(self, model):
+        write = model.secded_write_overhead()
+        read = model.secded_overhead()
+        # Encoding is cheaper than decoding (no syndrome decode / correction).
+        assert write.write_delay_ps < read.read_delay_ps
+        assert write.write_power_fj < read.read_power_fj
+
+    def test_pecc_write_cheaper_than_secded(self, model):
+        assert (
+            model.priority_ecc_write_overhead().write_power_fj
+            < model.secded_write_overhead().write_power_fj
+        )
+
+    def test_column_lut_pays_read_before_write_latency(self, model):
+        """The paper's acknowledged drawback of the in-array LUT realisation."""
+        column = model.bit_shuffle_write_overhead(1, lut_realisation="column")
+        register = model.bit_shuffle_write_overhead(1, lut_realisation="register")
+        # The column LUT write path includes a full macro read.
+        assert column.write_delay_ps > model.secded_write_overhead().write_delay_ps
+        # The register-file LUT removes the macro access from the write path.
+        assert register.write_delay_ps < column.write_delay_ps
+
+    def test_write_overhead_monotone_in_nfm(self, model):
+        powers = [
+            model.bit_shuffle_write_overhead(n).write_power_fj for n in range(1, 6)
+        ]
+        assert powers == sorted(powers)
+
+    def test_rejects_unknown_lut_realisation(self, model):
+        with pytest.raises(ValueError):
+            model.bit_shuffle_write_overhead(1, lut_realisation="cam")
+
+    def test_compare_write_paths_contains_all_schemes(self, model):
+        report = model.compare_write_paths()
+        assert "secded-H(39,32)" in report
+        assert "p-ecc-H(22,16)" in report
+        assert sum(1 for name in report if name.startswith("bit-shuffle")) == 5
+
+    def test_as_dict(self, model):
+        d = model.secded_write_overhead().as_dict()
+        assert set(d) == {"write_power_fj", "write_delay_ps"}

@@ -1,0 +1,137 @@
+"""Tests for the quality-aware yield model (Eqs. 3-6, Fig. 5)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.no_protection import NoProtection
+from repro.core.priority_ecc import PriorityEccScheme
+from repro.core.scheme import BitShuffleScheme
+from repro.core.secded_scheme import SecdedScheme
+from repro.faultmodel.yieldmodel import YieldAnalyzer
+from repro.memory.organization import MemoryOrganization
+
+
+@pytest.fixture
+def analyzer(rng) -> YieldAnalyzer:
+    # A smaller memory keeps the Monte-Carlo sweeps fast while preserving the
+    # structure of the analysis.
+    org = MemoryOrganization(rows=512, word_width=32)
+    return YieldAnalyzer(org, p_cell=1e-4, rng=rng, coverage=0.999)
+
+
+class TestConstruction:
+    def test_rejects_degenerate_pcell(self, small_org, rng):
+        with pytest.raises(ValueError):
+            YieldAnalyzer(small_org, 0.0, rng)
+        with pytest.raises(ValueError):
+            YieldAnalyzer(small_org, 1.0, rng)
+
+    def test_max_failures_covers_population(self, analyzer):
+        assert analyzer.max_failures >= 1
+
+    def test_zero_fault_probability(self, analyzer):
+        expected = (1 - 1e-4) ** analyzer.organization.total_cells
+        assert analyzer.zero_fault_probability == pytest.approx(expected, rel=1e-6)
+
+
+class TestMseDistribution:
+    def test_secded_yield_is_dominated_by_clean_and_single_fault_dies(self, analyzer):
+        dist = analyzer.mse_distribution(SecdedScheme(32), samples_per_count=40)
+        # SECDED corrects every single-fault die, so essentially every die that
+        # is either clean or has one fault reaches MSE = 0.
+        assert dist.yield_at_mse(0.0) > 0.99
+
+    def test_unprotected_yield_lower_than_shuffled(self, analyzer):
+        shared = analyzer.shared_fault_maps(samples_per_count=40)
+        unprotected = analyzer.mse_distribution(
+            NoProtection(32), fault_maps_by_count=shared
+        )
+        shuffled = analyzer.mse_distribution(
+            BitShuffleScheme(32, 1), fault_maps_by_count=shared
+        )
+        target = 1e6
+        assert shuffled.yield_at_mse(target) >= unprotected.yield_at_mse(target)
+
+    def test_mse_at_yield_monotone_in_nfm_single_fault_rows(self, analyzer):
+        # The finer the LUT granularity, the smaller the MSE a given yield
+        # target requires -- in the paper's single-fault-per-word regime.
+        # Rows with several faults are excluded here (the most-significant
+        # programming policy cannot neutralise them all; see the dedicated
+        # multi-fault ablation test below).
+        shared = analyzer.shared_fault_maps(samples_per_count=40)
+        filtered = {
+            count: [m for m in maps if m.max_faults_per_row() <= 1]
+            for count, maps in shared.items()
+        }
+        values = [
+            analyzer.mse_distribution(
+                BitShuffleScheme(32, n_fm), fault_maps_by_count=filtered
+            ).mse_at_yield(0.999)
+            for n_fm in (1, 3, 5)
+        ]
+        assert values == sorted(values, reverse=True)
+
+    def test_minimax_policy_tames_multi_fault_rows(self, analyzer):
+        # Ablation: with several faults in one row the simple most-significant
+        # policy can wrap a low fault to a high logical position; the minimax
+        # policy never requires a larger MSE at the same yield target.
+        shared = analyzer.shared_fault_maps(samples_per_count=40)
+        greedy = analyzer.mse_distribution(
+            BitShuffleScheme(32, 5, multi_fault_policy="most-significant"),
+            fault_maps_by_count=shared,
+        )
+        minimax = analyzer.mse_distribution(
+            BitShuffleScheme(32, 5, multi_fault_policy="minimax"),
+            fault_maps_by_count=shared,
+        )
+        assert minimax.mse_at_yield(0.999) <= greedy.mse_at_yield(0.999)
+
+    def test_exclude_fault_free_mass(self, analyzer):
+        with_mass = analyzer.mse_distribution(
+            NoProtection(32), samples_per_count=20, include_fault_free=True
+        )
+        without_mass = analyzer.mse_distribution(
+            NoProtection(32), samples_per_count=20, include_fault_free=False
+        )
+        assert with_mass.yield_at_mse(0.0) >= analyzer.zero_fault_probability - 1e-9
+        assert without_mass.yield_at_mse(0.0) < with_mass.yield_at_mse(0.0)
+
+    def test_rejects_word_width_mismatch(self, analyzer):
+        with pytest.raises(ValueError):
+            analyzer.mse_distribution(NoProtection(16))
+
+    def test_rejects_non_positive_samples(self, analyzer):
+        with pytest.raises(ValueError):
+            analyzer.mse_distribution(NoProtection(32), samples_per_count=0)
+
+    def test_yield_queries_validate_input(self, analyzer):
+        dist = analyzer.mse_distribution(NoProtection(32), samples_per_count=5)
+        with pytest.raises(ValueError):
+            dist.yield_at_mse(-1.0)
+
+    def test_cdf_series_on_grid(self, analyzer):
+        dist = analyzer.mse_distribution(NoProtection(32), samples_per_count=10)
+        grid = [1e0, 1e3, 1e6, 1e9, 1e15]
+        x, y = dist.cdf_series(grid)
+        assert list(x) == grid
+        assert all(0.0 <= v <= 1.0 for v in y)
+        assert list(y) == sorted(y)
+
+
+class TestSchemeComparison:
+    def test_compare_uses_shared_dies(self, analyzer):
+        results = analyzer.compare_schemes(
+            [NoProtection(32), BitShuffleScheme(32, 2), PriorityEccScheme(32)],
+            samples_per_count=30,
+        )
+        assert set(results) == {"no-protection", "bit-shuffle-nfm2", "p-ecc-H(22,16)"}
+        # Paper Fig. 5: the proposed scheme with nFM=2 outperforms P-ECC.
+        pecc = results["p-ecc-H(22,16)"]
+        shuffled = results["bit-shuffle-nfm2"]
+        assert shuffled.mse_at_yield(0.999) <= pecc.mse_at_yield(0.999)
+
+    def test_samples_counted(self, analyzer):
+        dist = analyzer.mse_distribution(NoProtection(32), samples_per_count=10)
+        assert dist.samples == analyzer.max_failures * 10
