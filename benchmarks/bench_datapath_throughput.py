@@ -1,12 +1,19 @@
 """Micro-benchmarks of the protection-scheme datapaths.
 
 These are not paper figures; they characterise the simulation performance of
-the library itself (encode/decode throughput of each scheme and the
-Monte-Carlo MSE evaluation), which determines how far the Fig. 5 / Fig. 7
-budgets can be raised on a given machine.
+the library itself (scalar and batch encode/decode throughput of each scheme
+and the Monte-Carlo MSE evaluation), which determines how far the Fig. 5 /
+Fig. 7 budgets can be raised on a given machine.
+
+``test_bit_shuffle_batch_speedup`` additionally pins down the headline win of
+the vectorised datapath: the batch ``encode_words``/``decode_words`` round
+trip must beat the scalar word-at-a-time loop by at least 10x on the
+bit-shuffle scheme (in practice the margin is two orders of magnitude).
 """
 
 from __future__ import annotations
+
+import time
 
 import numpy as np
 import pytest
@@ -24,30 +31,98 @@ WORDS = (np.arange(1, 257, dtype=np.uint64) * np.uint64(0x01010101)) & np.uint64
     0xFFFFFFFF
 )
 
+BATCH_ROWS = 256
+BATCH_WORDS = (
+    np.arange(1, 65537, dtype=np.uint64) * np.uint64(0x9E3779B9)
+) & np.uint64(0xFFFFFFFF)
+BATCH_ROW_INDICES = (np.arange(BATCH_WORDS.size) % BATCH_ROWS).astype(np.int64)
 
-def _roundtrip(scheme):
+SCHEME_FACTORIES = [
+    pytest.param(lambda: NoProtection(32), id="no-protection"),
+    pytest.param(lambda: SecdedScheme(32), id="secded"),
+    pytest.param(lambda: PriorityEccScheme(32), id="p-ecc"),
+    pytest.param(
+        lambda: BitShuffleScheme(32, 1, rows=BATCH_ROWS), id="bit-shuffle-nfm1"
+    ),
+    pytest.param(
+        lambda: BitShuffleScheme(32, 5, rows=BATCH_ROWS), id="bit-shuffle-nfm5"
+    ),
+]
+
+
+def _make_scheme(scheme_factory):
+    """Instantiate a scheme and program non-trivial per-row state if it has any."""
+    scheme = scheme_factory()
+    if hasattr(scheme, "lut"):
+        scheme.program({row: [(row * 7) % 32] for row in range(0, BATCH_ROWS, 3)})
+    return scheme
+
+
+def _scalar_roundtrip(scheme, rows, words):
     total = 0
-    for word in WORDS.tolist():
-        stored = scheme.encode_word(0, int(word))
-        total += scheme.decode_word(0, stored)
+    for row, word in zip(rows.tolist(), words.tolist()):
+        stored = scheme.encode_word(row, int(word))
+        total += scheme.decode_word(row, stored)
     return total
 
 
-@pytest.mark.parametrize(
-    "scheme_factory",
-    [
-        pytest.param(lambda: NoProtection(32), id="no-protection"),
-        pytest.param(lambda: SecdedScheme(32), id="secded"),
-        pytest.param(lambda: PriorityEccScheme(32), id="p-ecc"),
-        pytest.param(lambda: BitShuffleScheme(32, 1, rows=4), id="bit-shuffle-nfm1"),
-        pytest.param(lambda: BitShuffleScheme(32, 5, rows=4), id="bit-shuffle-nfm5"),
-    ],
-)
+def _batch_roundtrip(scheme, rows, words):
+    stored = scheme.encode_words(rows, words)
+    return int(scheme.decode_words(rows, stored).sum())
+
+
+@pytest.mark.parametrize("scheme_factory", SCHEME_FACTORIES)
 def test_encode_decode_throughput(benchmark, scheme_factory):
-    """Encode+decode throughput of each scheme (256 words per round)."""
-    scheme = scheme_factory()
-    result = benchmark(_roundtrip, scheme)
+    """Scalar encode+decode throughput of each scheme (256 words per round)."""
+    scheme = _make_scheme(scheme_factory)
+    result = benchmark(
+        _scalar_roundtrip, scheme, BATCH_ROW_INDICES[: WORDS.size], WORDS
+    )
     assert result > 0
+
+
+@pytest.mark.parametrize("scheme_factory", SCHEME_FACTORIES)
+def test_batch_encode_decode_throughput(benchmark, scheme_factory):
+    """Batch encode_words+decode_words throughput (64k words per round)."""
+    scheme = _make_scheme(scheme_factory)
+    result = benchmark(
+        _batch_roundtrip, scheme, BATCH_ROW_INDICES, BATCH_WORDS
+    )
+    assert result > 0
+
+
+@pytest.mark.parametrize("scheme_factory", SCHEME_FACTORIES)
+def test_batch_matches_scalar(scheme_factory):
+    """The timed batch path returns exactly what the timed scalar path returns."""
+    scheme = _make_scheme(scheme_factory)
+    n = 512
+    assert _batch_roundtrip(
+        scheme, BATCH_ROW_INDICES[:n], BATCH_WORDS[:n]
+    ) == _scalar_roundtrip(scheme, BATCH_ROW_INDICES[:n], BATCH_WORDS[:n])
+
+
+def test_bit_shuffle_batch_speedup():
+    """Batch datapath must be >= 10x faster than the scalar seed path."""
+    scheme = _make_scheme(lambda: BitShuffleScheme(32, 2, rows=BATCH_ROWS))
+    n = 65536
+
+    start = time.perf_counter()
+    _scalar_roundtrip(scheme, BATCH_ROW_INDICES[:n], BATCH_WORDS[:n])
+    scalar_seconds = time.perf_counter() - start
+
+    batch_seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        _batch_roundtrip(scheme, BATCH_ROW_INDICES[:n], BATCH_WORDS[:n])
+        batch_seconds = min(batch_seconds, time.perf_counter() - start)
+
+    speedup = scalar_seconds / batch_seconds
+    print(
+        f"\nbit-shuffle batch speedup: {speedup:.1f}x "
+        f"(scalar {n / scalar_seconds:,.0f} words/s, "
+        f"batch {n / batch_seconds:,.0f} words/s)"
+    )
+    assert speedup >= 10.0
 
 
 def test_mse_evaluation_throughput(benchmark):

@@ -3,8 +3,10 @@
 Every scheme implements the :class:`~repro.core.base.ProtectionScheme`
 interface with two complementary views:
 
-* an *operational* view (``encode_word`` / ``decode_word``) used by the
-  bit-accurate :class:`~repro.memory.controller.ProtectedMemory`, and
+* an *operational* view used by the bit-accurate
+  :class:`~repro.memory.controller.ProtectedMemory`: scalar ``encode_word`` /
+  ``decode_word``, plus the bit-exact vectorised batch form ``encode_words`` /
+  ``decode_words`` that the simulation datapath runs on, and
 * an *analytical* view (``residual_error_positions``) used by the fast
   Monte-Carlo yield model behind Fig. 5 and Fig. 7, which only needs to know
   which logical data bits can still be corrupted for a given set of physical

@@ -3,7 +3,9 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
 
 __all__ = ["ProtectionScheme"]
 
@@ -18,6 +20,14 @@ class ProtectionScheme(ABC):
         stored = scheme.encode_word(row, data)    # on every write
         ...faults corrupt ``stored``...
         data'  = scheme.decode_word(row, observed)  # on every read
+
+    Simulation sweeps push whole memory pages through that flow at once via
+    the *batch* view, :meth:`encode_words` / :meth:`decode_words`, which
+    operate on parallel ``uint64`` arrays of row indices and word patterns.
+    The base class provides a generic (bit-exact but slow) fallback that loops
+    over the scalar methods; concrete schemes override it with true NumPy
+    vectorisation.  Both views must agree bit-for-bit — the batch methods are
+    an implementation of the scalar contract, never a different code.
 
     The analytical flow used by the Monte-Carlo yield model asks a single
     question per row: *given faults at these physical data-bit positions, which
@@ -76,6 +86,66 @@ class ProtectionScheme(ABC):
     def decode_word(self, row: int, stored: int) -> int:
         """Recover the logical data word from the (possibly corrupted) stored
         pattern read from ``row``."""
+
+    # ------------------------------------------------------------------ #
+    # Operational (batch) view
+    # ------------------------------------------------------------------ #
+    def encode_words(self, rows: np.ndarray, data: np.ndarray) -> np.ndarray:
+        """Batch :meth:`encode_word`: encode ``data[i]`` for ``rows[i]``.
+
+        ``rows`` and ``data`` are parallel one-dimensional arrays; the result
+        is a ``uint64`` array of stored patterns.  The generic implementation
+        loops over the scalar method and is overridden with vectorised code by
+        every concrete scheme.
+        """
+        rows, data = self._check_batch(rows, data, self._word_width, "data")
+        out = np.empty(rows.size, dtype=np.uint64)
+        for i in range(rows.size):
+            out[i] = self.encode_word(int(rows[i]), int(data[i]))
+        return out
+
+    def decode_words(self, rows: np.ndarray, stored: np.ndarray) -> np.ndarray:
+        """Batch :meth:`decode_word`: decode ``stored[i]`` read from ``rows[i]``.
+
+        Returns a ``uint64`` array of recovered logical data words.
+        """
+        rows, stored = self._check_batch(
+            rows, stored, self.storage_width, "stored pattern"
+        )
+        out = np.empty(rows.size, dtype=np.uint64)
+        for i in range(rows.size):
+            out[i] = self.decode_word(int(rows[i]), int(stored[i]))
+        return out
+
+    def _check_batch(
+        self, rows: np.ndarray, patterns: np.ndarray, width: int, what: str
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Validate and normalise a (rows, patterns) batch to int64/uint64.
+
+        Patterns are ``uint64``, so ``width`` may not exceed 64; individual
+        schemes can be stricter (the rotation and 2's-complement helpers in
+        :mod:`repro.memory.words` top out at 63-bit data words and raise
+        their own errors).
+        """
+        if width > 64:
+            raise ValueError(
+                f"batch datapath supports storage widths up to 64 bits, "
+                f"got {width}"
+            )
+        rows = np.asarray(rows, dtype=np.int64)
+        patterns = np.asarray(patterns, dtype=np.uint64)
+        if rows.ndim != 1 or patterns.ndim != 1:
+            raise ValueError("batch rows and patterns must be one-dimensional")
+        if rows.shape != patterns.shape:
+            raise ValueError(
+                f"batch rows and patterns must have equal length, got "
+                f"{rows.size} and {patterns.size}"
+            )
+        if width < 64 and patterns.size and np.any(
+            patterns > np.uint64((1 << width) - 1)
+        ):
+            raise ValueError(f"{what} does not fit in {width} bits")
+        return rows, patterns
 
     # ------------------------------------------------------------------ #
     # Analytical view

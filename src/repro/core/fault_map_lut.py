@@ -116,6 +116,10 @@ class FaultMapLut:
     # ------------------------------------------------------------------ #
     # Programming from BIST results
     # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        """Clear every entry to ``xFM = 0`` (the no-rotation state)."""
+        self._entries[:] = 0
+
     def program_row(self, row: int, fault_columns: Sequence[int]) -> None:
         """Program ``xFM(row)`` from the faulty bit positions BIST found in the row.
 

@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.core.base import ProtectionScheme
 
 __all__ = ["NoProtection"]
@@ -38,6 +40,18 @@ class NoProtection(ProtectionScheme):
         if stored < 0 or stored >> self.word_width:
             raise ValueError(f"stored pattern does not fit in {self.word_width} bits")
         return stored
+
+    def encode_words(self, rows: np.ndarray, data: np.ndarray) -> np.ndarray:
+        """Vectorised identity write path."""
+        _rows, data = self._check_batch(rows, data, self.word_width, "data")
+        return data.copy()
+
+    def decode_words(self, rows: np.ndarray, stored: np.ndarray) -> np.ndarray:
+        """Vectorised identity read path."""
+        _rows, stored = self._check_batch(
+            rows, stored, self.storage_width, "stored pattern"
+        )
+        return stored.copy()
 
     def residual_error_positions(
         self, row: int, fault_columns: Sequence[int]

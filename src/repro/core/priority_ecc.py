@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
+import numpy as np
+
 from repro.core.base import ProtectionScheme
 from repro.ecc.hamming import SecdedCode, secded_code_for_data_bits
 from repro.memory.words import bit_mask
@@ -97,6 +99,24 @@ class PriorityEccScheme(ProtectionScheme):
         codeword = stored >> self._unprotected_bits
         high = self._code.decode(codeword).data
         return low | (high << self._unprotected_bits)
+
+    def encode_words(self, rows: np.ndarray, data: np.ndarray) -> np.ndarray:
+        """Vectorised encode: raw LSB half, batch SECDED codewords for the MSBs."""
+        _rows, data = self._check_batch(rows, data, self.word_width, "data")
+        shift = np.uint64(self._unprotected_bits)
+        low = data & np.uint64(self._low_mask)
+        codewords = self._code.encode_array(data >> shift)
+        return low | (codewords << shift)
+
+    def decode_words(self, rows: np.ndarray, stored: np.ndarray) -> np.ndarray:
+        """Vectorised decode: batch-decode the MSB codewords, pass the LSBs through."""
+        _rows, stored = self._check_batch(
+            rows, stored, self.storage_width, "stored pattern"
+        )
+        shift = np.uint64(self._unprotected_bits)
+        low = stored & np.uint64(self._low_mask)
+        high = self._code.decode_data_array(stored >> shift)
+        return low | (high << shift)
 
     def residual_error_positions(
         self, row: int, fault_columns: Sequence[int]

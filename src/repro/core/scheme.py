@@ -24,6 +24,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Mapping, Optional, Sequence
 
+import numpy as np
+
 from repro.core.base import ProtectionScheme
 from repro.core.fault_map_lut import FaultMapLut
 from repro.core.segments import rotation_amount, segment_index, segment_size
@@ -125,8 +127,7 @@ class BitShuffleScheme(ProtectionScheme):
         """Program the FM-LUT from BIST fault locations (row -> fault columns)."""
         lut = self.lut
         # Reset, then program only faulty rows; healthy rows keep xFM = 0.
-        for row in range(lut.rows):
-            lut.set_entry(row, 0)
+        lut.reset()
         for row, columns in fault_columns_by_row.items():
             lut.set_entry(row, self._select_entry(columns))
 
@@ -175,6 +176,34 @@ class BitShuffleScheme(ProtectionScheme):
         data_part = stored & ((1 << self.word_width) - 1)
         rotation = self.lut.rotation(row)
         return self._shuffler.unshuffle(data_part, rotation)
+
+    # ------------------------------------------------------------------ #
+    # Operational (batch) view
+    # ------------------------------------------------------------------ #
+    def _gather_lut(self, rows: np.ndarray):
+        """Per-word LUT entries and rotation amounts gathered from the FM-LUT."""
+        lut = self.lut
+        if rows.size and (rows.min() < 0 or rows.max() >= lut.rows):
+            raise IndexError(f"row index out of range [0, {lut.rows})")
+        entries = lut.entries()
+        rotations = lut.rotations()
+        return entries[rows], rotations[rows]
+
+    def encode_words(self, rows: np.ndarray, data: np.ndarray) -> np.ndarray:
+        """Vectorised write path: gather per-row rotations, rotate, append entries."""
+        rows, data = self._check_batch(rows, data, self.word_width, "data")
+        entries, rotations = self._gather_lut(rows)
+        shuffled = self._shuffler.shuffle_array(data, rotations)
+        return shuffled | (entries.astype(np.uint64) << np.uint64(self.word_width))
+
+    def decode_words(self, rows: np.ndarray, stored: np.ndarray) -> np.ndarray:
+        """Vectorised read path: strip the LUT columns and undo the rotations."""
+        rows, stored = self._check_batch(
+            rows, stored, self.storage_width, "stored pattern"
+        )
+        _entries, rotations = self._gather_lut(rows)
+        data_part = stored & np.uint64((1 << self.word_width) - 1)
+        return self._shuffler.unshuffle_array(data_part, rotations)
 
     # ------------------------------------------------------------------ #
     # Analytical view

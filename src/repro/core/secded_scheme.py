@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import List, Sequence
 
+import numpy as np
+
 from repro.core.base import ProtectionScheme
 from repro.ecc.hamming import DecodeStatus, SecdedCode, secded_code_for_data_bits
 
@@ -47,6 +49,18 @@ class SecdedScheme(ProtectionScheme):
     def decode_word(self, row: int, stored: int) -> int:
         """Decode a (possibly corrupted) codeword; single errors are corrected."""
         return self._code.decode(stored).data
+
+    def encode_words(self, rows: np.ndarray, data: np.ndarray) -> np.ndarray:
+        """Vectorised encode: the parity-check matrix applied to whole arrays."""
+        _rows, data = self._check_batch(rows, data, self.word_width, "data")
+        return self._code.encode_array(data)
+
+    def decode_words(self, rows: np.ndarray, stored: np.ndarray) -> np.ndarray:
+        """Vectorised syndrome decode with single-error correction."""
+        _rows, stored = self._check_batch(
+            rows, stored, self.storage_width, "stored pattern"
+        )
+        return self._code.decode_data_array(stored)
 
     def decode_status(self, stored: int) -> DecodeStatus:
         """Expose the decoder's error classification (used in tests and analysis)."""

@@ -84,6 +84,7 @@ class FaultMap:
                 )
             by_cell[key] = fault
         self._faults = by_cell
+        self._mask_cache: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -182,6 +183,56 @@ class FaultMap:
                 raise ValueError("flip_masks() requires a pure bit-flip fault map")
             masks[fault.row] |= np.uint64(1 << fault.column)
         return masks
+
+    def corruption_masks(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-row ``(and, or, xor)`` masks expressing every fault kind at once.
+
+        A read of row ``r`` observes ``((pattern & and[r]) | or[r]) ^ xor[r]``:
+        stuck-at-zero cells are cleared by the AND mask, stuck-at-one cells set
+        by the OR mask, and bit-flip cells inverted by the XOR mask.  Each cell
+        carries at most one fault, so the three masks never overlap and the
+        composition is exact for any mix of fault kinds.
+        """
+        if self._mask_cache is None:
+            rows = self._organization.rows
+            word_mask = np.uint64((1 << self._organization.word_width) - 1)
+            and_masks = np.full(rows, word_mask, dtype=np.uint64)
+            or_masks = np.zeros(rows, dtype=np.uint64)
+            xor_masks = np.zeros(rows, dtype=np.uint64)
+            for fault in self._faults.values():
+                bit = np.uint64(1 << fault.column)
+                if fault.kind is FaultKind.STUCK_AT_ZERO:
+                    and_masks[fault.row] &= ~bit
+                elif fault.kind is FaultKind.STUCK_AT_ONE:
+                    or_masks[fault.row] |= bit
+                else:  # BIT_FLIP
+                    xor_masks[fault.row] |= bit
+            self._mask_cache = (and_masks, or_masks, xor_masks)
+        return self._mask_cache
+
+    def corrupt_words(self, rows: np.ndarray, patterns: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`corrupt_word` over parallel row/pattern arrays.
+
+        ``rows`` selects the per-row fault masks for each pattern; the masks
+        are built once per map and cached (faults are persistent).
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        patterns = np.asarray(patterns, dtype=np.uint64)
+        if rows.shape != patterns.shape:
+            raise ValueError("rows and patterns must have equal shapes")
+        word_mask = np.uint64((1 << self._organization.word_width) - 1)
+        if patterns.size and np.any(patterns > word_mask):
+            raise ValueError(
+                f"pattern does not fit in {self._organization.word_width} bits"
+            )
+        if rows.size and (
+            rows.min() < 0 or rows.max() >= self._organization.rows
+        ):
+            raise IndexError(
+                f"row index out of range [0, {self._organization.rows})"
+            )
+        and_masks, or_masks, xor_masks = self.corruption_masks()
+        return ((patterns & and_masks[rows]) | or_masks[rows]) ^ xor_masks[rows]
 
     # ------------------------------------------------------------------ #
     # Construction helpers

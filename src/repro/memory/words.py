@@ -7,7 +7,9 @@ significant bits land on faulty cells.  All of those primitives live here:
 * packing/unpacking Python integers to/from fixed-width 2's complement,
 * bit extraction and mutation,
 * right/left circular shifts (the core operation of the bit-shuffling scheme),
-* vectorised numpy equivalents for bulk simulation of large memories.
+* vectorised numpy equivalents for bulk simulation of large memories,
+  including array-wide 2's-complement packing and bitwise parity (the
+  primitives behind the batch ``encode_words``/``decode_words`` datapath).
 
 All word-level functions treat a word as an unsigned ``width``-bit pattern;
 signed interpretation happens only at the 2's-complement boundary.
@@ -22,7 +24,9 @@ __all__ = [
     "clear_bit",
     "flip_bit",
     "from_twos_complement",
+    "from_twos_complement_array",
     "get_bit",
+    "parity_array",
     "popcount",
     "rotate_left",
     "rotate_right",
@@ -32,6 +36,7 @@ __all__ = [
     "to_bit_array",
     "from_bit_array",
     "to_twos_complement",
+    "to_twos_complement_array",
 ]
 
 
@@ -181,6 +186,47 @@ def from_bit_array(bits: np.ndarray) -> int:
         if b:
             value |= 1 << i
     return value
+
+
+def to_twos_complement_array(values: np.ndarray, width: int) -> np.ndarray:
+    """Vectorised :func:`to_twos_complement`: signed int64 codes -> uint64 patterns.
+
+    Supports widths up to 63 bits (patterns are returned as ``uint64``).
+    """
+    _check_width(width)
+    if width > 63:
+        raise ValueError("vectorised 2's complement supports widths up to 63 bits")
+    values = np.asarray(values, dtype=np.int64)
+    lo = -(1 << (width - 1))
+    hi = (1 << (width - 1)) - 1
+    if np.any(values < lo) or np.any(values > hi):
+        raise ValueError(f"values out of range for {width}-bit 2's complement")
+    return values.astype(np.uint64) & np.uint64(bit_mask(width))
+
+
+def from_twos_complement_array(patterns: np.ndarray, width: int) -> np.ndarray:
+    """Vectorised :func:`from_twos_complement`: uint64 patterns -> signed int64 codes."""
+    _check_width(width)
+    if width > 63:
+        raise ValueError("vectorised 2's complement supports widths up to 63 bits")
+    patterns = np.asarray(patterns, dtype=np.uint64)
+    if np.any(patterns > np.uint64(bit_mask(width))):
+        raise ValueError(f"pattern exceeds {width}-bit range")
+    sign = np.uint64(1 << (width - 1))
+    # (x ^ m) - m sign-extends an m-bit pattern; x ^ sign stays below 2**63.
+    return (patterns ^ sign).astype(np.int64) - np.int64(sign)
+
+
+def parity_array(patterns: np.ndarray) -> np.ndarray:
+    """Bitwise parity (popcount mod 2) of each uint64 pattern, as uint64 0/1."""
+    patterns = np.asarray(patterns, dtype=np.uint64)
+    if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
+        return (np.bitwise_count(patterns) & np.uint8(1)).astype(np.uint64)
+    # XOR-fold fallback for NumPy 1.x.
+    folded = patterns.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        folded ^= folded >> np.uint64(shift)
+    return folded & np.uint64(1)
 
 
 def rotate_right_array(patterns: np.ndarray, amounts: np.ndarray, width: int) -> np.ndarray:

@@ -16,22 +16,36 @@ of ``rows`` values, which is how a real system would stream a large training
 set through a small on-chip buffer.
 
 Healthy rows round-trip bit-exactly through every scheme (encode and decode
-are inverses), so only the rows containing faults are pushed through the full
-scalar encode/corrupt/decode path; this keeps Monte-Carlo sweeps over
-thousands of fault maps tractable while remaining bit-accurate where it
-matters.
+are inverses), so only the values landing on faulty rows are pushed through
+the encode/corrupt/decode datapath -- and that datapath is fully batched: the
+store gathers every affected value of every page into one ``uint64`` array,
+runs the scheme's vectorised :meth:`~repro.core.base.ProtectionScheme.
+encode_words` / :meth:`~repro.core.base.ProtectionScheme.decode_words`, and
+corrupts all words at once with the fault map's per-row stuck-at/flip masks.
+This is what makes Monte-Carlo sweeps over thousands of fault maps tractable
+while remaining bit-exact with the scalar word-at-a-time model.
+
+Ownership contract: the constructor deep-copies the supplied scheme before
+programming its die-specific state (``attach_rows`` / ``program``), so the
+caller's scheme instance is never mutated and any number of stores may be
+built from one shared scheme object without corrupting each other's FM-LUT
+state.  The programmed copy is available as :attr:`FaultyTensorStore.scheme`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import copy
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.core.base import ProtectionScheme
 from repro.memory.faults import FaultMap
 from repro.memory.organization import MemoryOrganization
-from repro.memory.words import from_twos_complement, to_twos_complement
+from repro.memory.words import (
+    from_twos_complement_array,
+    to_twos_complement_array,
+)
 from repro.quantize.fixedpoint import FixedPointFormat
 
 __all__ = ["FaultyTensorStore"]
@@ -45,8 +59,9 @@ class FaultyTensorStore:
     organization:
         Geometry of the data memory (16 kB / 32-bit words in the paper).
     scheme:
-        Protection scheme guarding the memory.  Its FM-LUT (if any) is
-        programmed from the supplied fault map, mirroring the BIST flow.
+        Protection scheme guarding the memory.  The store programs a private
+        deep copy from the supplied fault map (mirroring the BIST flow); the
+        caller's instance is left untouched.
     fault_map:
         Persistent fault map of the die's data columns.
     fixed_point:
@@ -76,13 +91,19 @@ class FaultyTensorStore:
                 "fixed-point word width must match the memory word width"
             )
         self._organization = organization
-        self._scheme = scheme
         self._fault_map = fault_map
         self._fixed_point = fixed_point
         self._faulty_rows = fault_map.faulty_columns_by_row()
+        self._faulty_row_array = np.array(
+            sorted(self._faulty_rows), dtype=np.int64
+        )
+        # Program a private copy so the caller's scheme is never mutated and
+        # stores sharing one scheme object cannot corrupt each other's LUTs.
+        scheme = copy.deepcopy(scheme)
         if hasattr(scheme, "attach_rows"):
             scheme.attach_rows(organization.rows)
         scheme.program(self._faulty_rows)
+        self._scheme = scheme
 
     # ------------------------------------------------------------------ #
     # Properties
@@ -94,7 +115,7 @@ class FaultyTensorStore:
 
     @property
     def scheme(self) -> ProtectionScheme:
-        """Protection scheme in use."""
+        """The store's programmed private copy of the protection scheme."""
         return self._scheme
 
     @property
@@ -124,40 +145,70 @@ class FaultyTensorStore:
         exhibit whatever corruption the protection scheme failed to prevent.
         """
         values = np.asarray(values, dtype=np.float64)
-        original_shape = values.shape
-        flat = values.ravel()
-        raw = self._fixed_point.quantize_array(flat)
-        width = self._organization.word_width
-        rows = self._organization.rows
+        raw = self._fixed_point.quantize_array(values.ravel())
+        restored = self._fixed_point.dequantize_array(self._roundtrip_raw(raw))
+        return restored.reshape(values.shape)
 
-        # Only rows with faults need the full encode/corrupt/decode treatment.
+    def load_quantized(self, raw: np.ndarray) -> np.ndarray:
+        """Round-trip already-quantised integer codes; return de-quantised floats.
+
+        ``raw`` holds signed fixed-point codes (as produced by
+        :meth:`FixedPointFormat.quantize_array`); the result has the same
+        shape.  This lets callers that sweep many fault maps or schemes over
+        the same tensor quantise it once and reuse the codes for every store.
+        """
+        raw = np.asarray(raw, dtype=np.int64)
+        restored = self._fixed_point.dequantize_array(
+            self._roundtrip_raw(raw.ravel())
+        )
+        return restored.reshape(raw.shape)
+
+    def _roundtrip_raw(self, raw: np.ndarray) -> np.ndarray:
+        """Push flat signed codes through the batched encode/corrupt/decode path."""
         corrupted_raw = raw.copy()
-        if self._faulty_rows:
-            total = flat.size
-            for row in self._faulty_rows:
-                # The same physical row hosts value indices row, row + rows,
-                # row + 2*rows, ... (consecutive pages through the memory).
-                for index in range(row, total, rows):
-                    pattern = to_twos_complement(int(raw[index]), width)
-                    stored = self._scheme.encode_word(row, pattern)
-                    observed = self._corrupt(row, stored)
-                    recovered = self._scheme.decode_word(row, observed)
-                    corrupted_raw[index] = from_twos_complement(recovered, width)
+        if self._faulty_row_array.size == 0:
+            return corrupted_raw
+        rows, indices = self._affected(raw.size)
+        if indices.size == 0:
+            return corrupted_raw
+        width = self._organization.word_width
+        patterns = to_twos_complement_array(raw[indices], width)
+        stored = self._scheme.encode_words(rows, patterns)
+        observed = self._corrupt_words(rows, stored)
+        recovered = self._scheme.decode_words(rows, observed)
+        corrupted_raw[indices] = from_twos_complement_array(recovered, width)
+        return corrupted_raw
 
-        restored = self._fixed_point.dequantize_array(corrupted_raw)
-        return restored.reshape(original_shape)
+    def _affected(self, n_values: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(rows, flat indices)`` of the values landing on faulty rows.
 
-    def _corrupt(self, row: int, stored: int) -> int:
-        """Apply the row's fault behaviour to a stored pattern.
+        The same physical row hosts value indices ``row, row + rows,
+        row + 2*rows, ...`` (consecutive pages through the memory).
+        """
+        rows = self._organization.rows
+        faulty = self._faulty_row_array
+        n_pages = (n_values + rows - 1) // rows
+        if n_pages == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        indices = (
+            faulty[np.newaxis, :]
+            + rows * np.arange(n_pages, dtype=np.int64)[:, np.newaxis]
+        ).ravel()
+        keep = indices < n_values
+        return np.tile(faulty, n_pages)[keep], indices[keep]
+
+    def _corrupt_words(self, rows: np.ndarray, stored: np.ndarray) -> np.ndarray:
+        """Apply each row's fault behaviour to a batch of stored patterns.
 
         The fault map is defined over the data columns; scheme overhead
         columns (parity, FM-LUT) are fault-free in this model, matching the
         paper's 16 kB fault population.
         """
-        data_mask = (1 << self._organization.word_width) - 1
+        data_mask = np.uint64((1 << self._organization.word_width) - 1)
         data_part = stored & data_mask
         upper_part = stored & ~data_mask
-        return self._fault_map.corrupt_word(row, data_part) | upper_part
+        return self._fault_map.corrupt_words(rows, data_part) | upper_part
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -166,8 +217,5 @@ class FaultyTensorStore:
         """Flat indices of values that land on faulty rows when storing ``n_values``."""
         if n_values < 0:
             raise ValueError("n_values must be non-negative")
-        rows = self._organization.rows
-        indices = []
-        for row in self._faulty_rows:
-            indices.extend(range(row, n_values, rows))
-        return np.array(sorted(indices), dtype=np.int64)
+        _rows, indices = self._affected(n_values)
+        return np.sort(indices)

@@ -108,6 +108,43 @@ class TestPaging:
         assert np.allclose(loaded, 1.0, atol=store.fixed_point.scale)
 
 
+class TestSchemeOwnership:
+    """The constructor must never mutate the caller's scheme instance."""
+
+    def test_caller_scheme_is_not_programmed(self, org):
+        scheme = BitShuffleScheme(32, 2)
+        FaultyTensorStore(org, scheme, FaultMap.from_cells(org, [(0, 31)]))
+        # The caller's instance still has no FM-LUT: attach_rows was never
+        # called on it, only on the store's private copy.
+        with pytest.raises(RuntimeError):
+            scheme.lut
+
+    def test_caller_lut_state_is_preserved(self, org):
+        scheme = BitShuffleScheme(32, 2, rows=org.rows)
+        scheme.program({5: [31]})
+        before = scheme.lut.entries()
+        FaultyTensorStore(org, scheme, FaultMap.from_cells(org, [(9, 0)]))
+        assert np.array_equal(scheme.lut.entries(), before)
+
+    def test_two_stores_sharing_one_scheme_do_not_corrupt_each_other(self, org):
+        scheme = BitShuffleScheme(32, 2)
+        # Store A: MSB fault in row 0 -> rotation needed for row 0.
+        # Store B: fault-free -> all-zero LUT.
+        store_a = FaultyTensorStore(org, scheme, FaultMap.from_cells(org, [(0, 31)]))
+        store_b = FaultyTensorStore(org, scheme, FaultMap.empty(org))
+        assert store_a.scheme is not scheme
+        assert store_b.scheme is not scheme
+        assert store_a.scheme.lut.entry(0) == 3  # MSB segment for nFM=2
+        assert store_b.scheme.lut.entry(0) == 0
+
+        # Interleaved use: each store keeps answering from its own LUT.
+        values = np.full(org.rows, 100.0)
+        loaded_a = store_a.store_and_load(values)
+        loaded_b = store_b.store_and_load(values)
+        assert np.max(np.abs(loaded_a - values)) <= (2**7 + 1) * store_a.fixed_point.scale
+        assert np.max(np.abs(loaded_b - values)) <= store_b.fixed_point.scale
+
+
 class TestValidation:
     def test_rejects_mismatched_scheme_width(self, org):
         with pytest.raises(ValueError):

@@ -6,10 +6,12 @@ import numpy as np
 import pytest
 
 from repro.core.no_protection import NoProtection
+from repro.core.priority_ecc import PriorityEccScheme
 from repro.core.scheme import BitShuffleScheme
 from repro.core.secded_scheme import SecdedScheme
+from repro.faultmodel.montecarlo import failure_count_pmf
 from repro.memory.organization import MemoryOrganization
-from repro.sim.experiment import knn_benchmark
+from repro.sim.experiment import knn_benchmark, pca_benchmark
 from repro.sim.runner import QualityExperimentRunner
 
 
@@ -50,13 +52,52 @@ class TestConfiguration:
         counts = runner.failure_counts(n_points=5)
         probabilities = runner._count_probabilities(counts)
         total = sum(probabilities.values())
-        from repro.faultmodel.montecarlo import failure_count_pmf
 
         expected = sum(
             failure_count_pmf(runner.organization.total_cells, runner.p_cell, n)
             for n in range(1, runner.max_failures + 1)
         )
         assert total == pytest.approx(expected)
+
+
+class TestFailureCountSubsampling:
+    """The geometric subsample must conserve probability mass exactly."""
+
+    @pytest.mark.parametrize("n_points", [1, 2, 4, 7])
+    def test_skipped_mass_reassigned_to_nearest_count(self, runner, n_points):
+        counts = runner.failure_counts(n_points=n_points)
+        probabilities = runner._count_probabilities(counts)
+        assert set(probabilities) == set(counts)
+
+        # Independently reassign each skipped count's mass to the nearest
+        # evaluated count (ties resolved to the smaller count, as np.argmin
+        # does) and compare bucket by bucket.
+        expected = {c: 0.0 for c in counts}
+        cells, p_cell = runner.organization.total_cells, runner.p_cell
+        for n in range(1, runner.max_failures + 1):
+            nearest = min(counts, key=lambda c: (abs(c - n), c))
+            expected[nearest] += failure_count_pmf(cells, p_cell, n)
+        for count in counts:
+            assert probabilities[count] == pytest.approx(expected[count], abs=1e-15)
+
+    @pytest.mark.parametrize("n_points", [1, 3, 6])
+    def test_mass_with_zero_fault_point_sums_to_one(self, runner, n_points):
+        # Together with the fault-free point mass, the reassigned per-count
+        # probabilities must reproduce the full sweep's coverage of the die
+        # population: at least `coverage`, at most exactly 1 (the tail beyond
+        # Nmax is the only mass allowed to be missing).
+        probabilities = runner._count_probabilities(
+            runner.failure_counts(n_points=n_points)
+        )
+        zero_mass = failure_count_pmf(
+            runner.organization.total_cells, runner.p_cell, 0
+        )
+        total = zero_mass + sum(probabilities.values())
+        assert total <= 1.0 + 1e-12
+        assert total >= 0.9  # the runner fixture's coverage
+        # Subsampling must not change the total at all relative to the full sweep.
+        full = runner._count_probabilities(runner.failure_counts())
+        assert total == pytest.approx(zero_mass + sum(full.values()), abs=1e-15)
 
 
 class TestRun:
@@ -113,3 +154,103 @@ class TestRun:
         )
         median = results["bit-shuffle-nfm1"].median_quality()
         assert 0.0 <= median <= 1.5
+
+
+# --------------------------------------------------------------------------- #
+# Golden regression: the exact Fig. 7 numbers of the scalar seed implementation
+# --------------------------------------------------------------------------- #
+# Captured from the seed (pre-vectorisation) QualityExperimentRunner with the
+# configuration of `golden_runner` below.  The batched datapath rewrite must
+# reproduce these numbers bit-for-bit; any drift here means the vectorised
+# encode/corrupt/decode path is no longer equivalent to the scalar model.
+GOLDEN_CLEAN_QUALITY = 0.8944027824216683
+GOLDEN_SAMPLES = 9
+GOLDEN_CURVES = {
+    "no-protection": {
+        "median": -6454.4839070531125,
+        "x": [
+            -149815.17349460404, -9948.419209630456, -6454.483907053112,
+            0.226663602422, 0.92071253518, 0.966227160059, 0.983057658224,
+            0.999984863708, 1.0, 1.000000377109,
+        ],
+        "y": [
+            0.246085361446, 0.492170722893, 0.738256084339, 0.825480808128,
+            0.912705531917, 0.912728754287, 0.999953478076, 0.999976700447,
+            0.999976777629, 1.0,
+        ],
+    },
+    "secded-H(39,32)": {
+        "median": 1.0000001201298454,
+        "x": [
+            1.0, 1.00000012013, 1.00000012013, 1.00000012013, 1.00000012013,
+            1.00000012013, 1.00000012013, 1.00000012013, 1.00000012013,
+            1.00000012013,
+        ],
+        "y": [
+            7.7183e-08, 2.3299553e-05, 4.6521924e-05, 6.9744294e-05,
+            0.087294468083, 0.174519191872, 0.261743915661, 0.507829277107,
+            0.753914638554, 1.0,
+        ],
+    },
+    "p-ecc-H(22,16)": {
+        "median": 1.0001014698781092,
+        "x": [
+            0.999936209104, 0.999984863708, 0.999994021409, 1.0,
+            1.00000012013, 1.000000377109, 1.0000620092, 1.000101469878,
+            1.000115434866, 1.000206314242,
+        ],
+        "y": [
+            0.246085361446, 0.246108583817, 0.333333307606, 0.333333384788,
+            0.333356607159, 0.33337982953, 0.420604553319, 0.666689914765,
+            0.912775276211, 1.0,
+        ],
+    },
+    "bit-shuffle-nfm2": {
+        "median": 0.9999995001072275,
+        "x": [
+            0.999989999601, 0.999999435146, 0.99999947293, 0.999999500107,
+            0.999999584816, 1.0, 1.000000126944, 1.000000199814,
+            1.000001855551, 1.000002504479,
+        ],
+        "y": [
+            0.246085361446, 0.333310085235, 0.333333307606, 0.579418669052,
+            0.666643392841, 0.666643470024, 0.666666692394, 0.666689914765,
+            0.753914638554, 1.0,
+        ],
+    },
+}
+
+
+class TestGoldenRegression:
+    @pytest.fixture(scope="class")
+    def golden_results(self):
+        bench = pca_benchmark(n_samples=80, n_noise=20, seed=21)
+        org = MemoryOrganization(rows=64, word_width=32)
+        runner = QualityExperimentRunner(
+            org, p_cell=8e-3, rng=np.random.default_rng(2024), coverage=0.9
+        )
+        schemes = [
+            NoProtection(32),
+            SecdedScheme(32),
+            PriorityEccScheme(32),
+            BitShuffleScheme(32, 2),
+        ]
+        return runner.run(bench, schemes, samples_per_count=3, n_count_points=3)
+
+    def test_scheme_set(self, golden_results):
+        assert set(golden_results) == set(GOLDEN_CURVES)
+
+    @pytest.mark.parametrize("scheme_name", sorted(GOLDEN_CURVES))
+    def test_curves_match_seed_implementation(self, golden_results, scheme_name):
+        dist = golden_results[scheme_name]
+        golden = GOLDEN_CURVES[scheme_name]
+        assert dist.samples == GOLDEN_SAMPLES
+        assert dist.clean_quality == pytest.approx(
+            GOLDEN_CLEAN_QUALITY, rel=1e-12, abs=0
+        )
+        assert dist.median_quality() == pytest.approx(
+            golden["median"], rel=1e-10, abs=1e-10
+        )
+        x, y = dist.cdf_series()
+        np.testing.assert_allclose(x, golden["x"], rtol=1e-10, atol=1e-10)
+        np.testing.assert_allclose(y, golden["y"], rtol=1e-10, atol=1e-10)
