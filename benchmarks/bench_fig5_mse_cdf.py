@@ -13,6 +13,8 @@ Paper reference points for the 16 kB memory:
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -23,6 +25,9 @@ from repro.memory.organization import MemoryOrganization
 # enough to resolve the curves.  Raise SAMPLES_PER_COUNT for tighter tails.
 SAMPLES_PER_COUNT = 400
 P_CELL = 5e-6
+# Worker processes for the per-scheme analysis; the shared die population is
+# drawn serially, so the results are bit-identical for any setting.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 @pytest.fixture(scope="module")
@@ -33,6 +38,7 @@ def fig5_results():
         samples_per_count=SAMPLES_PER_COUNT,
         coverage=0.9999999,
         rng=np.random.default_rng(2015),
+        workers=WORKERS,
     )
 
 

@@ -16,6 +16,7 @@ tighten the curves.
 
 from __future__ import annotations
 
+import os
 from typing import Dict
 
 import numpy as np
@@ -30,6 +31,9 @@ SAMPLES_PER_COUNT = 3
 COUNT_POINTS = 8
 P_CELL = 1e-3
 DATASET_SCALE = 0.35
+# Worker processes for the Monte-Carlo sweep; results are bit-identical for
+# any setting, so the tables below do not depend on it.
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "1"))
 
 
 @pytest.fixture(scope="module")
@@ -46,6 +50,7 @@ def _run(benchmark_def, seed: int) -> Dict[str, QualityDistribution]:
         n_count_points=COUNT_POINTS,
         schemes=standard_figure7_schemes(),
         rng=np.random.default_rng(seed),
+        workers=WORKERS,
     )
 
 

@@ -1,0 +1,121 @@
+"""Parallel sweep engine: bit-identity and speedup on the Fig. 7 smoke config.
+
+Runs the same seeded :class:`~repro.sim.engine.SweepEngine` sweep (KNN
+benchmark, 16 kB memory, Pcell = 1e-3, 48 dies x 4 schemes) serially and with
+``REPRO_BENCH_WORKERS`` processes (default 4), then
+
+* asserts the two result sets are **bit-identical** -- the engine's
+  deterministic per-die seeding contract, and
+* gates a **>= 2x speedup** at 4 workers whenever the machine actually has
+  four CPUs to offer (the gate is informational on smaller runners, where a
+  process pool cannot beat the serial path).
+
+Run with ``pytest -s`` to see the timing table; the CI smoke job runs this
+file with ``REPRO_BENCH_WORKERS=2`` and archives the output.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import ExperimentConfig, SweepEngine
+from repro.sim.experiment import standard_benchmarks
+
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
+SPEEDUP_GATE = 2.0
+MASTER_SEED = 2015
+
+CONFIG = ExperimentConfig(
+    rows=4096,
+    word_width=32,
+    p_cell=1e-3,
+    coverage=0.99,
+    samples_per_count=6,
+    n_count_points=8,
+    master_seed=MASTER_SEED,
+    benchmark="knn",
+)
+
+
+@pytest.fixture(scope="module")
+def knn():
+    return standard_benchmarks(scale=1.0, seed=17)["knn"]
+
+
+def _snapshot(results):
+    return {
+        name: (dist.cdf_series()[0].tolist(), dist.cdf_series()[1].tolist())
+        for name, dist in results.items()
+    }
+
+
+def test_parallel_sweep_bit_identity_and_speedup(benchmark, table_printer, knn):
+    engine = SweepEngine(CONFIG)
+    n_dies = len(engine.plan())
+
+    start = time.perf_counter()
+    serial = engine.run(knn, workers=1)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = benchmark.pedantic(
+        engine.run, args=(knn,), kwargs={"workers": WORKERS}, rounds=1, iterations=1
+    )
+    parallel_seconds = time.perf_counter() - start
+
+    # Hard gate in every environment: the parallel path must be bit-identical
+    # to the serial one.
+    assert set(parallel) == set(serial)
+    for name in serial:
+        x_serial, y_serial = serial[name].cdf_series()
+        x_parallel, y_parallel = parallel[name].cdf_series()
+        assert np.array_equal(x_serial, x_parallel), name
+        assert np.array_equal(y_serial, y_parallel), name
+        assert parallel[name].samples == serial[name].samples == n_dies
+
+    speedup = serial_seconds / parallel_seconds
+    cpus = os.cpu_count() or 1
+    table_printer(
+        f"Parallel sweep, Fig. 7 smoke config ({n_dies} dies x "
+        f"{len(engine.schemes)} schemes, {cpus} CPUs)",
+        ["workers", "wall clock [s]", "speedup", "bit-identical"],
+        [
+            [1, serial_seconds, 1.0, "-"],
+            [WORKERS, parallel_seconds, speedup, "yes"],
+        ],
+    )
+
+    # The speedup gate only binds where the hardware can deliver it: a pool
+    # of 4 on a 1-2 core runner measures scheduling overhead, not the engine.
+    if cpus >= 4 and WORKERS >= 4:
+        assert speedup >= SPEEDUP_GATE, (
+            f"expected >= {SPEEDUP_GATE}x speedup with {WORKERS} workers on "
+            f"{cpus} CPUs, measured {speedup:.2f}x"
+        )
+
+
+def test_checkpoint_replay_is_instant(tmp_path, knn, table_printer):
+    """A completed checkpoint replays the whole sweep without re-evaluation."""
+    engine = SweepEngine(CONFIG)
+    path = str(tmp_path / "sweep.json")
+
+    start = time.perf_counter()
+    first = engine.run(knn, checkpoint=path)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    replay = engine.run(knn, checkpoint=path)
+    replay_seconds = time.perf_counter() - start
+
+    assert _snapshot(replay) == _snapshot(first)
+    table_printer(
+        "Checkpoint replay",
+        ["run", "wall clock [s]"],
+        [["cold", cold_seconds], ["replay", replay_seconds]],
+    )
+    # The replay does no die evaluation; it must be far faster than the sweep.
+    assert replay_seconds < cold_seconds / 2

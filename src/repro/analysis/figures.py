@@ -26,6 +26,7 @@ from repro.faultmodel.yieldmodel import MseDistribution, YieldAnalyzer
 from repro.hardware.overhead import OverheadModel, OverheadReport
 from repro.hardware.technology import Technology
 from repro.memory.organization import MemoryOrganization
+from repro.sim.engine import ExperimentConfig, SweepEngine
 from repro.sim.experiment import BenchmarkDefinition
 from repro.sim.runner import QualityDistribution, QualityExperimentRunner
 
@@ -85,13 +86,15 @@ def figure5_mse_cdf(
     coverage: float = 0.9999999,
     n_fm_values: Optional[Sequence[int]] = None,
     rng: Optional[np.random.Generator] = None,
+    workers: int = 1,
 ) -> Dict[str, MseDistribution]:
     """Fig. 5: CDF of the local MSE for every protection option.
 
     Evaluates the unprotected memory, the H(22,16) P-ECC baseline, and the
     bit-shuffling scheme for every requested ``nFM`` against the *same*
     Monte-Carlo population of faulty dies, at the paper's operating point
-    (16 kB memory, Pcell = 5e-6).
+    (16 kB memory, Pcell = 5e-6).  ``workers`` parallelises the per-scheme
+    analysis over processes; results are bit-identical for any count.
     """
     organization = (
         organization if organization is not None else MemoryOrganization.paper_16kb()
@@ -107,7 +110,9 @@ def figure5_mse_cdf(
     schemes.extend(
         BitShuffleScheme(organization.word_width, n_fm) for n_fm in n_fm_values
     )
-    return analyzer.compare_schemes(schemes, samples_per_count=samples_per_count)
+    return analyzer.compare_schemes(
+        schemes, samples_per_count=samples_per_count, workers=workers
+    )
 
 
 def figure6_overhead(
@@ -141,6 +146,9 @@ def figure7_quality(
     n_count_points: Optional[int] = 12,
     schemes: Optional[Sequence[ProtectionScheme]] = None,
     rng: Optional[np.random.Generator] = None,
+    workers: int = 1,
+    master_seed: Optional[int] = None,
+    checkpoint: Optional[str] = None,
 ) -> Dict[str, QualityDistribution]:
     """Fig. 7: CDF of the application quality metric under memory failures.
 
@@ -149,17 +157,39 @@ def figure7_quality(
     ``n_count_points`` control the Monte-Carlo budget (the paper uses 500
     samples for every failure count up to Nmax; the defaults here are sized
     for a laptop run and can be raised to match).
+
+    ``workers`` fans the per-die evaluation out over processes; the result is
+    bit-identical for any worker count.  When ``master_seed`` is given the
+    sweep runs on the :class:`~repro.sim.engine.SweepEngine` seeded sampling
+    path (one seed-sequence child per die) instead of the legacy shared
+    generator ``rng``; ``checkpoint`` names an optional JSON results cache for
+    resumable sweeps.
     """
     organization = (
         organization if organization is not None else MemoryOrganization.paper_16kb()
     )
-    rng = rng if rng is not None else np.random.default_rng(52)
     if schemes is None:
         schemes = standard_figure7_schemes(organization.word_width)
+    if master_seed is not None:
+        config = ExperimentConfig(
+            rows=organization.rows,
+            word_width=organization.word_width,
+            p_cell=p_cell,
+            samples_per_count=samples_per_count,
+            n_count_points=n_count_points,
+            master_seed=master_seed,
+            scheme_specs=tuple(scheme.name for scheme in schemes),
+            benchmark=benchmark.name,
+        )
+        engine = SweepEngine(config, schemes=list(schemes))
+        return engine.run(benchmark, workers=workers, checkpoint=checkpoint)
+    rng = rng if rng is not None else np.random.default_rng(52)
     runner = QualityExperimentRunner(organization, p_cell, rng=rng)
     return runner.run(
         benchmark,
         schemes,
         samples_per_count=samples_per_count,
         n_count_points=n_count_points,
+        workers=workers,
+        checkpoint=checkpoint,
     )

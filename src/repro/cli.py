@@ -35,6 +35,13 @@ from repro.sim.experiment import standard_benchmarks
 __all__ = ["main", "build_parser"]
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
 def _print_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
     widths = [len(h) for h in headers]
     formatted_rows: List[List[str]] = []
@@ -81,6 +88,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
         p_cell=args.p_cell,
         samples_per_count=args.samples,
         rng=np.random.default_rng(args.seed),
+        workers=args.workers,
     )
     print(
         f"Figure 5: quality-aware yield for a 16kB memory at Pcell={args.p_cell:g}"
@@ -128,6 +136,9 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         samples_per_count=args.samples,
         n_count_points=args.count_points,
         rng=np.random.default_rng(args.seed),
+        workers=args.workers,
+        master_seed=args.seed if args.sampling == "seeded" else None,
+        checkpoint=args.checkpoint,
     )
     print(
         f"Figure 7 ({args.benchmark}): normalised {benchmark.metric_name} "
@@ -187,6 +198,13 @@ def build_parser() -> argparse.ArgumentParser:
     p5.add_argument("--p-cell", type=float, default=5e-6)
     p5.add_argument("--samples", type=int, default=200)
     p5.add_argument("--seed", type=int, default=2015)
+    p5.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="processes for the per-scheme analysis (results are identical "
+        "for any count)",
+    )
     p5.set_defaults(func=_cmd_fig5)
 
     p6 = sub.add_parser("fig6", help="read-path overhead comparison")
@@ -200,6 +218,27 @@ def build_parser() -> argparse.ArgumentParser:
     p7.add_argument("--count-points", type=int, default=8)
     p7.add_argument("--scale", type=float, default=0.5)
     p7.add_argument("--seed", type=int, default=52)
+    p7.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="processes for the Monte-Carlo sweep (results are bit-identical "
+        "for any count)",
+    )
+    p7.add_argument(
+        "--sampling",
+        choices=["legacy", "seeded"],
+        default="legacy",
+        help="fault-map sampling: 'legacy' replays the shared-generator "
+        "stream of the serial runner; 'seeded' derives one seed-sequence "
+        "child per die from --seed (the parallel engine's native mode)",
+    )
+    p7.add_argument(
+        "--checkpoint",
+        default=None,
+        help="JSON results cache updated after every completed shard; "
+        "re-running with the same configuration resumes from it",
+    )
     p7.set_defaults(func=_cmd_fig7)
 
     pt = sub.add_parser("table1", help="benchmark inventory")

@@ -27,6 +27,7 @@ from repro.memory.organization import MemoryOrganization
 
 __all__ = [
     "failure_count_pmf",
+    "failure_count_pmf_array",
     "failure_count_cdf",
     "expected_failures",
     "max_failures_for_coverage",
@@ -58,14 +59,59 @@ def failure_count_pmf(total_cells: int, p_cell: float, n: int) -> float:
     return math.exp(log_pmf)
 
 
+def failure_count_pmf_array(
+    total_cells: int, p_cell: float, max_n: int
+) -> np.ndarray:
+    """Vector of :func:`failure_count_pmf` for ``n = 0 .. max_n`` (inclusive).
+
+    Bit-identical to calling the scalar function per count (the sweeps that
+    re-weight Monte-Carlo strata rely on exact agreement), but a single call
+    replaces an O(``max_n``) loop at every call site.
+    """
+    if max_n < 0:
+        raise ValueError("max_n must be non-negative")
+    return np.array(
+        [failure_count_pmf(total_cells, p_cell, n) for n in range(max_n + 1)],
+        dtype=np.float64,
+    )
+
+
+# Cumulative Pr(N <= n) tables keyed by (total_cells, p_cell).  Sweeps call
+# failure_count_cdf / max_failures_for_coverage for every count of a grid;
+# without the table each call re-sums the PMF from zero, turning an O(n)
+# sweep into O(n^2).  Tables grow on demand with strictly sequential
+# accumulation so every entry equals the historical `sum(pmf(0..n))` result
+# bit-for-bit.
+_CDF_TABLE_CACHE: Dict[tuple, List[float]] = {}
+_CDF_TABLE_CACHE_MAX_ENTRIES = 64
+
+
+def _cumulative_cdf_table(total_cells: int, p_cell: float, n: int) -> List[float]:
+    """Return the cached cumulative table extended through index ``n``."""
+    key = (total_cells, p_cell)
+    table = _CDF_TABLE_CACHE.get(key)
+    if table is None:
+        if len(_CDF_TABLE_CACHE) >= _CDF_TABLE_CACHE_MAX_ENTRIES:
+            _CDF_TABLE_CACHE.pop(next(iter(_CDF_TABLE_CACHE)))
+        table = _CDF_TABLE_CACHE[key] = []
+    while len(table) <= min(n, total_cells):
+        k = len(table)
+        previous = table[-1] if table else 0.0
+        table.append(previous + failure_count_pmf(total_cells, p_cell, k))
+    return table
+
+
 def failure_count_cdf(total_cells: int, p_cell: float, n: int) -> float:
-    """``Pr(N <= n)`` under the binomial failure-count law."""
+    """``Pr(N <= n)`` under the binomial failure-count law.
+
+    Cumulative sums are cached per ``(total_cells, p_cell)``, so sweeping
+    ``n`` over a grid costs amortised O(1) per call instead of re-summing the
+    PMF from zero every time.
+    """
     if n < 0:
         return 0.0
     n = min(n, total_cells)
-    return float(
-        sum(failure_count_pmf(total_cells, p_cell, k) for k in range(n + 1))
-    )
+    return float(_cumulative_cdf_table(total_cells, p_cell, n)[n])
 
 
 def expected_failures(total_cells: int, p_cell: float) -> float:
@@ -87,11 +133,11 @@ def max_failures_for_coverage(
     """
     if not 0.0 < coverage < 1.0:
         raise ValueError("coverage must be in (0, 1)")
-    cumulative = 0.0
     n = 0
     while n <= total_cells:
-        cumulative += failure_count_pmf(total_cells, p_cell, n)
-        if cumulative >= coverage:
+        # Reuses the shared cumulative table, so repeated coverage queries at
+        # one operating point do not re-sum the PMF from zero.
+        if _cumulative_cdf_table(total_cells, p_cell, n)[n] >= coverage:
             return n
         n += 1
     return total_cells
@@ -113,12 +159,11 @@ def samples_per_failure_count(
         raise ValueError("total_runs must be positive")
     if max_failures is None:
         max_failures = max_failures_for_coverage(total_cells, p_cell, 0.999)
-    allocation: Dict[int, int] = {}
-    for n in range(1, max_failures + 1):
-        probability = failure_count_pmf(total_cells, p_cell, n)
-        count = int(round(probability * total_runs))
-        allocation[n] = max(count, 1)
-    return allocation
+    pmf = failure_count_pmf_array(total_cells, p_cell, max_failures)
+    return {
+        n: max(int(round(float(pmf[n]) * total_runs)), 1)
+        for n in range(1, max_failures + 1)
+    }
 
 
 class FaultMapSampler:
@@ -140,16 +185,49 @@ class FaultMapSampler:
         return self._organization
 
     def sample_with_count(self, fault_count: int) -> FaultMap:
-        """One uniformly random fault map with exactly ``fault_count`` faults."""
+        """One uniformly random fault map with exactly ``fault_count`` faults.
+
+        Draws cells without replacement directly from the generator, keeping
+        the exact random stream of the original scalar implementation (the
+        legacy Fig. 7 runner's golden regressions depend on it).
+        """
         return FaultMap.random_with_count(
             self._organization, fault_count, self._rng, kind=self._fault_kind
         )
 
-    def sample_batch(self, fault_count: int, batch_size: int) -> List[FaultMap]:
-        """A batch of independent fault maps with the same failure count."""
-        if batch_size < 0:
-            raise ValueError("batch_size must be non-negative")
-        return [self.sample_with_count(fault_count) for _ in range(batch_size)]
+    def sample_batch(
+        self,
+        fault_count: int,
+        batch_size: int,
+        max_faults_per_word: Optional[int] = None,
+        *,
+        vectorized: bool = True,
+        max_attempts: int = 1000,
+    ) -> List[FaultMap]:
+        """A batch of independent fault maps with the same failure count.
+
+        By default the whole batch is drawn by the vectorised NumPy rejection
+        sampler (:meth:`FaultMap.random_batch_with_count`), including the
+        optional rejection of maps with more than ``max_faults_per_word``
+        faults in a single word.  Distributionally identical to drawing the
+        maps one by one, but the random stream differs from repeated
+        :meth:`sample_with_count` calls; pass ``vectorized=False`` to
+        reproduce the exact legacy per-map stream (used by callers whose
+        seeded results are pinned by regression tests).  Either way an
+        infeasible ``max_faults_per_word`` raises :class:`ValueError` and a
+        feasible-but-unlucky rejection run gives up with a
+        :class:`RuntimeError` after ``max_attempts`` redraws per map.
+        """
+        return FaultMap.random_batch_with_count(
+            self._organization,
+            fault_count,
+            batch_size,
+            self._rng,
+            kind=self._fault_kind,
+            max_faults_per_word=max_faults_per_word,
+            max_rounds=max_attempts,
+            vectorized=vectorized,
+        )
 
     def sample_with_pcell(self, p_cell: float) -> FaultMap:
         """One fault map where each cell fails independently with ``p_cell``."""

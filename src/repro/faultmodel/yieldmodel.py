@@ -15,6 +15,7 @@ exports the CDF series the benchmark harness tabulates.
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -192,7 +193,9 @@ class YieldAnalyzer:
             if fault_maps_by_count is not None and n in fault_maps_by_count:
                 maps = fault_maps_by_count[n]
             else:
-                maps = sampler.sample_batch(n, samples_per_count)
+                # The legacy per-map stream keeps this analyzer's seeded
+                # Fig. 5 realisations stable across releases.
+                maps = sampler.sample_batch(n, samples_per_count, vectorized=False)
             if not maps:
                 continue
             mses = np.array(
@@ -217,7 +220,7 @@ class YieldAnalyzer:
         """Generate one set of fault maps reusable across schemes (paired comparison)."""
         sampler = FaultMapSampler(self._organization, self._rng)
         return {
-            n: sampler.sample_batch(n, samples_per_count)
+            n: sampler.sample_batch(n, samples_per_count, vectorized=False)
             for n in range(1, self._max_failures + 1)
         }
 
@@ -226,15 +229,79 @@ class YieldAnalyzer:
         schemes: Sequence[ProtectionScheme],
         samples_per_count: int = 200,
         include_fault_free: bool = True,
+        workers: int = 1,
     ) -> Dict[str, MseDistribution]:
-        """Evaluate several schemes against the *same* Monte-Carlo dies (Fig. 5)."""
+        """Evaluate several schemes against the *same* Monte-Carlo dies (Fig. 5).
+
+        ``workers`` fans the per-scheme evaluation out over that many
+        processes.  The shared fault-map population is always drawn serially
+        first and each scheme's analysis of a given die is deterministic, so
+        the results are bit-identical for every worker count.
+        """
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
         shared = self.shared_fault_maps(samples_per_count)
-        return {
-            scheme.name: self.mse_distribution(
-                scheme,
-                samples_per_count,
-                fault_maps_by_count=shared,
-                include_fault_free=include_fault_free,
-            )
-            for scheme in schemes
+        if workers == 1 or len(schemes) <= 1:
+            return {
+                scheme.name: self.mse_distribution(
+                    scheme,
+                    samples_per_count,
+                    fault_maps_by_count=shared,
+                    include_fault_free=include_fault_free,
+                )
+                for scheme in schemes
+            }
+        context = {
+            "rows": self._organization.rows,
+            "word_width": self._organization.word_width,
+            "p_cell": self._p_cell,
+            "coverage": self._coverage,
+            "shared": shared,
+            "samples_per_count": samples_per_count,
+            "include_fault_free": include_fault_free,
         }
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(schemes)),
+            initializer=_init_compare_worker,
+            initargs=(context,),
+        ) as pool:
+            futures = [pool.submit(_compare_scheme_task, s) for s in schemes]
+            distributions = [future.result() for future in futures]
+        return {
+            scheme.name: distribution
+            for scheme, distribution in zip(schemes, distributions)
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Process-pool plumbing for compare_schemes(workers=N)
+# --------------------------------------------------------------------------- #
+# The shared die population ships once per worker via the pool initializer;
+# each task then analyses one scheme against it.  mse_distribution never
+# touches the analyzer's generator when every count has pre-drawn maps, so the
+# placeholder seed below is never consumed.
+_COMPARE_CONTEXT: Optional[Dict[str, object]] = None
+
+
+def _init_compare_worker(context: Dict[str, object]) -> None:
+    global _COMPARE_CONTEXT
+    _COMPARE_CONTEXT = context
+
+
+def _compare_scheme_task(scheme: ProtectionScheme) -> MseDistribution:
+    assert _COMPARE_CONTEXT is not None, "worker used before initialisation"
+    context = _COMPARE_CONTEXT
+    analyzer = YieldAnalyzer(
+        MemoryOrganization(
+            rows=context["rows"], word_width=context["word_width"]
+        ),
+        context["p_cell"],
+        rng=np.random.default_rng(0),
+        coverage=context["coverage"],
+    )
+    return analyzer.mse_distribution(
+        scheme,
+        context["samples_per_count"],
+        fault_maps_by_count=context["shared"],
+        include_fault_free=context["include_fault_free"],
+    )

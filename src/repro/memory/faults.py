@@ -253,6 +253,46 @@ class FaultMap:
         return cls(organization, (FaultSite(r, c, kind) for r, c in cells))
 
     @classmethod
+    def from_cell_arrays(
+        cls,
+        organization: MemoryOrganization,
+        rows: np.ndarray,
+        columns: np.ndarray,
+        kind: FaultKind = FaultKind.BIT_FLIP,
+    ) -> "FaultMap":
+        """Build a map from parallel row/column index arrays (vectorised).
+
+        Bounds and duplicate checks run as whole-array NumPy operations, so
+        Monte-Carlo samplers can construct maps without a per-cell Python
+        validation loop.  The result is identical to :meth:`from_cells` over
+        ``zip(rows, columns)``.
+        """
+        rows = np.asarray(rows, dtype=np.int64).ravel()
+        columns = np.asarray(columns, dtype=np.int64).ravel()
+        if rows.shape != columns.shape:
+            raise ValueError("rows and columns must have equal shapes")
+        if rows.size:
+            if rows.min() < 0 or rows.max() >= organization.rows:
+                raise IndexError(
+                    f"row out of range [0, {organization.rows})"
+                )
+            if columns.min() < 0 or columns.max() >= organization.word_width:
+                raise IndexError(
+                    f"column out of range [0, {organization.word_width})"
+                )
+            flat = rows * organization.word_width + columns
+            if np.unique(flat).size != flat.size:
+                raise ValueError("duplicate fault cell in rows/columns arrays")
+        # Establish every instance invariant through the canonical
+        # constructor, then install the already-validated faults directly.
+        fault_map = cls(organization, ())
+        fault_map._faults = {
+            (int(r), int(c)): FaultSite(int(r), int(c), kind)
+            for r, c in zip(rows, columns)
+        }
+        return fault_map
+
+    @classmethod
     def random_with_count(
         cls,
         organization: MemoryOrganization,
@@ -272,10 +312,153 @@ class FaultMap:
             raise ValueError(
                 f"cannot place {fault_count} faults in a memory of {total} cells"
             )
-        flat = rng.choice(total, size=fault_count, replace=False)
+        flat = np.asarray(rng.choice(total, size=fault_count, replace=False))
         width = organization.word_width
-        cells = [(int(i) // width, int(i) % width) for i in flat]
-        return cls.from_cells(organization, cells, kind=kind)
+        return cls.from_cell_arrays(organization, flat // width, flat % width, kind)
+
+    @classmethod
+    def random_batch_with_count(
+        cls,
+        organization: MemoryOrganization,
+        fault_count: int,
+        batch_size: int,
+        rng: np.random.Generator,
+        kind: FaultKind = FaultKind.BIT_FLIP,
+        max_faults_per_word: Optional[int] = None,
+        max_rounds: int = 1000,
+        *,
+        vectorized: bool = True,
+    ) -> List["FaultMap"]:
+        """Draw a whole batch of uniform ``fault_count``-fault maps in NumPy.
+
+        All ``batch_size`` maps are drawn with a vectorised rejection sampler:
+        candidate cell indices are drawn with replacement as one
+        ``(pending, fault_count)`` matrix, and any map containing a repeated
+        cell -- or, when ``max_faults_per_word`` is given, more faults in one
+        word row than allowed -- is redrawn until every map is valid.  Each
+        accepted map is uniform over the same support a per-map
+        without-replacement draw (plus rejection of over-full words) would
+        produce, but the whole batch costs a few NumPy passes instead of a
+        Python loop per cell.
+
+        ``vectorized=False`` (and, automatically, densely faulty maps for
+        which with-replacement rejection would stall) instead draws each map
+        separately without replacement -- the exact per-map stream of repeated
+        :meth:`random_with_count` calls with per-map rejection, which
+        stream-pinned legacy callers rely on.
+
+        The draw sequence is fully determined by ``rng``, so a seeded
+        generator yields a reproducible batch regardless of platform.  Raises
+        :class:`RuntimeError` if some maps are still invalid after
+        ``max_rounds`` redraw rounds and :class:`ValueError` when the request
+        is infeasible outright (more faults than cells, or than
+        ``max_faults_per_word`` allows).
+        """
+        if fault_count < 0:
+            raise ValueError("fault_count must be non-negative")
+        if batch_size < 0:
+            raise ValueError("batch_size must be non-negative")
+        total = organization.total_cells
+        width = organization.word_width
+        if fault_count > total:
+            raise ValueError(
+                f"cannot place {fault_count} faults in a memory of {total} cells"
+            )
+        if max_faults_per_word is not None:
+            if max_faults_per_word < 1:
+                raise ValueError("max_faults_per_word must be at least 1")
+            if fault_count > organization.rows * min(max_faults_per_word, width):
+                raise ValueError(
+                    f"cannot place {fault_count} faults with at most "
+                    f"{max_faults_per_word} per word in {organization.rows} rows"
+                )
+        if batch_size == 0:
+            return []
+        # With-replacement rejection is efficient while collisions are rare
+        # (fault_count**2 << total_cells, the Monte-Carlo regime of the
+        # paper); densely faulty maps fall back to per-map exact draws, and
+        # vectorized=False requests them explicitly for stream compatibility.
+        if not vectorized or fault_count * fault_count > total:
+            return cls._random_batch_dense(
+                organization, fault_count, batch_size, rng, kind,
+                max_faults_per_word, max_rounds,
+            )
+        if fault_count == 0:
+            return [cls.empty(organization) for _ in range(batch_size)]
+        accepted = np.empty((batch_size, fault_count), dtype=np.int64)
+        pending = np.arange(batch_size)
+        for _ in range(max_rounds):
+            if pending.size == 0:
+                break
+            draws = rng.integers(0, total, size=(pending.size, fault_count))
+            draws_sorted = np.sort(draws, axis=1)
+            bad = np.zeros(pending.size, dtype=bool)
+            # Repeated cell within a map -> invalid (uniformity requires
+            # exactly fault_count distinct cells).
+            bad |= np.any(draws_sorted[:, 1:] == draws_sorted[:, :-1], axis=1)
+            if max_faults_per_word is not None:
+                rows_sorted = np.sort(draws // width, axis=1)
+                # After sorting, faults sharing a word form runs of equal row
+                # indices; the longest run is the per-word maximum.
+                equal_neighbours = rows_sorted[:, 1:] == rows_sorted[:, :-1]
+                if max_faults_per_word == 1:
+                    bad |= np.any(equal_neighbours, axis=1)
+                else:
+                    run_len = np.ones(
+                        (pending.size, fault_count), dtype=np.int64
+                    )
+                    for j in range(1, fault_count):
+                        run_len[:, j] = np.where(
+                            equal_neighbours[:, j - 1], run_len[:, j - 1] + 1, 1
+                        )
+                    bad |= run_len.max(axis=1) > max_faults_per_word
+            good = ~bad
+            accepted[pending[good]] = draws[good]
+            pending = pending[bad]
+        if pending.size:
+            raise RuntimeError(
+                f"could not draw {pending.size} valid fault maps after "
+                f"{max_rounds} rounds; relax max_faults_per_word or lower "
+                f"fault_count"
+            )
+        return [
+            cls.from_cell_arrays(
+                organization, accepted[i] // width, accepted[i] % width, kind
+            )
+            for i in range(batch_size)
+        ]
+
+    @classmethod
+    def _random_batch_dense(
+        cls,
+        organization: MemoryOrganization,
+        fault_count: int,
+        batch_size: int,
+        rng: np.random.Generator,
+        kind: FaultKind,
+        max_faults_per_word: Optional[int],
+        max_rounds: int,
+    ) -> List["FaultMap"]:
+        """Per-map without-replacement fallback for densely faulty batches."""
+        maps: List["FaultMap"] = []
+        for _ in range(batch_size):
+            for _attempt in range(max_rounds):
+                candidate = cls.random_with_count(
+                    organization, fault_count, rng, kind=kind
+                )
+                if (
+                    max_faults_per_word is None
+                    or candidate.max_faults_per_row() <= max_faults_per_word
+                ):
+                    maps.append(candidate)
+                    break
+            else:
+                raise RuntimeError(
+                    f"could not draw a fault map with at most "
+                    f"{max_faults_per_word} faults per word after "
+                    f"{max_rounds} attempts"
+                )
+        return maps
 
     @classmethod
     def random_with_pcell(

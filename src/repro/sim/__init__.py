@@ -11,10 +11,19 @@ corrupted data, and the output quality is measured on clean test data.
   the fault map.
 * :mod:`repro.sim.experiment` -- benchmark definitions binding a dataset, a
   learning algorithm and a quality metric (the rows of Table 1).
-* :mod:`repro.sim.runner` -- the stratified Monte-Carlo runner that sweeps
-  failure counts and assembles the quality CDFs of Fig. 7.
+* :mod:`repro.sim.engine` -- the parallel sharded Monte-Carlo sweep engine:
+  deterministic per-die seeding, process-pool fan-out, and shard-level
+  checkpoint/resume.
+* :mod:`repro.sim.runner` -- the legacy generator-seeded front end that sweeps
+  failure counts and assembles the quality CDFs of Fig. 7 (a thin wrapper
+  over the engine).
 """
 
+from repro.sim.engine import (
+    ExperimentConfig,
+    SweepEngine,
+    build_scheme,
+)
 from repro.sim.experiment import (
     BenchmarkDefinition,
     elasticnet_benchmark,
@@ -27,9 +36,12 @@ from repro.sim.runner import QualityDistribution, QualityExperimentRunner
 
 __all__ = [
     "BenchmarkDefinition",
+    "ExperimentConfig",
     "FaultyTensorStore",
     "QualityDistribution",
     "QualityExperimentRunner",
+    "SweepEngine",
+    "build_scheme",
     "elasticnet_benchmark",
     "knn_benchmark",
     "pca_benchmark",

@@ -1,0 +1,776 @@
+"""Parallel sharded Monte-Carlo sweep engine for the Fig. 5 / Fig. 7 studies.
+
+The paper's application study evaluates thousands of faulty dies: for every
+failure count ``n`` of a stratified grid, ``samples_per_count`` random fault
+maps are drawn, each die's corrupted training data is pushed through every
+protection scheme, and the per-die qualities are re-weighted by ``Pr(N = n)``
+(Eq. 4) into the quality CDFs.  Every die is independent of every other die,
+which makes the sweep embarrassingly parallel -- *if* the random sampling is
+arranged so that results do not depend on how the work is distributed.
+
+This module provides that arrangement:
+
+* :class:`ExperimentConfig` -- a frozen, hashable description of one sweep
+  (memory organization, operating point, Monte-Carlo budget, master seed,
+  protection schemes by name).
+* :class:`SweepEngine` -- shards the ``(failure_count x sample)`` grid into
+  independent work units, evaluates them inline (``workers=1``) or across a
+  :class:`concurrent.futures.ProcessPoolExecutor`, and merges the per-shard
+  results into :class:`QualityDistribution` objects.
+* shard-level checkpointing -- a JSON results cache keyed by a hash of the
+  full configuration, written after every completed shard, so interrupted
+  sweeps resume without re-evaluating finished dies.
+
+Deterministic seeding scheme
+----------------------------
+
+Reproducibility is guaranteed by deriving one independent random stream per
+die from the master seed, never from shared generator state:
+
+1. the master seed defines the root ``np.random.SeedSequence(master_seed)``;
+2. die ``i`` (in the canonical enumeration below) uses the root's ``i``-th
+   spawned child, which by the ``SeedSequence`` spawning algebra equals
+   ``np.random.SeedSequence(master_seed, spawn_key=(i,))`` -- so a worker can
+   reconstruct its streams from ``(master_seed, die_index)`` alone;
+3. the die's fault map (including the rejection of maps with multi-fault
+   words) is drawn from ``np.random.default_rng`` of that child and nothing
+   else; the evaluation of a drawn die is fully deterministic.
+
+The canonical die enumeration is count-major: with evaluated failure counts
+``c_0 < c_1 < ...`` and ``S = samples_per_count`` samples each, die index
+``i = count_index * S + sample_index``.  Because every die's result depends
+only on ``(master_seed, i)``, the assembled distributions are bit-identical
+for any worker count, shard size, or shard execution order.  Future schemes
+and samplers must follow the same rule -- consume randomness only from the
+die's own child sequence -- to stay reproducible.
+
+The engine also accepts pre-drawn fault maps (``fault_maps=``), which is how
+the legacy :class:`~repro.sim.runner.QualityExperimentRunner` API keeps its
+historical shared-generator sampling (and its golden regression curves) while
+delegating all evaluation, parallelism, and checkpointing to this engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+import re
+import tempfile
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import ProtectionScheme
+from repro.core.no_protection import NoProtection
+from repro.core.priority_ecc import PriorityEccScheme
+from repro.core.scheme import BitShuffleScheme
+from repro.core.secded_scheme import SecdedScheme
+from repro.faultmodel.montecarlo import (
+    failure_count_pmf,
+    failure_count_pmf_array,
+    max_failures_for_coverage,
+)
+from repro.memory.faults import FaultMap
+from repro.memory.organization import MemoryOrganization
+from repro.quality.cdf import WeightedEcdf
+from repro.quantize.fixedpoint import FixedPointFormat
+from repro.sim.experiment import BenchmarkDefinition
+from repro.sim.faulty_storage import FaultyTensorStore
+
+__all__ = [
+    "DEFAULT_SCHEME_SPECS",
+    "ExperimentConfig",
+    "QualityDistribution",
+    "SweepEngine",
+    "build_scheme",
+    "evaluated_failure_counts",
+    "reassign_count_probabilities",
+]
+
+_ENGINE_VERSION = 1
+_CHECKPOINT_VERSION = 1
+
+# The four Fig. 7 schemes, by registry spec.
+DEFAULT_SCHEME_SPECS: Tuple[str, ...] = (
+    "no-protection",
+    "p-ecc",
+    "bit-shuffle-nfm1",
+    "bit-shuffle-nfm2",
+)
+
+
+# --------------------------------------------------------------------------- #
+# Scheme registry
+# --------------------------------------------------------------------------- #
+def build_scheme(spec: str, word_width: int) -> ProtectionScheme:
+    """Instantiate a protection scheme from its registry spec.
+
+    Accepted specs (case-insensitive) and the canonical report names they
+    produce for 32-bit words:
+
+    ==============================  ===============================
+    spec                            scheme
+    ==============================  ===============================
+    ``no-protection`` / ``none``    :class:`NoProtection`
+    ``secded`` / ``secded-...``     :class:`SecdedScheme` (H(39,32))
+    ``p-ecc`` / ``p-ecc-...``       :class:`PriorityEccScheme`
+    ``bit-shuffle-nfm<k>``          :class:`BitShuffleScheme`, nFM=k
+    ==============================  ===============================
+
+    Report names (``scheme.name``) round-trip: every name produced by the
+    registry is itself a valid spec, so configurations can be serialised by
+    name alone.
+    """
+    normalized = spec.strip().lower()
+    if normalized in ("none", "no-protection"):
+        return NoProtection(word_width)
+    if normalized == "secded" or normalized.startswith("secded-"):
+        scheme = SecdedScheme(word_width)
+        # Only the variant this registry can actually build is accepted; a
+        # config naming some other code must fail loudly, not run silently
+        # with the default.
+        if normalized not in ("secded", scheme.name.lower()):
+            raise ValueError(
+                f"unknown SECDED variant {spec!r}; for {word_width}-bit words "
+                f"this registry builds {scheme.name!r}"
+            )
+        return scheme
+    if normalized == "p-ecc" or normalized.startswith("p-ecc-"):
+        scheme = PriorityEccScheme(word_width)
+        if normalized not in ("p-ecc", scheme.name.lower()):
+            raise ValueError(
+                f"unknown P-ECC variant {spec!r}; for {word_width}-bit words "
+                f"this registry builds {scheme.name!r}"
+            )
+        return scheme
+    match = re.fullmatch(r"bit-shuffle-nfm(\d+)", normalized)
+    if match:
+        return BitShuffleScheme(word_width, int(match.group(1)))
+    raise ValueError(
+        f"unknown scheme spec {spec!r}; expected one of no-protection, "
+        f"secded, p-ecc, or bit-shuffle-nfm<k>"
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Failure-count grid helpers (shared with the legacy runner API)
+# --------------------------------------------------------------------------- #
+def evaluated_failure_counts(
+    max_failures: int, n_points: Optional[int] = None
+) -> List[int]:
+    """The failure counts evaluated by a sweep: all of ``1..max_failures``, or
+    a geometric subsample of ``n_points`` of them."""
+    counts = list(range(1, max_failures + 1))
+    if n_points is None or n_points >= len(counts):
+        return counts
+    if n_points < 1:
+        raise ValueError("n_points must be at least 1")
+    positions = np.unique(
+        np.geomspace(1, max_failures, n_points).round().astype(int)
+    )
+    return positions.tolist()
+
+
+def reassign_count_probabilities(
+    total_cells: int,
+    p_cell: float,
+    max_failures: int,
+    evaluated_counts: Sequence[int],
+) -> Dict[int, float]:
+    """Assign each failure count's ``Pr(N = n)`` to the nearest evaluated count.
+
+    Probability mass of skipped counts moves to the closest evaluated count
+    (ties to the smaller count), conserving the sweep's total coverage.
+    """
+    evaluated = np.asarray(sorted(evaluated_counts))
+    probabilities = {int(c): 0.0 for c in evaluated}
+    pmf = failure_count_pmf_array(total_cells, p_cell, max_failures)
+    for n in range(1, max_failures + 1):
+        nearest = int(evaluated[np.argmin(np.abs(evaluated - n))])
+        probabilities[nearest] += float(pmf[n])
+    return probabilities
+
+
+# --------------------------------------------------------------------------- #
+# Results
+# --------------------------------------------------------------------------- #
+@dataclass
+class QualityDistribution:
+    """Distribution of a benchmark's quality metric for one scheme (a Fig. 7 curve).
+
+    Attributes
+    ----------
+    benchmark:
+        Benchmark name (``"elasticnet"``, ``"pca"``, ``"knn"``).
+    metric_name:
+        Name of the quality metric.
+    scheme_name:
+        Protection scheme the distribution belongs to.
+    p_cell:
+        Operating-point bit-cell failure probability.
+    clean_quality:
+        Quality obtained with uncorrupted training data (normalisation point).
+    ecdf:
+        Weighted empirical CDF of the *normalised* quality (faulty quality
+        divided by ``clean_quality``), including the fault-free point mass.
+    samples:
+        Number of fault maps evaluated.
+    """
+
+    benchmark: str
+    metric_name: str
+    scheme_name: str
+    p_cell: float
+    clean_quality: float
+    ecdf: WeightedEcdf
+    samples: int
+
+    def yield_at_quality(self, normalized_target: float) -> float:
+        """Fraction of dies whose normalised quality reaches ``normalized_target``."""
+        return float(self.ecdf.probability_at_least(normalized_target))
+
+    def cdf_series(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(normalised quality, P(Q <= q))`` step points -- the Fig. 7 curve."""
+        return self.ecdf.curve()
+
+    def median_quality(self) -> float:
+        """Median normalised quality across the die population."""
+        return self.ecdf.quantile(0.5)
+
+
+# --------------------------------------------------------------------------- #
+# Configuration
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Frozen description of one stratified Monte-Carlo quality sweep.
+
+    Parameters
+    ----------
+    rows / word_width:
+        Memory geometry (the paper's 16 kB memory is 4096 x 32).
+    p_cell:
+        Operating-point bit-cell failure probability.
+    coverage:
+        Fraction of the die population covered by the failure-count grid.
+    samples_per_count:
+        Fault maps evaluated per failure count.
+    n_count_points:
+        Geometric subsample size of the failure-count grid (``None`` = every
+        count up to Nmax).
+    master_seed:
+        Root entropy of the deterministic per-die seeding scheme (see the
+        module docstring).  ``None`` is only valid when pre-drawn fault maps
+        are supplied to :meth:`SweepEngine.run`.
+    scheme_specs:
+        Protection schemes by registry spec (see :func:`build_scheme`).
+    discard_multi_fault_words:
+        Redraw dies containing a word with more than one faulty cell,
+        reproducing the paper's Fig. 7 simplification.
+    frac_bits:
+        Fraction bits of the stored fixed-point format.
+    benchmark:
+        Optional benchmark label recorded in the checkpoint hash.
+    """
+
+    rows: int
+    word_width: int = 32
+    p_cell: float = 1e-3
+    coverage: float = 0.99
+    samples_per_count: int = 10
+    n_count_points: Optional[int] = None
+    master_seed: Optional[int] = None
+    scheme_specs: Tuple[str, ...] = DEFAULT_SCHEME_SPECS
+    discard_multi_fault_words: bool = True
+    frac_bits: int = 16
+    benchmark: str = ""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.p_cell < 1.0:
+            raise ValueError("p_cell must be in (0, 1)")
+        if self.samples_per_count <= 0:
+            raise ValueError("samples_per_count must be positive")
+        if not self.scheme_specs:
+            raise ValueError("at least one scheme spec is required")
+
+    @property
+    def organization(self) -> MemoryOrganization:
+        """Memory geometry under study."""
+        return MemoryOrganization(rows=self.rows, word_width=self.word_width)
+
+    @property
+    def max_failures(self) -> int:
+        """Largest failure count in the sweep (coverage-determined Nmax)."""
+        return max_failures_for_coverage(
+            self.rows * self.word_width, self.p_cell, self.coverage
+        )
+
+    @property
+    def zero_fault_probability(self) -> float:
+        """``Pr(N = 0)`` -- the fault-free point mass."""
+        return failure_count_pmf(self.rows * self.word_width, self.p_cell, 0)
+
+    def evaluated_counts(self) -> List[int]:
+        """The failure counts this sweep evaluates."""
+        return evaluated_failure_counts(self.max_failures, self.n_count_points)
+
+    def count_probabilities(self) -> Dict[int, float]:
+        """``Pr(N = n)`` mass reassigned onto the evaluated counts."""
+        return reassign_count_probabilities(
+            self.rows * self.word_width,
+            self.p_cell,
+            self.max_failures,
+            self.evaluated_counts(),
+        )
+
+    def build_schemes(self) -> List[ProtectionScheme]:
+        """Instantiate the configured protection schemes."""
+        return [build_scheme(spec, self.word_width) for spec in self.scheme_specs]
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (feeds the checkpoint hash)."""
+        return {
+            "rows": self.rows,
+            "word_width": self.word_width,
+            "p_cell": self.p_cell,
+            "coverage": self.coverage,
+            "samples_per_count": self.samples_per_count,
+            "n_count_points": self.n_count_points,
+            "master_seed": self.master_seed,
+            "scheme_specs": list(self.scheme_specs),
+            "discard_multi_fault_words": self.discard_multi_fault_words,
+            "frac_bits": self.frac_bits,
+            "benchmark": self.benchmark,
+        }
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side evaluation
+# --------------------------------------------------------------------------- #
+# Each die travels as (die_index, count_index, sample_index, failure_count,
+# fault_map | None); a None map means "draw from the die's seed child".
+_DieEntry = Tuple[int, int, int, int, Optional[FaultMap]]
+
+# Set once per worker process by the pool initializer so the (potentially
+# large) training tensor and scheme objects ship once, not once per shard.
+_WORKER_CONTEXT: Optional[Dict[str, object]] = None
+
+_REJECTION_MAX_ATTEMPTS = 1000
+
+
+def _init_worker(context: Dict[str, object]) -> None:
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = context
+
+
+def _pool_evaluate_shard(entries: List[_DieEntry]) -> List[Tuple[int, List[float]]]:
+    assert _WORKER_CONTEXT is not None, "worker used before initialisation"
+    return _evaluate_shard(entries, _WORKER_CONTEXT)
+
+
+def _die_fault_map(
+    context: Mapping[str, object], die_index: int, failure_count: int
+) -> FaultMap:
+    """Draw die ``die_index``'s fault map from its own seed-sequence child."""
+    child = np.random.SeedSequence(
+        context["master_seed"], spawn_key=(die_index,)
+    )
+    rng = np.random.default_rng(child)
+    max_per_word = 1 if context["discard_multi_fault_words"] else None
+    return FaultMap.random_batch_with_count(
+        context["organization"],
+        failure_count,
+        1,
+        rng,
+        max_faults_per_word=max_per_word,
+        max_rounds=_REJECTION_MAX_ATTEMPTS,
+    )[0]
+
+
+def _evaluate_die(
+    context: Mapping[str, object], fault_map: FaultMap
+) -> List[float]:
+    """Normalised quality of one die under every configured scheme."""
+    qualities = []
+    for scheme in context["schemes"]:
+        store = FaultyTensorStore(
+            context["organization"], scheme, fault_map, context["fixed_point"]
+        )
+        corrupted = store.load_quantized(context["raw_features"])
+        quality = context["benchmark"].quality_with_corrupted_features(corrupted)
+        qualities.append(quality / context["clean_quality"])
+    return qualities
+
+
+def _evaluate_shard(
+    entries: List[_DieEntry], context: Mapping[str, object]
+) -> List[Tuple[int, List[float]]]:
+    """Evaluate one shard of dies; returns ``(die_index, qualities)`` pairs."""
+    results = []
+    for die_index, _count_index, _sample_index, failure_count, fault_map in entries:
+        if fault_map is None:
+            fault_map = _die_fault_map(context, die_index, failure_count)
+        results.append((die_index, _evaluate_die(context, fault_map)))
+    return results
+
+
+# --------------------------------------------------------------------------- #
+# Checkpointing
+# --------------------------------------------------------------------------- #
+def _load_checkpoint(path: str, config_hash: str) -> Dict[int, List[float]]:
+    """Load completed per-die results from ``path`` (empty if absent)."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if data.get("version") != _CHECKPOINT_VERSION:
+        raise ValueError(
+            f"checkpoint {path!r} has unsupported version {data.get('version')!r}"
+        )
+    if data.get("config_hash") != config_hash:
+        raise ValueError(
+            f"checkpoint {path!r} belongs to a different experiment "
+            f"configuration (hash {data.get('config_hash')!r}, expected "
+            f"{config_hash!r}); delete it or point --checkpoint elsewhere"
+        )
+    return {int(k): [float(v) for v in vs] for k, vs in data["dies"].items()}
+
+
+def _save_checkpoint(
+    path: str, config_hash: str, dies: Mapping[int, Sequence[float]]
+) -> None:
+    """Atomically write the per-die results cache (temp file + rename)."""
+    payload = {
+        "version": _CHECKPOINT_VERSION,
+        "config_hash": config_hash,
+        "dies": {str(k): list(v) for k, v in sorted(dies.items())},
+    }
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        os.replace(temp_path, path)
+    except BaseException:
+        if os.path.exists(temp_path):
+            os.unlink(temp_path)
+        raise
+
+
+# --------------------------------------------------------------------------- #
+# Engine
+# --------------------------------------------------------------------------- #
+class SweepEngine:
+    """Sharded, optionally multi-process executor for quality sweeps.
+
+    Parameters
+    ----------
+    config:
+        The sweep description.  ``config.scheme_specs`` defines the schemes
+        unless explicit instances are supplied.
+    schemes:
+        Optional pre-built scheme objects (overrides ``config.scheme_specs``);
+        used by the legacy runner API, whose callers pass arbitrary scheme
+        instances.
+    """
+
+    def __init__(
+        self,
+        config: ExperimentConfig,
+        schemes: Optional[Sequence[ProtectionScheme]] = None,
+    ) -> None:
+        self._config = config
+        if schemes is None:
+            self._schemes = config.build_schemes()
+        else:
+            self._schemes = list(schemes)
+            if not self._schemes:
+                raise ValueError("at least one scheme is required")
+        for scheme in self._schemes:
+            if scheme.word_width != config.word_width:
+                raise ValueError(
+                    f"scheme {scheme.name!r} word width {scheme.word_width} "
+                    f"does not match the memory ({config.word_width})"
+                )
+
+    @property
+    def config(self) -> ExperimentConfig:
+        """The sweep configuration."""
+        return self._config
+
+    @property
+    def schemes(self) -> List[ProtectionScheme]:
+        """The protection schemes under study."""
+        return list(self._schemes)
+
+    # ------------------------------------------------------------------ #
+    # Planning
+    # ------------------------------------------------------------------ #
+    def plan(self) -> List[Tuple[int, int, int, int]]:
+        """Canonical die enumeration: ``(die_index, count_index, sample_index,
+        failure_count)`` in count-major order (the seeding contract)."""
+        counts = self._config.evaluated_counts()
+        samples = self._config.samples_per_count
+        return [
+            (count_index * samples + sample_index, count_index, sample_index, count)
+            for count_index, count in enumerate(counts)
+            for sample_index in range(samples)
+        ]
+
+    def config_hash(
+        self,
+        benchmark: BenchmarkDefinition,
+        fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]] = None,
+        fixed_point: Optional[FixedPointFormat] = None,
+    ) -> str:
+        """Hash identifying this sweep's results (keys the checkpoint cache).
+
+        ``fixed_point`` is the *effective* storage format of the run --
+        overrides must enter the hash, or a resume could silently replay
+        results quantised under a different format.
+        """
+        if fixed_point is None:
+            fixed_point = FixedPointFormat(
+                total_bits=self._config.word_width,
+                frac_bits=self._config.frac_bits,
+            )
+        digest = hashlib.sha256()
+        digest.update(json.dumps(
+            {
+                "engine_version": _ENGINE_VERSION,
+                "config": self._config.to_dict(),
+                "fixed_point": [fixed_point.total_bits, fixed_point.frac_bits],
+                "schemes": [scheme.name for scheme in self._schemes],
+                "benchmark": {
+                    "name": benchmark.name,
+                    "metric": benchmark.metric_name,
+                },
+            },
+            sort_keys=True,
+        ).encode())
+        for array in (
+            benchmark.train_features,
+            benchmark.train_targets,
+            benchmark.test_features,
+            benchmark.test_targets,
+        ):
+            digest.update(np.ascontiguousarray(array).tobytes())
+        if fault_maps is not None:
+            for key in sorted(fault_maps):
+                digest.update(json.dumps(key).encode())
+                digest.update(fault_maps[key].to_json().encode())
+        return digest.hexdigest()
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        benchmark: BenchmarkDefinition,
+        *,
+        workers: int = 1,
+        checkpoint: Optional[str] = None,
+        shard_size: Optional[int] = None,
+        shard_order: Optional[Sequence[int]] = None,
+        fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]] = None,
+        fixed_point: Optional[FixedPointFormat] = None,
+    ) -> Dict[str, QualityDistribution]:
+        """Run the sweep and return one :class:`QualityDistribution` per scheme.
+
+        Parameters
+        ----------
+        benchmark:
+            The application benchmark whose training features live in the
+            faulty memory.
+        workers:
+            Process count.  ``workers=1`` evaluates inline in this process
+            (fully debuggable); higher counts fan shards out over a
+            :class:`ProcessPoolExecutor`.  Results are bit-identical for any
+            value.
+        checkpoint:
+            Optional path of a JSON results cache.  Completed dies are loaded
+            from it, the file is rewritten after every finished shard, and a
+            finished sweep leaves a cache that replays instantly.  Each save
+            serialises all results so far; with the default shard sizing (a
+            few shards per worker) that stays negligible, but combining
+            ``shard_size=1`` with very large sweeps trades checkpoint I/O for
+            resume granularity.
+        shard_size:
+            Dies per work unit (defaults to a balanced split across workers).
+        shard_order:
+            Optional permutation of shard indices -- execution order never
+            affects the result, and tests use this to prove it.
+        fault_maps:
+            Pre-drawn dies keyed by ``(count_index, sample_index)``; replaces
+            the seeded per-die sampling (legacy-runner bridge).
+        fixed_point:
+            Override for the stored fixed-point format (defaults to the
+            config's ``Q(word_width - frac_bits).frac_bits`` format).
+        """
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        config = self._config
+        if fault_maps is None and config.master_seed is None:
+            raise ValueError(
+                "a master_seed is required unless pre-drawn fault_maps are "
+                "supplied"
+            )
+        clean_quality = benchmark.clean_quality()
+        if clean_quality == 0.0:
+            raise ValueError(
+                "the benchmark's fault-free quality is zero; cannot normalise"
+            )
+        counts = config.evaluated_counts()
+        probabilities = config.count_probabilities()
+        organization = config.organization
+        if fixed_point is None:
+            fixed_point = FixedPointFormat(
+                total_bits=config.word_width, frac_bits=config.frac_bits
+            )
+        features = np.asarray(benchmark.train_features, dtype=np.float64)
+        raw_features = fixed_point.quantize_array(features)
+
+        plan = self.plan()
+        entries: List[_DieEntry] = []
+        for die_index, count_index, sample_index, count in plan:
+            explicit = None
+            if fault_maps is not None:
+                try:
+                    explicit = fault_maps[(count_index, sample_index)]
+                except KeyError:
+                    raise ValueError(
+                        f"fault_maps is missing die (count_index="
+                        f"{count_index}, sample_index={sample_index})"
+                    ) from None
+            entries.append((die_index, count_index, sample_index, count, explicit))
+
+        context: Dict[str, object] = {
+            "organization": organization,
+            "schemes": self._schemes,
+            "fixed_point": fixed_point,
+            "raw_features": raw_features,
+            "benchmark": benchmark,
+            "clean_quality": clean_quality,
+            "discard_multi_fault_words": config.discard_multi_fault_words,
+            "master_seed": config.master_seed,
+        }
+
+        die_results: Dict[int, List[float]] = {}
+        config_hash = ""
+        if checkpoint is not None:
+            config_hash = self.config_hash(benchmark, fault_maps, fixed_point)
+            die_results.update(_load_checkpoint(checkpoint, config_hash))
+        pending = [e for e in entries if e[0] not in die_results]
+
+        shards = self._make_shards(pending, workers, shard_size)
+        if shard_order is not None:
+            order = list(shard_order)
+            if sorted(order) != list(range(len(shards))):
+                raise ValueError(
+                    f"shard_order must be a permutation of 0..{len(shards) - 1}"
+                )
+            shards = [shards[i] for i in order]
+
+        def _absorb(shard_results: List[Tuple[int, List[float]]]) -> None:
+            for die_index, qualities in shard_results:
+                die_results[die_index] = qualities
+            if checkpoint is not None:
+                _save_checkpoint(checkpoint, config_hash, die_results)
+
+        if workers == 1 or len(shards) <= 1:
+            for shard in shards:
+                _absorb(_evaluate_shard(shard, context))
+        else:
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(shards)),
+                initializer=_init_worker,
+                initargs=(context,),
+            ) as pool:
+                futures = [
+                    pool.submit(_pool_evaluate_shard, shard) for shard in shards
+                ]
+                for future in as_completed(futures):
+                    _absorb(future.result())
+
+        return self._merge(
+            benchmark, clean_quality, counts, probabilities, die_results
+        )
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make_shards(
+        entries: List[_DieEntry], workers: int, shard_size: Optional[int]
+    ) -> List[List[_DieEntry]]:
+        """Chunk the pending dies into contiguous work units."""
+        if not entries:
+            return []
+        if shard_size is None:
+            # A few shards per worker balances load without flooding the
+            # queue; inline runs keep several shards so checkpoints land
+            # regularly.
+            shard_size = max(1, math.ceil(len(entries) / max(4 * workers, 4)))
+        if shard_size < 1:
+            raise ValueError("shard_size must be at least 1")
+        return [
+            entries[start:start + shard_size]
+            for start in range(0, len(entries), shard_size)
+        ]
+
+    def _merge(
+        self,
+        benchmark: BenchmarkDefinition,
+        clean_quality: float,
+        counts: Sequence[int],
+        probabilities: Mapping[int, float],
+        die_results: Mapping[int, Sequence[float]],
+    ) -> Dict[str, QualityDistribution]:
+        """Assemble per-scheme weighted ECDFs from the canonical die order.
+
+        Merging iterates dies in ``(count_index, sample_index)`` order, so the
+        resulting :class:`WeightedEcdf` is identical no matter which shard or
+        worker produced each value, and bit-identical to the historical serial
+        runner on the same dies.
+        """
+        config = self._config
+        samples = config.samples_per_count
+        missing = [
+            die_index
+            for die_index in range(len(counts) * samples)
+            if die_index not in die_results
+        ]
+        if missing:
+            raise RuntimeError(
+                f"sweep finished with {len(missing)} unevaluated dies "
+                f"(first: {missing[:5]}); this indicates a sharding bug"
+            )
+        zero_mass = (np.array([1.0]), config.zero_fault_probability)
+        results: Dict[str, QualityDistribution] = {}
+        for scheme_index, scheme in enumerate(self._schemes):
+            groups: List[Tuple[np.ndarray, float]] = [zero_mass]
+            for count_index, count in enumerate(counts):
+                values = np.array(
+                    [
+                        die_results[count_index * samples + sample_index][
+                            scheme_index
+                        ]
+                        for sample_index in range(samples)
+                    ]
+                )
+                groups.append((values, probabilities[count]))
+            results[scheme.name] = QualityDistribution(
+                benchmark=benchmark.name,
+                metric_name=benchmark.metric_name,
+                scheme_name=scheme.name,
+                p_cell=config.p_cell,
+                clean_quality=clean_quality,
+                ecdf=WeightedEcdf.from_groups(groups),
+                samples=len(counts) * samples,
+            )
+        return results

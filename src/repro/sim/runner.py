@@ -7,16 +7,20 @@ scheme under study, retrains, and records the resulting quality metric.  The
 per-count results are weighted by ``Pr(N = n)`` (Eq. 4) -- together with the
 fault-free point mass -- to form the quality CDFs plotted in Fig. 7.
 
-The storage leg rides the batched datapath: the training features are
-quantised once per run and the fixed integer codes are replayed through every
-(fault map x scheme) store via :meth:`FaultyTensorStore.load_quantized`, so
-each die costs one vectorised encode/corrupt/decode pass instead of a Python
-loop over words.
+This class is the legacy, generator-seeded front end of the sweep: fault maps
+are drawn sequentially from the caller's ``np.random.Generator`` (preserving
+the exact random stream of the original serial implementation and its golden
+regression curves), and evaluation, parallel fan-out, and checkpointing are
+delegated to :class:`repro.sim.engine.SweepEngine`.  Because the evaluation
+of a drawn die is deterministic, ``run(..., workers=N)`` returns bit-identical
+distributions for every ``N``.  New code that wants parallel *sampling* as
+well (per-die seed-sequence children, reproducible for any worker count)
+should use :class:`~repro.sim.engine.SweepEngine` with a seeded
+:class:`~repro.sim.engine.ExperimentConfig` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -24,61 +28,21 @@ import numpy as np
 from repro.core.base import ProtectionScheme
 from repro.faultmodel.montecarlo import (
     FaultMapSampler,
-    failure_count_pmf,
     max_failures_for_coverage,
 )
 from repro.memory.faults import FaultMap
 from repro.memory.organization import MemoryOrganization
-from repro.quality.cdf import WeightedEcdf
 from repro.quantize.fixedpoint import FixedPointFormat
+from repro.sim.engine import (
+    ExperimentConfig,
+    QualityDistribution,
+    SweepEngine,
+    evaluated_failure_counts,
+    reassign_count_probabilities,
+)
 from repro.sim.experiment import BenchmarkDefinition
-from repro.sim.faulty_storage import FaultyTensorStore
 
 __all__ = ["QualityDistribution", "QualityExperimentRunner"]
-
-
-@dataclass
-class QualityDistribution:
-    """Distribution of a benchmark's quality metric for one scheme (a Fig. 7 curve).
-
-    Attributes
-    ----------
-    benchmark:
-        Benchmark name (``"elasticnet"``, ``"pca"``, ``"knn"``).
-    metric_name:
-        Name of the quality metric.
-    scheme_name:
-        Protection scheme the distribution belongs to.
-    p_cell:
-        Operating-point bit-cell failure probability.
-    clean_quality:
-        Quality obtained with uncorrupted training data (normalisation point).
-    ecdf:
-        Weighted empirical CDF of the *normalised* quality (faulty quality
-        divided by ``clean_quality``), including the fault-free point mass.
-    samples:
-        Number of fault maps evaluated.
-    """
-
-    benchmark: str
-    metric_name: str
-    scheme_name: str
-    p_cell: float
-    clean_quality: float
-    ecdf: WeightedEcdf
-    samples: int
-
-    def yield_at_quality(self, normalized_target: float) -> float:
-        """Fraction of dies whose normalised quality reaches ``normalized_target``."""
-        return float(self.ecdf.probability_at_least(normalized_target))
-
-    def cdf_series(self) -> Tuple[np.ndarray, np.ndarray]:
-        """``(normalised quality, P(Q <= q))`` step points -- the Fig. 7 curve."""
-        return self.ecdf.curve()
-
-    def median_quality(self) -> float:
-        """Median normalised quality across the die population."""
-        return self.ecdf.quantile(0.5)
 
 
 class QualityExperimentRunner:
@@ -147,25 +111,16 @@ class QualityExperimentRunner:
         is unnecessary because the per-count probabilities of the skipped
         counts are re-assigned to the nearest evaluated count.
         """
-        counts = list(range(1, self._max_failures + 1))
-        if n_points is None or n_points >= len(counts):
-            return counts
-        if n_points < 1:
-            raise ValueError("n_points must be at least 1")
-        positions = np.unique(
-            np.geomspace(1, self._max_failures, n_points).round().astype(int)
-        )
-        return positions.tolist()
+        return evaluated_failure_counts(self._max_failures, n_points)
 
     def _count_probabilities(self, evaluated_counts: Sequence[int]) -> Dict[int, float]:
         """Assign each failure count's probability to the nearest evaluated count."""
-        evaluated = np.asarray(sorted(evaluated_counts))
-        probabilities = {int(c): 0.0 for c in evaluated}
-        for n in range(1, self._max_failures + 1):
-            p = failure_count_pmf(self._organization.total_cells, self._p_cell, n)
-            nearest = int(evaluated[np.argmin(np.abs(evaluated - n))])
-            probabilities[nearest] += p
-        return probabilities
+        return reassign_count_probabilities(
+            self._organization.total_cells,
+            self._p_cell,
+            self._max_failures,
+            evaluated_counts,
+        )
 
     def run(
         self,
@@ -174,6 +129,8 @@ class QualityExperimentRunner:
         samples_per_count: int = 20,
         n_count_points: Optional[int] = None,
         discard_multi_fault_words: bool = True,
+        workers: int = 1,
+        checkpoint: Optional[str] = None,
     ) -> Dict[str, QualityDistribution]:
         """Run the benchmark for every scheme over a shared population of dies.
 
@@ -181,73 +138,45 @@ class QualityExperimentRunner:
         Fig. 7: fault maps containing a row with more than one faulty cell are
         redrawn, so the SECDED reference is exactly error-free and the
         comparison isolates the single-fault-per-word regime.
+
+        ``workers`` fans the (deterministic) per-die evaluation out over that
+        many processes; the fault maps are always drawn serially from this
+        runner's generator first, so the returned distributions are
+        bit-identical for every worker count.  ``checkpoint`` optionally names
+        a JSON results cache written after every completed shard (see
+        :meth:`repro.sim.engine.SweepEngine.run`).
         """
         if samples_per_count <= 0:
             raise ValueError("samples_per_count must be positive")
-        clean_quality = benchmark.clean_quality()
-        if clean_quality == 0.0:
-            raise ValueError(
-                "the benchmark's fault-free quality is zero; cannot normalise"
-            )
-
-        evaluated_counts = self.failure_counts(n_count_points)
-        probabilities = self._count_probabilities(evaluated_counts)
-        zero_probability = failure_count_pmf(
-            self._organization.total_cells, self._p_cell, 0
+        config = ExperimentConfig(
+            rows=self._organization.rows,
+            word_width=self._organization.word_width,
+            p_cell=self._p_cell,
+            coverage=self._coverage,
+            samples_per_count=samples_per_count,
+            n_count_points=n_count_points,
+            master_seed=None,
+            scheme_specs=tuple(scheme.name for scheme in schemes),
+            discard_multi_fault_words=discard_multi_fault_words,
+            benchmark=benchmark.name,
         )
+        # Draw every die up front, in the exact count-major order (and from
+        # the exact shared-generator stream) of the original serial runner.
         sampler = FaultMapSampler(self._organization, self._rng)
-
-        # The training features are identical for every die and scheme, so
-        # quantise them exactly once; each store then replays the fixed codes
-        # through its own batched encode/corrupt/decode datapath.
-        fixed_point = (
-            self._fixed_point
-            if self._fixed_point is not None
-            else FixedPointFormat(
-                total_bits=self._organization.word_width, frac_bits=16
-            )
-        )
-        features = np.asarray(benchmark.train_features, dtype=np.float64)
-        raw_features = fixed_point.quantize_array(features)
-
-        groups: Dict[str, List[Tuple[np.ndarray, float]]] = {
-            scheme.name: [(np.array([1.0]), zero_probability)] for scheme in schemes
-        }
-        total_samples = 0
-        for count in evaluated_counts:
-            fault_maps = [
-                self._draw_fault_map(sampler, count, discard_multi_fault_words)
-                for _ in range(samples_per_count)
-            ]
-            total_samples += len(fault_maps)
-            per_scheme: Dict[str, List[float]] = {s.name: [] for s in schemes}
-            for fault_map in fault_maps:
-                # One programmed store per scheme, shared across the page
-                # stream of the whole training tensor for this die.
-                for scheme in schemes:
-                    store = FaultyTensorStore(
-                        self._organization, scheme, fault_map, fixed_point
-                    )
-                    corrupted = store.load_quantized(raw_features)
-                    quality = benchmark.quality_with_corrupted_features(corrupted)
-                    per_scheme[scheme.name].append(quality / clean_quality)
-            for scheme in schemes:
-                groups[scheme.name].append(
-                    (np.asarray(per_scheme[scheme.name]), probabilities[count])
+        fault_maps: Dict[Tuple[int, int], FaultMap] = {}
+        for count_index, count in enumerate(config.evaluated_counts()):
+            for sample_index in range(samples_per_count):
+                fault_maps[(count_index, sample_index)] = self._draw_fault_map(
+                    sampler, count, discard_multi_fault_words
                 )
-
-        return {
-            scheme.name: QualityDistribution(
-                benchmark=benchmark.name,
-                metric_name=benchmark.metric_name,
-                scheme_name=scheme.name,
-                p_cell=self._p_cell,
-                clean_quality=clean_quality,
-                ecdf=WeightedEcdf.from_groups(groups[scheme.name]),
-                samples=total_samples,
-            )
-            for scheme in schemes
-        }
+        engine = SweepEngine(config, schemes=list(schemes))
+        return engine.run(
+            benchmark,
+            workers=workers,
+            checkpoint=checkpoint,
+            fault_maps=fault_maps,
+            fixed_point=self._fixed_point,
+        )
 
     def _draw_fault_map(
         self,
@@ -256,12 +185,15 @@ class QualityExperimentRunner:
         discard_multi_fault_words: bool,
         max_attempts: int = 1000,
     ) -> FaultMap:
-        """Draw a fault map, optionally rejecting dies with >1 fault in any word."""
-        for _ in range(max_attempts):
-            fault_map = sampler.sample_with_count(fault_count)
-            if not discard_multi_fault_words or fault_map.max_faults_per_row() <= 1:
-                return fault_map
-        raise RuntimeError(
-            "could not draw a fault map without multi-fault words; "
-            "lower the failure count or disable discard_multi_fault_words"
-        )
+        """Draw a fault map, optionally rejecting dies with >1 fault in any word.
+
+        Delegates to the sampler's legacy-stream rejection path, which redraws
+        with the exact per-map random sequence of the original serial runner.
+        """
+        return sampler.sample_batch(
+            fault_count,
+            1,
+            max_faults_per_word=1 if discard_multi_fault_words else None,
+            vectorized=False,
+            max_attempts=max_attempts,
+        )[0]

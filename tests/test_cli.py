@@ -85,3 +85,75 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 7" in out
         assert "no-protection" in out
+
+
+class TestParallelFlags:
+    FIG7_SMOKE = [
+        "fig7",
+        "--benchmark",
+        "knn",
+        "--samples",
+        "1",
+        "--count-points",
+        "2",
+        "--scale",
+        "0.2",
+    ]
+
+    def test_workers_rejects_non_positive(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig7", "--workers", "0"])
+        with pytest.raises(SystemExit):
+            parser.parse_args(["fig5", "--workers", "-2"])
+
+    def test_fig7_workers_default_is_serial(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig7"])
+        assert args.workers == 1
+        assert args.sampling == "legacy"
+        assert args.checkpoint is None
+
+    def test_fig7_stdout_identical_for_worker_counts(self, capsys):
+        assert main(self.FIG7_SMOKE + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.FIG7_SMOKE + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert "Figure 7" in serial
+        assert parallel == serial
+
+    def test_fig7_seeded_sampling_identical_for_worker_counts(self, capsys):
+        seeded = self.FIG7_SMOKE + ["--sampling", "seeded", "--seed", "7"]
+        assert main(seeded + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(seeded + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_fig7_seeded_differs_from_legacy_sampling(self, capsys):
+        assert main(self.FIG7_SMOKE) == 0
+        legacy = capsys.readouterr().out
+        assert main(self.FIG7_SMOKE + ["--sampling", "seeded"]) == 0
+        seeded = capsys.readouterr().out
+        # Same budget and schemes, different (documented) sampling scheme.
+        assert seeded.splitlines()[0] == legacy.splitlines()[0]
+        assert seeded != legacy
+
+    def test_fig5_stdout_identical_for_worker_counts(self, capsys):
+        smoke = ["fig5", "--samples", "3", "--p-cell", "1e-4"]
+        assert main(smoke + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(smoke + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert "Figure 5" in serial
+        assert parallel == serial
+
+    def test_fig7_checkpoint_round_trip(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "fig7.json")
+        smoke = self.FIG7_SMOKE + ["--checkpoint", checkpoint]
+        assert main(smoke) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "fig7.json").exists()
+        assert main(smoke) == 0
+        resumed = capsys.readouterr().out
+        assert resumed == first
