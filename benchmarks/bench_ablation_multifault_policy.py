@@ -15,7 +15,6 @@ in DESIGN.md.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.scheme import BitShuffleScheme
 from repro.faultmodel.yieldmodel import YieldAnalyzer

@@ -11,7 +11,6 @@ more parity columns than the FM-LUT.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.priority_ecc import PriorityEccScheme
 from repro.core.scheme import BitShuffleScheme

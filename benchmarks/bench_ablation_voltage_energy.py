@@ -11,7 +11,6 @@ tolerate at 99.9 % yield with and without bit-shuffling.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core.no_protection import NoProtection
 from repro.core.scheme import BitShuffleScheme

@@ -11,7 +11,6 @@ constant 1-to-5-column cost of the bit-shuffling FM-LUT.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.faultmodel.pcell import PcellModel
 from repro.memory.organization import MemoryOrganization

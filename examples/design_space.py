@@ -1,0 +1,116 @@
+"""Design-space exploration walkthrough: spec file -> Pareto table.
+
+The paper's closing argument is an energy/quality/overhead trade-off: lower
+the SRAM supply voltage to save energy, let the bit-cell failure rate climb,
+and rely on the protection scheme to keep application quality acceptable.
+This example sweeps that design space end-to-end:
+
+1. declare the grid -- memory geometry, a supply-voltage grid, the competing
+   protection schemes, the Monte-Carlo budget, and a benchmark -- as an
+   :class:`~repro.dse.ExperimentSpec`;
+2. round-trip it through a JSON spec file (what ``repro-faulty-mem dse run
+   --spec`` consumes);
+3. evaluate every (voltage x scheme) grid point through the parallel sweep
+   engine and join per-access energy, leakage, and area overhead;
+4. extract the energy versus quality-at-yield Pareto frontier.
+
+Run with::
+
+    python examples/design_space.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+
+from repro.dse import (
+    BenchmarkGridSpec,
+    DesignSpaceExplorer,
+    ExperimentSpec,
+    GeometrySpec,
+    McBudgetSpec,
+    OperatingGridSpec,
+    SchemeGridSpec,
+)
+
+
+def build_spec() -> ExperimentSpec:
+    """A small but non-trivial grid: 3 voltages x 3 schemes x 1 benchmark."""
+    return ExperimentSpec(
+        geometry=GeometrySpec(rows=1024, word_width=32),
+        operating_grid=OperatingGridSpec(vdd_values=(0.64, 0.70, 0.78)),
+        scheme_grid=SchemeGridSpec(
+            specs=("no-protection", "p-ecc", "bit-shuffle-nfm2")
+        ),
+        budget=McBudgetSpec(
+            samples_per_count=4,
+            n_count_points=8,
+            coverage=0.95,
+            master_seed=2015,
+            # At the lowest voltage a die carries hundreds of faults, so the
+            # Fig. 7 simplification of redrawing dies with two faults in one
+            # word becomes infeasible; the voltage sweep keeps every die.
+            discard_multi_fault_words=False,
+        ),
+        benchmarks=BenchmarkGridSpec(names=("elasticnet",), scale=0.25, seed=17),
+        quality_yield_target=0.9,
+    )
+
+
+def main() -> None:
+    spec = build_spec()
+
+    # The spec is declarative and serialisable: what runs is exactly what the
+    # JSON file says, and `repro-faulty-mem dse run --spec <path>` accepts
+    # the same file.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "design_space.json")
+        spec.save(path)
+        spec = ExperimentSpec.from_file(path)
+        print(f"Loaded spec from {os.path.basename(path)}: "
+              f"{spec.grid_size()} grid cells")
+
+    result = DesignSpaceExplorer(spec, workers=1).run()
+
+    print()
+    print("Joined result table (one row per voltage x scheme):")
+    header = (
+        f"{'scheme':<18} {'VDD':>5} {'Pcell':>9} {'E/read [fJ]':>12} "
+        f"{'E saved':>8} {'area ovh':>9} {'Q@90% yield':>12}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in result.rows:
+        print(
+            f"{row['scheme']:<18} {row['vdd']:>5.2f} {row['p_cell']:>9.2e} "
+            f"{row['total_read_energy_fj']:>12.1f} "
+            f"{row['energy_saving']:>7.0%} "
+            f"{row['overhead_area_um2']:>8.0f} "
+            f"{row['quality_at_yield']:>12.3f}"
+        )
+
+    print()
+    print("Pareto frontier (minimise read energy, maximise quality at yield):")
+    for row in result.pareto():
+        print(
+            f"  {row['scheme']:<18} @ {row['vdd']:.2f} V: "
+            f"{row['total_read_energy_fj']:.1f} fJ/read, "
+            f"Q@yield = {row['quality_at_yield']:.3f}"
+        )
+
+    print()
+    print("Cheapest operating point per scheme with quality@yield >= 0.9:")
+    iso = result.energy_at_iso_quality(0.9)
+    if not iso:
+        print("  (no scheme meets the target on this grid)")
+    for row in iso:
+        print(
+            f"  {row['scheme']:<18} @ {row['vdd']:.2f} V: "
+            f"{row['total_read_energy_fj']:.1f} fJ/read "
+            f"({row['energy_saving']:.0%} energy saved vs. nominal)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -70,6 +70,11 @@ from repro.sim import (
     QualityExperimentRunner,
     standard_benchmarks,
 )
+from repro.dse import (
+    DesignSpaceExplorer,
+    DseResult,
+    ExperimentSpec,
+)
 
 __version__ = "1.0.0"
 
@@ -79,6 +84,9 @@ __all__ = [
     "BenchmarkDefinition",
     "BitShuffleScheme",
     "BitShuffler",
+    "DesignSpaceExplorer",
+    "DseResult",
+    "ExperimentSpec",
     "FaultKind",
     "FaultMap",
     "FaultMapLut",

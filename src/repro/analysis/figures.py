@@ -4,6 +4,12 @@ Each ``figureN_*`` function reproduces the corresponding figure's underlying
 data.  None of them plot; they return dictionaries of numpy arrays / result
 objects that the benchmarks print as tables and that a notebook could plot
 directly.
+
+The Monte-Carlo figures are thin views over the design-space exploration
+layer: ``figure5_mse_cdf`` and ``figure7_quality`` each evaluate one grid
+point through :mod:`repro.dse.evaluate` (sharing the sweep engine's
+parallelism, seeding, and checkpointing), and ``figure6_overhead`` is the
+overhead join input.  The general grid lives behind ``repro-faulty-mem dse``.
 """
 
 from __future__ import annotations
@@ -21,14 +27,19 @@ from repro.core.segments import (
     max_lut_bits,
     unprotected_error_magnitude_profile,
 )
+from repro.dse.evaluate import (
+    evaluate_mse_point,
+    evaluate_overhead_point,
+    evaluate_quality_point,
+)
 from repro.faultmodel.pcell import PcellModel, classical_yield
-from repro.faultmodel.yieldmodel import MseDistribution, YieldAnalyzer
-from repro.hardware.overhead import OverheadModel, OverheadReport
+from repro.faultmodel.yieldmodel import MseDistribution
+from repro.hardware.overhead import OverheadReport
 from repro.hardware.technology import Technology
 from repro.memory.organization import MemoryOrganization
-from repro.sim.engine import ExperimentConfig, SweepEngine
+from repro.sim.engine import ExperimentConfig
 from repro.sim.experiment import BenchmarkDefinition
-from repro.sim.runner import QualityDistribution, QualityExperimentRunner
+from repro.sim.runner import QualityDistribution
 
 __all__ = [
     "figure2_pcell_vs_vdd",
@@ -87,31 +98,52 @@ def figure5_mse_cdf(
     n_fm_values: Optional[Sequence[int]] = None,
     rng: Optional[np.random.Generator] = None,
     workers: int = 1,
+    sampling: str = "legacy",
+    master_seed: Optional[int] = None,
+    checkpoint: Optional[str] = None,
 ) -> Dict[str, MseDistribution]:
     """Fig. 5: CDF of the local MSE for every protection option.
 
     Evaluates the unprotected memory, the H(22,16) P-ECC baseline, and the
     bit-shuffling scheme for every requested ``nFM`` against the *same*
     Monte-Carlo population of faulty dies, at the paper's operating point
-    (16 kB memory, Pcell = 5e-6).  ``workers`` parallelises the per-scheme
-    analysis over processes; results are bit-identical for any count.
+    (16 kB memory, Pcell = 5e-6) -- one MSE grid point of the design space
+    (:func:`repro.dse.evaluate.evaluate_mse_point`).
+
+    ``workers`` fans the per-die analysis out over processes; results are
+    bit-identical for any count.  ``sampling="legacy"`` (default) draws the
+    die population serially from ``rng``, reproducing the historical pinned
+    curves; ``"seeded"`` derives one seed-sequence child per die from
+    ``master_seed`` so sampling parallelises too.  ``checkpoint`` names an
+    optional JSON results cache for resumable sweeps.
     """
     organization = (
         organization if organization is not None else MemoryOrganization.paper_16kb()
     )
     if n_fm_values is None:
         n_fm_values = range(1, max_lut_bits(organization.word_width) + 1)
-    rng = rng if rng is not None else np.random.default_rng(2015)
-    analyzer = YieldAnalyzer(organization, p_cell, rng=rng, coverage=coverage)
-    schemes: List[ProtectionScheme] = [
-        NoProtection(organization.word_width),
-        PriorityEccScheme(organization.word_width),
-    ]
-    schemes.extend(
-        BitShuffleScheme(organization.word_width, n_fm) for n_fm in n_fm_values
+    if sampling == "legacy":
+        rng = rng if rng is not None else np.random.default_rng(2015)
+        master_seed = None
+    else:
+        master_seed = master_seed if master_seed is not None else 2015
+    config = ExperimentConfig(
+        rows=organization.rows,
+        word_width=organization.word_width,
+        p_cell=p_cell,
+        coverage=coverage,
+        samples_per_count=samples_per_count,
+        master_seed=master_seed,
+        scheme_specs=("no-protection", "p-ecc")
+        + tuple(f"bit-shuffle-nfm{n_fm}" for n_fm in n_fm_values),
+        discard_multi_fault_words=False,
     )
-    return analyzer.compare_schemes(
-        schemes, samples_per_count=samples_per_count, workers=workers
+    return evaluate_mse_point(
+        config,
+        sampling=sampling,
+        rng=rng,
+        workers=workers,
+        checkpoint=checkpoint,
     )
 
 
@@ -124,8 +156,9 @@ def figure6_overhead(
     organization = (
         organization if organization is not None else MemoryOrganization.paper_16kb()
     )
-    model = OverheadModel(organization, technology)
-    return model.compare(lut_realisation=lut_realisation)
+    return evaluate_overhead_point(
+        organization, technology, lut_realisation=lut_realisation
+    )
 
 
 def standard_figure7_schemes(word_width: int = 32) -> List[ProtectionScheme]:
@@ -163,33 +196,39 @@ def figure7_quality(
     sweep runs on the :class:`~repro.sim.engine.SweepEngine` seeded sampling
     path (one seed-sequence child per die) instead of the legacy shared
     generator ``rng``; ``checkpoint`` names an optional JSON results cache for
-    resumable sweeps.
+    resumable sweeps.  Either way the figure is one quality grid point of the
+    design space (:func:`repro.dse.evaluate.evaluate_quality_point`).
     """
     organization = (
         organization if organization is not None else MemoryOrganization.paper_16kb()
     )
     if schemes is None:
         schemes = standard_figure7_schemes(organization.word_width)
-    if master_seed is not None:
-        config = ExperimentConfig(
-            rows=organization.rows,
-            word_width=organization.word_width,
-            p_cell=p_cell,
-            samples_per_count=samples_per_count,
-            n_count_points=n_count_points,
-            master_seed=master_seed,
-            scheme_specs=tuple(scheme.name for scheme in schemes),
-            benchmark=benchmark.name,
-        )
-        engine = SweepEngine(config, schemes=list(schemes))
-        return engine.run(benchmark, workers=workers, checkpoint=checkpoint)
-    rng = rng if rng is not None else np.random.default_rng(52)
-    runner = QualityExperimentRunner(organization, p_cell, rng=rng)
-    return runner.run(
-        benchmark,
-        schemes,
+    config = ExperimentConfig(
+        rows=organization.rows,
+        word_width=organization.word_width,
+        p_cell=p_cell,
         samples_per_count=samples_per_count,
         n_count_points=n_count_points,
+        master_seed=master_seed,
+        scheme_specs=tuple(scheme.name for scheme in schemes),
+        benchmark=benchmark.name,
+    )
+    if master_seed is not None:
+        return evaluate_quality_point(
+            config,
+            benchmark,
+            schemes=list(schemes),
+            workers=workers,
+            checkpoint=checkpoint,
+        )
+    rng = rng if rng is not None else np.random.default_rng(52)
+    return evaluate_quality_point(
+        config,
+        benchmark,
+        schemes=list(schemes),
+        sampling="legacy",
+        rng=rng,
         workers=workers,
         checkpoint=checkpoint,
     )

@@ -2,9 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from repro.sim.experiment import BenchmarkDefinition, standard_benchmarks
+from repro.sim.experiment import standard_benchmarks
 
 __all__ = ["table1_applications"]
 

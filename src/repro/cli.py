@@ -8,9 +8,16 @@ Usage (after ``pip install -e .``)::
     repro-faulty-mem fig6                 # read-path overhead comparison
     repro-faulty-mem fig7 --benchmark knn # application quality CDF
     repro-faulty-mem table1               # benchmark inventory
+    repro-faulty-mem dse run --spec g.json     # design-space sweep table
+    repro-faulty-mem dse pareto --spec g.json  # energy/quality frontier
+    repro-faulty-mem dse report --spec g.json  # iso-quality summary
 
 Every command prints a plain-text table to stdout; the benchmark harness under
-``benchmarks/`` reuses the same analysis functions.
+``benchmarks/`` reuses the same analysis functions.  The two Monte-Carlo sweep
+commands (``fig5``, ``fig7``) and ``dse run`` share one option set:
+``--workers`` (process fan-out, bit-identical results for any count),
+``--sampling legacy|seeded`` (shared-generator replay versus per-die seed
+children), and ``--checkpoint`` (resumable JSON results cache).
 """
 
 from __future__ import annotations
@@ -29,7 +36,7 @@ from repro.analysis.figures import (
     figure7_quality,
 )
 from repro.analysis.tables import table1_applications
-from repro.memory.organization import MemoryOrganization
+from repro.dse import DesignSpaceExplorer, DseResult, ExperimentSpec
 from repro.sim.experiment import standard_benchmarks
 
 __all__ = ["main", "build_parser"]
@@ -40,6 +47,45 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError("must be a positive integer")
     return value
+
+
+def _add_sweep_options(
+    parser: argparse.ArgumentParser,
+    *,
+    include_sampling: bool = True,
+    checkpoint_help: Optional[str] = None,
+) -> None:
+    """The option set shared by every Monte-Carlo sweep command.
+
+    ``fig5``, ``fig7``, and ``dse run`` all expose the same ``--workers`` /
+    ``--sampling`` / ``--checkpoint`` surface (``dse`` omits ``--sampling``:
+    the design-space grid always uses the engine's seeded per-die sampling,
+    whose master seed lives in the spec file).
+    """
+    parser.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="processes for the Monte-Carlo sweep (results are bit-identical "
+        "for any count)",
+    )
+    if include_sampling:
+        parser.add_argument(
+            "--sampling",
+            choices=["legacy", "seeded"],
+            default="legacy",
+            help="fault-map sampling: 'legacy' replays the shared-generator "
+            "stream of the serial implementation; 'seeded' derives one "
+            "seed-sequence child per die from --seed (the parallel engine's "
+            "native mode)",
+        )
+    parser.add_argument(
+        "--checkpoint",
+        default=None,
+        help=checkpoint_help
+        or "JSON results cache updated after every completed shard; "
+        "re-running with the same configuration resumes from it",
+    )
 
 
 def _print_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:
@@ -89,6 +135,9 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
         samples_per_count=args.samples,
         rng=np.random.default_rng(args.seed),
         workers=args.workers,
+        sampling=args.sampling,
+        master_seed=args.seed if args.sampling == "seeded" else None,
+        checkpoint=args.checkpoint,
     )
     print(
         f"Figure 5: quality-aware yield for a 16kB memory at Pcell={args.p_cell:g}"
@@ -178,6 +227,112 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+# --------------------------------------------------------------------------- #
+# Design-space exploration commands
+# --------------------------------------------------------------------------- #
+_DSE_TABLE_COLUMNS = (
+    "benchmark",
+    "scheme",
+    "vdd",
+    "p_cell",
+    "energy_saving",
+    "total_read_energy_fj",
+    "leakage_power_nw",
+    "overhead_area_um2",
+    "quality_at_yield",
+    "median_quality",
+    "yield_q90",
+)
+
+_DSE_TABLE_HEADERS = (
+    "benchmark",
+    "scheme",
+    "VDD [V]",
+    "Pcell",
+    "E saving",
+    "read E [fJ]",
+    "leakage [nW]",
+    "area ovh [um2]",
+    "Q@yield",
+    "median Q",
+    "yield@Q>=0.9",
+)
+
+
+def _print_dse_rows(rows: Sequence[dict]) -> None:
+    _print_table(
+        _DSE_TABLE_HEADERS,
+        [[row[column] for column in _DSE_TABLE_COLUMNS] for row in rows],
+    )
+
+
+def _dse_result(args: argparse.Namespace) -> DseResult:
+    """The result table a dse subcommand operates on (run the spec, or load)."""
+    if getattr(args, "table", None) is not None:
+        return DseResult.load(args.table)
+    if args.spec is None:
+        raise SystemExit("either --spec or --table is required")
+    spec = ExperimentSpec.from_file(args.spec)
+    explorer = DesignSpaceExplorer(
+        spec, workers=args.workers, checkpoint_dir=args.checkpoint
+    )
+    return explorer.run()
+
+
+def _cmd_dse_run(args: argparse.Namespace) -> int:
+    result = _dse_result(args)
+    spec = result.spec
+    print(
+        f"Design-space sweep: {len(spec.operating_points())} operating points x "
+        f"{len(spec.scheme_grid.specs)} schemes x "
+        f"{len(spec.benchmarks.names)} benchmarks "
+        f"(quality at yield target {spec.quality_yield_target:g})"
+    )
+    _print_dse_rows(result.rows)
+    if args.output is not None:
+        result.save(args.output)
+        print(f"wrote {len(result.rows)} rows to {args.output}")
+    return 0
+
+
+def _cmd_dse_pareto(args: argparse.Namespace) -> int:
+    result = _dse_result(args)
+    frontier = result.pareto(benchmark=args.benchmark)
+    scope = args.benchmark if args.benchmark is not None else "all benchmarks"
+    print(
+        f"Pareto frontier (total read energy vs. quality at "
+        f"{result.spec.quality_yield_target:g} yield, {scope}): "
+        f"{len(frontier)} of {len(result.rows)} points"
+    )
+    _print_dse_rows(frontier)
+    return 0
+
+
+def _cmd_dse_report(args: argparse.Namespace) -> int:
+    result = _dse_result(args)
+    spec = result.spec
+    print(
+        f"Design-space report: {len(result.rows)} grid points, "
+        f"benchmarks: {', '.join(result.benchmarks())}"
+    )
+    print()
+    print(
+        f"Pareto-optimal operating points (energy vs. quality at "
+        f"{spec.quality_yield_target:g} yield):"
+    )
+    _print_dse_rows(result.pareto())
+    for target in (0.90, 0.95, 0.99):
+        rows = result.energy_at_iso_quality(target)
+        print()
+        print(
+            f"Cheapest operating point per scheme with quality@yield >= "
+            f"{target:g} ({len(rows)} schemes qualify):"
+        )
+        if rows:
+            _print_dse_rows(rows)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -198,13 +353,7 @@ def build_parser() -> argparse.ArgumentParser:
     p5.add_argument("--p-cell", type=float, default=5e-6)
     p5.add_argument("--samples", type=int, default=200)
     p5.add_argument("--seed", type=int, default=2015)
-    p5.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=1,
-        help="processes for the per-scheme analysis (results are identical "
-        "for any count)",
-    )
+    _add_sweep_options(p5)
     p5.set_defaults(func=_cmd_fig5)
 
     p6 = sub.add_parser("fig6", help="read-path overhead comparison")
@@ -218,32 +367,69 @@ def build_parser() -> argparse.ArgumentParser:
     p7.add_argument("--count-points", type=int, default=8)
     p7.add_argument("--scale", type=float, default=0.5)
     p7.add_argument("--seed", type=int, default=52)
-    p7.add_argument(
-        "--workers",
-        type=_positive_int,
-        default=1,
-        help="processes for the Monte-Carlo sweep (results are bit-identical "
-        "for any count)",
-    )
-    p7.add_argument(
-        "--sampling",
-        choices=["legacy", "seeded"],
-        default="legacy",
-        help="fault-map sampling: 'legacy' replays the shared-generator "
-        "stream of the serial runner; 'seeded' derives one seed-sequence "
-        "child per die from --seed (the parallel engine's native mode)",
-    )
-    p7.add_argument(
-        "--checkpoint",
-        default=None,
-        help="JSON results cache updated after every completed shard; "
-        "re-running with the same configuration resumes from it",
-    )
+    _add_sweep_options(p7)
     p7.set_defaults(func=_cmd_fig7)
 
     pt = sub.add_parser("table1", help="benchmark inventory")
     pt.add_argument("--scale", type=float, default=0.5)
     pt.set_defaults(func=_cmd_table1)
+
+    pd = sub.add_parser(
+        "dse",
+        help="cross-layer design-space exploration (energy/quality/overhead)",
+    )
+    dse_sub = pd.add_subparsers(dest="dse_command", required=True)
+    dse_checkpoint_help = (
+        "directory of per-grid-point JSON result caches; re-running any "
+        "spec that shares grid points replays them instantly"
+    )
+
+    def _add_dse_options(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--spec",
+            default=None,
+            help="ExperimentSpec JSON file describing the sweep grid",
+        )
+        parser.add_argument(
+            "--table",
+            default=None,
+            help="result table previously written by 'dse run --output' "
+            "(skips re-running the sweep)",
+        )
+        _add_sweep_options(
+            parser,
+            include_sampling=False,
+            checkpoint_help=dse_checkpoint_help,
+        )
+
+    pd_run = dse_sub.add_parser(
+        "run", help="sweep the grid and print the joined result table"
+    )
+    _add_dse_options(pd_run)
+    pd_run.add_argument(
+        "--output",
+        default=None,
+        help="write the result table as JSON (input for 'dse pareto --table')",
+    )
+    pd_run.set_defaults(func=_cmd_dse_run)
+
+    pd_pareto = dse_sub.add_parser(
+        "pareto", help="energy / quality-at-yield Pareto frontier"
+    )
+    _add_dse_options(pd_pareto)
+    pd_pareto.add_argument(
+        "--benchmark",
+        default=None,
+        help="restrict the frontier to one benchmark (default: every "
+        "benchmark, each with its own frontier)",
+    )
+    pd_pareto.set_defaults(func=_cmd_dse_pareto)
+
+    pd_report = dse_sub.add_parser(
+        "report", help="Pareto frontier plus energy-at-iso-quality summary"
+    )
+    _add_dse_options(pd_report)
+    pd_report.set_defaults(func=_cmd_dse_report)
 
     return parser
 

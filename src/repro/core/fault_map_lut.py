@@ -11,12 +11,11 @@ behaviour captured here.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from repro.core.segments import (
-    max_lut_bits,
     rotation_amount,
     segment_index,
     segment_size,

@@ -22,7 +22,7 @@ faults in different segments into the lowest segment simultaneously:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 

@@ -17,7 +17,6 @@ operational scheme, the analytical yield model and the Fig. 4 benchmark.
 
 from __future__ import annotations
 
-from typing import List
 
 import numpy as np
 

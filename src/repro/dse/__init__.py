@@ -1,0 +1,70 @@
+"""Cross-layer design-space exploration (DSE).
+
+The paper's four models -- voltage/fault (:mod:`repro.faultmodel`), quality
+(:mod:`repro.sim`), energy (:mod:`repro.hardware.energy`), and overhead
+(:mod:`repro.hardware.overhead`) -- answer single-figure questions on their
+own.  This package joins them behind one declarative surface:
+
+* :mod:`repro.dse.spec` -- :class:`ExperimentSpec`, the layered, serialisable
+  description of a sweep grid (geometry / operating points / schemes /
+  Monte-Carlo budget / benchmarks);
+* :mod:`repro.dse.registry` -- the unified name registry for schemes,
+  benchmarks, and Pcell models that makes specs buildable from JSON;
+* :mod:`repro.dse.evaluate` -- the grid-point evaluators every figure is a
+  thin view of (quality, MSE, overhead);
+* :mod:`repro.dse.explore` -- :class:`DesignSpaceExplorer`, which sweeps the
+  grid through the parallel :class:`~repro.sim.engine.SweepEngine`, joins
+  energy and overhead, and extracts the energy/quality Pareto frontier.
+
+CLI: ``repro-faulty-mem dse run|pareto|report --spec grid.json``.
+"""
+
+from repro.dse.evaluate import (
+    evaluate_mse_point,
+    evaluate_overhead_point,
+    evaluate_quality_point,
+    legacy_fault_maps,
+)
+from repro.dse.explore import (
+    DSE_COLUMNS,
+    DesignSpaceExplorer,
+    DseResult,
+    pareto_frontier,
+)
+from repro.dse.registry import (
+    REGISTRY,
+    DesignRegistry,
+    build_benchmark,
+    build_pcell_model,
+    build_scheme,
+)
+from repro.dse.spec import (
+    BenchmarkGridSpec,
+    ExperimentSpec,
+    GeometrySpec,
+    McBudgetSpec,
+    OperatingGridSpec,
+    SchemeGridSpec,
+)
+
+__all__ = [
+    "BenchmarkGridSpec",
+    "DSE_COLUMNS",
+    "DesignRegistry",
+    "DesignSpaceExplorer",
+    "DseResult",
+    "ExperimentSpec",
+    "GeometrySpec",
+    "McBudgetSpec",
+    "OperatingGridSpec",
+    "REGISTRY",
+    "SchemeGridSpec",
+    "build_benchmark",
+    "build_pcell_model",
+    "build_scheme",
+    "evaluate_mse_point",
+    "evaluate_overhead_point",
+    "evaluate_quality_point",
+    "legacy_fault_maps",
+    "pareto_frontier",
+]

@@ -1,0 +1,175 @@
+"""Grid-point evaluators: one sweep of the design space, any scoring mode.
+
+Every figure of the paper is one *slice* of the design space: Fig. 7 scores a
+grid point by retraining a benchmark on corrupted features, Fig. 5 scores it
+analytically by local MSE, and Fig. 6 is the operating-point-independent
+hardware overhead join.  The functions here are those three evaluations with
+one shared surface, so ``figure5_mse_cdf`` / ``figure7_quality`` /
+``figure6_overhead``, ``YieldAnalyzer.compare_schemes``, and the
+:class:`~repro.dse.explore.DesignSpaceExplorer` all run through the same
+:class:`~repro.sim.engine.SweepEngine` machinery (sharded parallelism,
+deterministic per-die seeding, checkpoint/resume).
+
+Two sampling modes are supported everywhere:
+
+* ``"seeded"`` -- the engine's native per-die seed-sequence sampling,
+  bit-identical for any worker count and the only mode the DSE grid uses;
+* ``"legacy"`` -- fault maps pre-drawn serially from a caller-supplied shared
+  generator, reproducing the exact random streams (and golden regression
+  curves) of the original serial Fig. 5 / Fig. 7 implementations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import ProtectionScheme
+from repro.faultmodel.montecarlo import FaultMapSampler
+from repro.faultmodel.yieldmodel import MseDistribution
+from repro.hardware.overhead import OverheadModel, OverheadReport
+from repro.hardware.technology import Technology
+from repro.memory.faults import FaultMap
+from repro.memory.organization import MemoryOrganization
+from repro.quantize.fixedpoint import FixedPointFormat
+from repro.sim.engine import ExperimentConfig, QualityDistribution, SweepEngine
+from repro.sim.experiment import BenchmarkDefinition
+
+__all__ = [
+    "evaluate_mse_point",
+    "evaluate_overhead_point",
+    "evaluate_quality_point",
+    "legacy_fault_maps",
+]
+
+_SAMPLING_MODES = ("seeded", "legacy")
+
+
+def legacy_fault_maps(
+    config: ExperimentConfig,
+    rng: np.random.Generator,
+    max_attempts: int = 1000,
+) -> Dict[Tuple[int, int], FaultMap]:
+    """Pre-draw every die of ``config`` from a shared legacy generator stream.
+
+    Dies are drawn one at a time in the canonical count-major order, each with
+    the per-map rejection stream of the original serial implementations --
+    exactly the sequence the pinned Fig. 5 and Fig. 7 golden curves were
+    produced with.  The result plugs into ``SweepEngine.run(...,
+    fault_maps=...)``.
+    """
+    sampler = FaultMapSampler(config.organization, rng)
+    max_per_word = 1 if config.discard_multi_fault_words else None
+    fault_maps: Dict[Tuple[int, int], FaultMap] = {}
+    for count_index, count in enumerate(config.evaluated_counts()):
+        for sample_index in range(config.samples_per_count):
+            fault_maps[(count_index, sample_index)] = sampler.sample_batch(
+                count,
+                1,
+                max_faults_per_word=max_per_word,
+                vectorized=False,
+                max_attempts=max_attempts,
+            )[0]
+    return fault_maps
+
+
+def _resolve_fault_maps(
+    config: ExperimentConfig,
+    sampling: str,
+    rng: Optional[np.random.Generator],
+    fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]],
+) -> Optional[Mapping[Tuple[int, int], FaultMap]]:
+    """The pre-drawn die population of one sweep (``None`` = seeded sampling)."""
+    if sampling not in _SAMPLING_MODES:
+        raise ValueError(
+            f"unknown sampling mode {sampling!r}; expected one of "
+            f"{', '.join(_SAMPLING_MODES)}"
+        )
+    if fault_maps is not None:
+        return fault_maps
+    if sampling == "legacy":
+        if rng is None:
+            raise ValueError("legacy sampling requires a random generator")
+        return legacy_fault_maps(config, rng)
+    return None
+
+
+def evaluate_quality_point(
+    config: ExperimentConfig,
+    benchmark: BenchmarkDefinition,
+    *,
+    schemes: Optional[Sequence[ProtectionScheme]] = None,
+    sampling: str = "seeded",
+    rng: Optional[np.random.Generator] = None,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]] = None,
+    fixed_point: Optional[FixedPointFormat] = None,
+) -> Dict[str, QualityDistribution]:
+    """Application-quality distributions of one grid point (a Fig. 7 slice).
+
+    ``schemes`` overrides ``config.scheme_specs`` with pre-built instances;
+    ``fault_maps`` supplies an explicit pre-drawn die population (overriding
+    ``sampling``); everything else is delegated to
+    :meth:`SweepEngine.run`.
+    """
+    engine = SweepEngine(config, schemes=schemes)
+    return engine.run(
+        benchmark,
+        workers=workers,
+        checkpoint=checkpoint,
+        fault_maps=_resolve_fault_maps(config, sampling, rng, fault_maps),
+        fixed_point=fixed_point,
+    )
+
+
+def evaluate_mse_point(
+    config: ExperimentConfig,
+    *,
+    schemes: Optional[Sequence[ProtectionScheme]] = None,
+    sampling: str = "seeded",
+    rng: Optional[np.random.Generator] = None,
+    workers: int = 1,
+    checkpoint: Optional[str] = None,
+    fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]] = None,
+    fault_maps_by_count: Optional[Mapping[int, List[FaultMap]]] = None,
+    include_fault_free: bool = True,
+) -> Dict[str, MseDistribution]:
+    """Local-MSE distributions of one grid point (a Fig. 5 slice).
+
+    ``fault_maps_by_count`` accepts the historical ``{failure_count: [maps]}``
+    shape of :meth:`YieldAnalyzer.shared_fault_maps`; it is translated onto
+    the engine's canonical ``(count_index, sample_index)`` keys.
+    """
+    if fault_maps_by_count is not None:
+        if fault_maps is not None:
+            raise ValueError(
+                "pass either fault_maps or fault_maps_by_count, not both"
+            )
+        counts = config.evaluated_counts()
+        fault_maps = {
+            (count_index, sample_index): fault_map
+            for count_index, count in enumerate(counts)
+            for sample_index, fault_map in enumerate(fault_maps_by_count[count])
+        }
+    engine = SweepEngine(config, schemes=schemes)
+    return engine.run_mse(
+        workers=workers,
+        checkpoint=checkpoint,
+        fault_maps=_resolve_fault_maps(config, sampling, rng, fault_maps),
+        include_fault_free=include_fault_free,
+    )
+
+
+def evaluate_overhead_point(
+    organization: MemoryOrganization,
+    technology: Optional[Technology] = None,
+    n_fm_values: Optional[Sequence[int]] = None,
+    lut_realisation: str = "column",
+) -> OverheadReport:
+    """Hardware read-path overhead of every scheme (the Fig. 6 join input)."""
+    model = OverheadModel(organization, technology)
+    return model.compare(
+        n_fm_values=n_fm_values, lut_realisation=lut_realisation
+    )

@@ -1,0 +1,359 @@
+"""Cross-layer design-space exploration: sweep, join, and Pareto-extract.
+
+This is the paper's closing argument made executable.  A declarative
+:class:`~repro.dse.spec.ExperimentSpec` names a grid of operating points
+(supply voltages mapped to ``Pcell`` through the fault model), protection
+schemes, and benchmarks; the :class:`DesignSpaceExplorer` evaluates every
+grid point through the :class:`~repro.sim.engine.SweepEngine` (inheriting
+its sharded parallelism, deterministic per-die seeding, and checkpoint
+cache), joins the quality distributions with the voltage-scaling energy
+model and the hardware overhead model, and produces one tidy result table.
+:func:`pareto_frontier` then answers the question none of the single-figure
+views can: *which (VDD, scheme, nFM) points are Pareto-optimal in energy
+versus quality-at-yield?*
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.base import ProtectionScheme
+from repro.dse.evaluate import evaluate_overhead_point
+from repro.dse.registry import build_benchmark, build_scheme
+from repro.dse.spec import ExperimentSpec
+from repro.hardware.overhead import ReadPathOverhead
+from repro.sim.engine import QualityDistribution, SweepEngine
+
+__all__ = [
+    "DSE_COLUMNS",
+    "DesignSpaceExplorer",
+    "DseResult",
+    "pareto_frontier",
+]
+
+_RESULT_VERSION = 1
+
+#: Column order of the tidy result table (one row per grid cell).
+DSE_COLUMNS = (
+    "benchmark",
+    "scheme",
+    "vdd",
+    "p_cell",
+    "expected_failures",
+    "energy_saving",
+    "word_read_energy_fj",
+    "scheme_read_energy_fj",
+    "total_read_energy_fj",
+    "leakage_power_nw",
+    "overhead_area_um2",
+    "overhead_read_delay_ps",
+    "clean_quality",
+    "median_quality",
+    "quality_at_yield",
+    "yield_q90",
+    "yield_q99",
+    "samples",
+)
+
+
+def pareto_frontier(
+    rows: Sequence[Mapping[str, object]],
+    *,
+    energy_key: str = "total_read_energy_fj",
+    quality_key: str = "quality_at_yield",
+) -> List[Dict[str, object]]:
+    """Non-dominated rows: no other row has lower-or-equal energy *and*
+    higher-or-equal quality with at least one strict improvement.
+
+    Rows from different benchmarks are not comparable; callers group first
+    (:meth:`DseResult.pareto` does).  The frontier is returned sorted by
+    ascending energy.
+    """
+    frontier: List[Dict[str, object]] = []
+    for row in rows:
+        dominated = any(
+            other[energy_key] <= row[energy_key]
+            and other[quality_key] >= row[quality_key]
+            and (
+                other[energy_key] < row[energy_key]
+                or other[quality_key] > row[quality_key]
+            )
+            for other in rows
+        )
+        if not dominated:
+            frontier.append(dict(row))
+    frontier.sort(key=lambda r: (r[energy_key], -r[quality_key]))
+    return frontier
+
+
+class DseResult:
+    """Tidy result table of one design-space exploration run.
+
+    ``rows`` is a list of plain dicts (columns: :data:`DSE_COLUMNS`), ordered
+    benchmark-major then operating-point-major then scheme -- a stable order
+    that is bit-identical for any worker count.  ``distributions`` keeps the
+    full per-cell :class:`QualityDistribution` objects for callers that need
+    more than the tabulated summary statistics, keyed ``[benchmark][(vdd,
+    p_cell)][scheme]`` (in-memory runs only; the JSON round-trip persists the
+    table, not the distributions).
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        rows: List[Dict[str, object]],
+        distributions: Optional[
+            Dict[str, Dict[Tuple[float, float], Dict[str, QualityDistribution]]]
+        ] = None,
+    ) -> None:
+        self.spec = spec
+        self.rows = rows
+        self.distributions = distributions if distributions is not None else {}
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def benchmarks(self) -> List[str]:
+        """Benchmark names present in the table, in row order."""
+        seen: List[str] = []
+        for row in self.rows:
+            if row["benchmark"] not in seen:
+                seen.append(row["benchmark"])
+        return seen
+
+    def select(
+        self,
+        benchmark: Optional[str] = None,
+        scheme: Optional[str] = None,
+    ) -> List[Dict[str, object]]:
+        """Rows filtered by benchmark and/or scheme name."""
+        return [
+            row
+            for row in self.rows
+            if (benchmark is None or row["benchmark"] == benchmark)
+            and (scheme is None or row["scheme"] == scheme)
+        ]
+
+    def pareto(self, benchmark: Optional[str] = None) -> List[Dict[str, object]]:
+        """Energy / quality-at-yield Pareto frontier, per benchmark.
+
+        With ``benchmark=None`` the frontier of every benchmark is computed
+        independently and concatenated (rows keep their ``benchmark`` column,
+        so the groups stay distinguishable).
+        """
+        names = [benchmark] if benchmark is not None else self.benchmarks()
+        frontier: List[Dict[str, object]] = []
+        for name in names:
+            frontier.extend(pareto_frontier(self.select(benchmark=name)))
+        return frontier
+
+    def energy_at_iso_quality(
+        self, quality_target: float, benchmark: Optional[str] = None
+    ) -> List[Dict[str, object]]:
+        """Per (benchmark, scheme): the cheapest operating point meeting a
+        quality-at-yield floor -- the "energy at iso-quality" view.
+
+        Schemes that meet ``quality_target`` at no grid voltage are omitted.
+        """
+        best: Dict[tuple, Dict[str, object]] = {}
+        for row in self.rows:
+            if benchmark is not None and row["benchmark"] != benchmark:
+                continue
+            if row["quality_at_yield"] < quality_target:
+                continue
+            key = (row["benchmark"], row["scheme"])
+            if (
+                key not in best
+                or row["total_read_energy_fj"] < best[key]["total_read_energy_fj"]
+            ):
+                best[key] = row
+        return [best[key] for key in sorted(best)]
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable view (spec + table; distributions excluded)."""
+        return {
+            "version": _RESULT_VERSION,
+            "spec": self.spec.to_dict(),
+            "rows": self.rows,
+        }
+
+    def save(self, path: str) -> None:
+        """Write the result table as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=1)
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "DseResult":
+        """Load a result table previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+        if data.get("version") != _RESULT_VERSION:
+            raise ValueError(
+                f"result file {path!r} has unsupported version "
+                f"{data.get('version')!r}"
+            )
+        return cls(ExperimentSpec.from_dict(data["spec"]), data["rows"])
+
+
+class DesignSpaceExplorer:
+    """Evaluates an :class:`ExperimentSpec` grid end-to-end.
+
+    Parameters
+    ----------
+    spec:
+        The declarative sweep description.
+    workers:
+        Process fan-out of each grid point's Monte-Carlo sweep (results are
+        bit-identical for any count -- the engine's seeding contract).
+    checkpoint_dir:
+        Optional directory of per-grid-point JSON result caches.  Each
+        (operating point, benchmark) cell checkpoints independently under a
+        name derived from its configuration hash, so re-running any spec that
+        shares grid points replays them instantly.
+    """
+
+    def __init__(
+        self,
+        spec: ExperimentSpec,
+        workers: int = 1,
+        checkpoint_dir: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self._spec = spec
+        self._workers = workers
+        self._checkpoint_dir = checkpoint_dir
+
+    @property
+    def spec(self) -> ExperimentSpec:
+        """The sweep description."""
+        return self._spec
+
+    # ------------------------------------------------------------------ #
+    # Joins
+    # ------------------------------------------------------------------ #
+    def scheme_overheads(self) -> Dict[str, ReadPathOverhead]:
+        """Per-scheme read-path overhead at nominal voltage (the Fig. 6 join).
+
+        ``no-protection`` is the zero-overhead reference; every other scheme
+        must be covered by the :class:`OverheadModel` comparison.
+        """
+        spec = self._spec
+        organization = spec.organization
+        schemes = self._build_schemes()
+        report = evaluate_overhead_point(
+            organization, lut_realisation=spec.scheme_grid.lut_realisation
+        )
+        overheads: Dict[str, ReadPathOverhead] = {}
+        for scheme in schemes:
+            if scheme.name in report.overheads:
+                overheads[scheme.name] = report.overheads[scheme.name]
+            elif scheme.name == "no-protection":
+                overheads[scheme.name] = ReadPathOverhead(
+                    scheme=scheme.name,
+                    read_power_fj=0.0,
+                    read_delay_ps=0.0,
+                    area_um2=0.0,
+                )
+            else:
+                raise ValueError(
+                    f"no overhead model covers scheme {scheme.name!r}"
+                )
+        return overheads
+
+    def _build_schemes(self) -> List[ProtectionScheme]:
+        return [
+            build_scheme(spec, self._spec.geometry.word_width)
+            for spec in self._spec.scheme_grid.specs
+        ]
+
+    def _checkpoint_path(
+        self, engine: SweepEngine, benchmark, benchmark_name: str
+    ) -> Optional[str]:
+        if self._checkpoint_dir is None:
+            return None
+        os.makedirs(self._checkpoint_dir, exist_ok=True)
+        point_hash = engine.config_hash(benchmark)[:16]
+        return os.path.join(
+            self._checkpoint_dir, f"dse-{benchmark_name}-{point_hash}.json"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self) -> DseResult:
+        """Sweep the full grid and return the joined result table."""
+        spec = self._spec
+        organization = spec.organization
+        scaling = spec.operating_grid.scaling_model(organization)
+        nominal_vdd = spec.operating_grid.nominal_vdd
+        points = spec.operating_points()
+        overheads = self.scheme_overheads()
+        yield_target = spec.quality_yield_target
+
+        rows: List[Dict[str, object]] = []
+        distributions: Dict[
+            str, Dict[Tuple[float, float], Dict[str, QualityDistribution]]
+        ] = {}
+        for benchmark_name in spec.benchmarks.names:
+            benchmark = build_benchmark(
+                benchmark_name,
+                scale=spec.benchmarks.scale,
+                seed=spec.benchmarks.seed,
+            )
+            per_point: Dict[
+                Tuple[float, float], Dict[str, QualityDistribution]
+            ] = {}
+            distributions[benchmark_name] = per_point
+            for point in points:
+                config = spec.experiment_config(point, benchmark_name)
+                engine = SweepEngine(config)
+                checkpoint = self._checkpoint_path(
+                    engine, benchmark, benchmark_name
+                )
+                results = engine.run(
+                    benchmark,
+                    workers=self._workers,
+                    checkpoint=checkpoint,
+                )
+                per_point[(point.vdd, point.p_cell)] = results
+                # The scheme logic's dynamic energy scales with the same
+                # CV^2 law as the array access it accompanies.
+                logic_scale = (point.vdd / nominal_vdd) ** 2
+                word_read_energy = scaling.read_energy_fj(point.vdd)
+                for scheme_name in (s.name for s in engine.schemes):
+                    dist = results[scheme_name]
+                    overhead = overheads[scheme_name]
+                    scheme_read_energy = overhead.read_power_fj * logic_scale
+                    rows.append(
+                        {
+                            "benchmark": benchmark_name,
+                            "scheme": scheme_name,
+                            "vdd": point.vdd,
+                            "p_cell": point.p_cell,
+                            "expected_failures": point.expected_failures,
+                            "energy_saving": point.energy_saving,
+                            "word_read_energy_fj": word_read_energy,
+                            "scheme_read_energy_fj": scheme_read_energy,
+                            "total_read_energy_fj": word_read_energy
+                            + scheme_read_energy,
+                            "leakage_power_nw": point.leakage_power_nw,
+                            "overhead_area_um2": overhead.area_um2,
+                            "overhead_read_delay_ps": overhead.read_delay_ps,
+                            "clean_quality": dist.clean_quality,
+                            "median_quality": dist.median_quality(),
+                            "quality_at_yield": dist.quality_at_yield(
+                                yield_target
+                            ),
+                            "yield_q90": dist.yield_at_quality(0.90),
+                            "yield_q99": dist.yield_at_quality(0.99),
+                            "samples": dist.samples,
+                        }
+                    )
+        return DseResult(spec, rows, distributions)

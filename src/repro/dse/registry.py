@@ -1,0 +1,183 @@
+"""Unified design-space registry: schemes, benchmarks, and Pcell models.
+
+A declarative :class:`~repro.dse.spec.ExperimentSpec` names every axis of a
+design-space sweep by string -- protection schemes, application benchmarks,
+and the ``Pcell(VDD)`` model -- so each axis needs a registry that turns the
+name back into an object.  This module extends the protection-scheme registry
+(:func:`repro.sim.engine.build_scheme`) into one namespaced registry covering
+all three kinds:
+
+======================  ==========================================  ==========================
+kind                    built-in names                              factory signature
+======================  ==========================================  ==========================
+``scheme``              ``no-protection``/``none``, ``secded``,     ``(word_width)``
+                        ``p-ecc``, ``bit-shuffle-nfm<k>`` and
+                        every canonical ``scheme.name``
+``benchmark``           ``elasticnet``, ``pca``, ``knn``            ``(scale, seed)``
+``pcell-model``         ``calibrated-28nm`` (alias ``default``),    ``()`` / model parameters
+                        ``gaussian``
+======================  ==========================================  ==========================
+
+Every name a built object reports (``scheme.name``, ``benchmark.name``) is
+itself a valid spec, so configurations serialise by name alone.  New entries
+register with :meth:`DesignRegistry.register`; parameterised families (such
+as the ``bit-shuffle-nfm<k>`` schemes) register a fallback resolver with
+:meth:`DesignRegistry.register_fallback`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.core.base import ProtectionScheme
+from repro.faultmodel.pcell import PcellModel
+from repro.sim.engine import build_scheme as _build_scheme_registry
+from repro.sim.experiment import (
+    BENCHMARK_NAMES,
+    BenchmarkDefinition,
+    benchmark_by_name,
+)
+
+__all__ = [
+    "REGISTRY",
+    "DesignRegistry",
+    "build_benchmark",
+    "build_pcell_model",
+    "build_scheme",
+]
+
+
+class DesignRegistry:
+    """Namespaced factory registry for the design-space axes.
+
+    Each *kind* (``scheme``, ``benchmark``, ``pcell-model``) holds exact-name
+    factories plus ordered fallback resolvers for parameterised spec
+    families.  Lookup is case-insensitive on the exact names; a fallback
+    receives the original spec string and either returns the built object or
+    raises ``ValueError`` explaining what it accepts.
+    """
+
+    KINDS = ("scheme", "benchmark", "pcell-model")
+
+    def __init__(self) -> None:
+        self._factories: Dict[str, Dict[str, Callable[..., object]]] = {
+            kind: {} for kind in self.KINDS
+        }
+        self._fallbacks: Dict[str, List[Callable[..., object]]] = {
+            kind: [] for kind in self.KINDS
+        }
+
+    def _check_kind(self, kind: str) -> None:
+        if kind not in self._factories:
+            raise ValueError(
+                f"unknown registry kind {kind!r}; expected one of "
+                f"{', '.join(self.KINDS)}"
+            )
+
+    def register(
+        self, kind: str, name: str, factory: Optional[Callable[..., object]] = None
+    ):
+        """Register ``factory`` under ``kind``/``name`` (usable as a decorator).
+
+        Re-registering an existing name raises -- a silently shadowed axis
+        entry would change what a saved spec builds.
+        """
+        self._check_kind(kind)
+
+        def _register(fn: Callable[..., object]) -> Callable[..., object]:
+            key = name.strip().lower()
+            if key in self._factories[kind]:
+                raise ValueError(f"{kind} {name!r} is already registered")
+            self._factories[kind][key] = fn
+            return fn
+
+        if factory is not None:
+            return _register(factory)
+        return _register
+
+    def register_fallback(self, kind: str, resolver: Callable[..., object]):
+        """Register a resolver tried, in order, for specs with no exact entry."""
+        self._check_kind(kind)
+        self._fallbacks[kind].append(resolver)
+        return resolver
+
+    def build(self, kind: str, spec: str, **kwargs) -> object:
+        """Instantiate the ``kind`` object named by ``spec``.
+
+        Exact names win; otherwise the fallback resolvers are tried in
+        registration order, each signalling "not mine" with ``ValueError``.
+        """
+        self._check_kind(kind)
+        normalized = spec.strip().lower()
+        factory = self._factories[kind].get(normalized)
+        if factory is not None:
+            return factory(**kwargs)
+        errors: List[str] = []
+        for resolver in self._fallbacks[kind]:
+            try:
+                return resolver(spec, **kwargs)
+            except ValueError as error:
+                errors.append(str(error))
+        raise ValueError(
+            f"unknown {kind} spec {spec!r}; registered names: "
+            f"{', '.join(self.names(kind)) or '(none)'}"
+            + (f"; resolvers said: {' | '.join(errors)}" if errors else "")
+        )
+
+    def names(self, kind: str) -> List[str]:
+        """Exact names registered under ``kind`` (fallback families excluded)."""
+        self._check_kind(kind)
+        return sorted(self._factories[kind])
+
+
+#: The process-wide registry all built-in axes register with.
+REGISTRY = DesignRegistry()
+
+
+# --------------------------------------------------------------------------- #
+# Built-in entries
+# --------------------------------------------------------------------------- #
+# Protection schemes: the engine's spec grammar (exact names plus the
+# bit-shuffle-nfm<k> family and canonical report names) is the fallback, so
+# every historical spec keeps working and custom schemes can still claim an
+# exact name ahead of it.
+REGISTRY.register_fallback("scheme", _build_scheme_registry)
+
+for _name in BENCHMARK_NAMES:
+    REGISTRY.register(
+        "benchmark",
+        _name,
+        lambda scale=1.0, seed=17, _name=_name: benchmark_by_name(
+            _name, scale=scale, seed=seed
+        ),
+    )
+
+REGISTRY.register("pcell-model", "calibrated-28nm", PcellModel.calibrated_28nm)
+REGISTRY.register("pcell-model", "default", PcellModel.calibrated_28nm)
+REGISTRY.register(
+    "pcell-model",
+    "gaussian",
+    lambda v_crit_mean, v_crit_sigma: PcellModel(
+        v_crit_mean=float(v_crit_mean), v_crit_sigma=float(v_crit_sigma)
+    ),
+)
+
+
+# --------------------------------------------------------------------------- #
+# Convenience wrappers (the per-kind entry points most callers want)
+# --------------------------------------------------------------------------- #
+def build_scheme(spec: str, word_width: int) -> ProtectionScheme:
+    """Instantiate a protection scheme from its registry spec."""
+    return REGISTRY.build("scheme", spec, word_width=word_width)
+
+
+def build_benchmark(
+    name: str, scale: float = 1.0, seed: int = 17
+) -> BenchmarkDefinition:
+    """Instantiate a Table 1 benchmark from its registry name."""
+    return REGISTRY.build("benchmark", name, scale=scale, seed=seed)
+
+
+def build_pcell_model(name: str, **params) -> PcellModel:
+    """Instantiate a ``Pcell(VDD)`` model from its registry name."""
+    return REGISTRY.build("pcell-model", name, **params)

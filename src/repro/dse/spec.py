@@ -1,0 +1,343 @@
+"""Layered, serialisable description of a design-space sweep.
+
+:class:`~repro.sim.engine.ExperimentConfig` freezes *one* Monte-Carlo sweep:
+a single memory geometry at a single operating point against one scheme set.
+The paper's closing trade-off -- energy versus quality versus overhead at
+scaled voltages -- is a *grid* of such sweeps, and :class:`ExperimentSpec`
+describes that grid declaratively, one layer per axis:
+
+* :class:`GeometrySpec` -- the memory under study (rows, word width, stored
+  fixed-point format);
+* :class:`OperatingGridSpec` -- the supply-voltage / ``Pcell`` grid and the
+  energy model constants (which Pcell model by registry name, nominal VDD,
+  leakage);
+* :class:`SchemeGridSpec` -- the protection schemes by registry spec,
+  including nFM / coverage variants, plus the FM-LUT realisation the
+  overhead join uses;
+* :class:`McBudgetSpec` -- the Monte-Carlo budget and the master seed of the
+  deterministic per-die seeding scheme;
+* :class:`BenchmarkGridSpec` -- the Table 1 benchmarks by registry name.
+
+A spec round-trips through plain JSON (:meth:`ExperimentSpec.to_json` /
+:meth:`ExperimentSpec.from_file`), expands into the cross product of
+per-grid-point :class:`ExperimentConfig` objects, and is what ``repro dse
+run --spec grid.json`` consumes.  Unknown keys fail loudly -- a typo in a
+spec file must not silently run a default sweep.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.dse.registry import REGISTRY
+from repro.faultmodel.pcell import PcellModel
+from repro.hardware.energy import OperatingPoint, VoltageScalingModel
+from repro.memory.organization import MemoryOrganization
+from repro.sim.engine import ExperimentConfig
+
+__all__ = [
+    "BenchmarkGridSpec",
+    "ExperimentSpec",
+    "GeometrySpec",
+    "McBudgetSpec",
+    "OperatingGridSpec",
+    "SchemeGridSpec",
+]
+
+
+def _from_checked_dict(cls, data: Mapping[str, object], context: str):
+    """Build a spec dataclass from a mapping, rejecting unknown keys."""
+    known = {f.name for f in fields(cls)}
+    unknown = sorted(set(data) - known)
+    if unknown:
+        raise ValueError(
+            f"unknown {context} keys {unknown}; expected a subset of "
+            f"{sorted(known)}"
+        )
+    return cls(**data)
+
+
+@dataclass(frozen=True)
+class GeometrySpec:
+    """Memory geometry layer: what the sweep stores its data in."""
+
+    rows: int
+    word_width: int = 32
+    frac_bits: int = 16
+
+    def __post_init__(self) -> None:
+        if self.rows < 1:
+            raise ValueError("rows must be positive")
+        if self.word_width < 1:
+            raise ValueError("word_width must be positive")
+        if not 0 <= self.frac_bits <= self.word_width:
+            raise ValueError("frac_bits must be in [0, word_width]")
+
+    @property
+    def organization(self) -> MemoryOrganization:
+        """The memory organization under study."""
+        return MemoryOrganization(rows=self.rows, word_width=self.word_width)
+
+
+@dataclass(frozen=True)
+class OperatingGridSpec:
+    """Operating-point layer: the VDD / Pcell grid and energy constants.
+
+    Grid points are given either as supply voltages (``vdd_values``, mapped
+    to ``Pcell`` through the named Pcell model) or as failure probabilities
+    (``p_cell_values``, mapped back to a voltage through the model's
+    inverse) -- or both; the grid is the concatenation in the given order.
+    ``pcell_params`` parameterises the model factory (e.g. the ``gaussian``
+    model's ``v_crit_mean`` / ``v_crit_sigma``) as a tuple of ``(name,
+    value)`` pairs so the spec stays hashable.
+    """
+
+    vdd_values: Tuple[float, ...] = ()
+    p_cell_values: Tuple[float, ...] = ()
+    pcell_model: str = "calibrated-28nm"
+    pcell_params: Tuple[Tuple[str, float], ...] = ()
+    nominal_vdd: float = 1.0
+    leakage_per_cell_nw: float = 0.015
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "vdd_values", tuple(self.vdd_values))
+        object.__setattr__(self, "p_cell_values", tuple(self.p_cell_values))
+        object.__setattr__(
+            self,
+            "pcell_params",
+            tuple((str(k), float(v)) for k, v in self.pcell_params),
+        )
+        if not self.vdd_values and not self.p_cell_values:
+            raise ValueError(
+                "the operating grid needs at least one vdd or p_cell value"
+            )
+        if any(v <= 0 for v in self.vdd_values):
+            raise ValueError("vdd_values must be positive")
+        if any(not 0.0 < p < 1.0 for p in self.p_cell_values):
+            raise ValueError("p_cell_values must be in (0, 1)")
+
+    def model(self) -> PcellModel:
+        """The named ``Pcell(VDD)`` model of this grid."""
+        return REGISTRY.build(
+            "pcell-model", self.pcell_model, **dict(self.pcell_params)
+        )
+
+    def scaling_model(self, organization: MemoryOrganization) -> VoltageScalingModel:
+        """The energy model joining voltages to access energy and leakage."""
+        return VoltageScalingModel(
+            organization,
+            pcell_model=self.model(),
+            nominal_vdd=self.nominal_vdd,
+            leakage_per_cell_nw=self.leakage_per_cell_nw,
+        )
+
+    def operating_points(
+        self, organization: MemoryOrganization
+    ) -> List[OperatingPoint]:
+        """Expand the grid into fully characterised operating points.
+
+        Voltage entries take the model's ``Pcell`` at that voltage; ``Pcell``
+        entries keep the *requested* probability exactly (the sweep must run
+        at the spec's operating point, not at the round-tripped inverse) and
+        carry the voltage the model maps it back to.
+        """
+        scaling = self.scaling_model(organization)
+        model = scaling.pcell_model
+        points = [scaling.operating_point(float(v)) for v in self.vdd_values]
+        for p_cell in self.p_cell_values:
+            vdd = model.vdd_for_p_cell(float(p_cell))
+            point = scaling.operating_point(vdd)
+            points.append(
+                replace(
+                    point,
+                    p_cell=float(p_cell),
+                    expected_failures=float(p_cell) * organization.total_cells,
+                )
+            )
+        return points
+
+
+@dataclass(frozen=True)
+class SchemeGridSpec:
+    """Protection-scheme layer: which mitigation options compete."""
+
+    specs: Tuple[str, ...]
+    lut_realisation: str = "column"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+        if not self.specs:
+            raise ValueError("at least one scheme spec is required")
+        if self.lut_realisation not in ("column", "register"):
+            raise ValueError("lut_realisation must be 'column' or 'register'")
+
+
+@dataclass(frozen=True)
+class McBudgetSpec:
+    """Monte-Carlo layer: sampling budget and the deterministic master seed."""
+
+    samples_per_count: int = 10
+    n_count_points: Optional[int] = None
+    coverage: float = 0.99
+    master_seed: int = 2015
+    discard_multi_fault_words: bool = True
+
+    def __post_init__(self) -> None:
+        if self.samples_per_count < 1:
+            raise ValueError("samples_per_count must be positive")
+        if not 0.0 < self.coverage < 1.0:
+            raise ValueError("coverage must be in (0, 1)")
+
+
+@dataclass(frozen=True)
+class BenchmarkGridSpec:
+    """Application layer: which Table 1 benchmarks feel the corruption."""
+
+    names: Tuple[str, ...] = ("knn",)
+    scale: float = 0.5
+    seed: int = 17
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "names", tuple(self.names))
+        if not self.names:
+            raise ValueError("at least one benchmark is required")
+        if self.scale <= 0:
+            raise ValueError("scale must be positive")
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative cross-layer design-space sweep (the DSE input)."""
+
+    geometry: GeometrySpec
+    operating_grid: OperatingGridSpec
+    scheme_grid: SchemeGridSpec
+    budget: McBudgetSpec = McBudgetSpec()
+    benchmarks: BenchmarkGridSpec = BenchmarkGridSpec()
+    quality_yield_target: float = 0.99
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.quality_yield_target < 1.0:
+            raise ValueError("quality_yield_target must be in (0, 1)")
+
+    # ------------------------------------------------------------------ #
+    # Grid expansion
+    # ------------------------------------------------------------------ #
+    @property
+    def organization(self) -> MemoryOrganization:
+        """The memory organization under study."""
+        return self.geometry.organization
+
+    def operating_points(self) -> List[OperatingPoint]:
+        """The operating-point axis, fully characterised."""
+        return self.operating_grid.operating_points(self.organization)
+
+    def grid_size(self) -> int:
+        """Number of (operating point, benchmark, scheme) grid cells."""
+        n_points = len(self.operating_grid.vdd_values) + len(
+            self.operating_grid.p_cell_values
+        )
+        return n_points * len(self.benchmarks.names) * len(self.scheme_grid.specs)
+
+    def experiment_config(
+        self, point: OperatingPoint, benchmark_name: str
+    ) -> ExperimentConfig:
+        """The engine configuration of one (operating point, benchmark) cell."""
+        return ExperimentConfig(
+            rows=self.geometry.rows,
+            word_width=self.geometry.word_width,
+            p_cell=point.p_cell,
+            coverage=self.budget.coverage,
+            samples_per_count=self.budget.samples_per_count,
+            n_count_points=self.budget.n_count_points,
+            master_seed=self.budget.master_seed,
+            scheme_specs=self.scheme_grid.specs,
+            discard_multi_fault_words=self.budget.discard_multi_fault_words,
+            frac_bits=self.geometry.frac_bits,
+            benchmark=benchmark_name,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-JSON representation (lists instead of tuples)."""
+        data = asdict(self)
+        data["operating_grid"]["vdd_values"] = list(
+            self.operating_grid.vdd_values
+        )
+        data["operating_grid"]["p_cell_values"] = list(
+            self.operating_grid.p_cell_values
+        )
+        data["operating_grid"]["pcell_params"] = {
+            k: v for k, v in self.operating_grid.pcell_params
+        }
+        data["scheme_grid"]["specs"] = list(self.scheme_grid.specs)
+        data["benchmarks"]["names"] = list(self.benchmarks.names)
+        return data
+
+    def to_json(self, indent: int = 2) -> str:
+        """JSON text of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save(self, path: str) -> None:
+        """Write the spec as JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json() + "\n")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "ExperimentSpec":
+        """Build a spec from a plain mapping, rejecting unknown keys."""
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentSpec keys {unknown}; expected a subset "
+                f"of {sorted(known)}"
+            )
+        if "geometry" not in data:
+            raise ValueError("ExperimentSpec requires a 'geometry' section")
+        if "operating_grid" not in data:
+            raise ValueError("ExperimentSpec requires an 'operating_grid' section")
+        if "scheme_grid" not in data:
+            raise ValueError("ExperimentSpec requires a 'scheme_grid' section")
+        operating = dict(data["operating_grid"])
+        if isinstance(operating.get("pcell_params"), Mapping):
+            operating["pcell_params"] = tuple(
+                sorted(operating["pcell_params"].items())
+            )
+        kwargs: Dict[str, object] = {
+            "geometry": _from_checked_dict(
+                GeometrySpec, data["geometry"], "geometry"
+            ),
+            "operating_grid": _from_checked_dict(
+                OperatingGridSpec, operating, "operating_grid"
+            ),
+            "scheme_grid": _from_checked_dict(
+                SchemeGridSpec, data["scheme_grid"], "scheme_grid"
+            ),
+        }
+        if "budget" in data:
+            kwargs["budget"] = _from_checked_dict(
+                McBudgetSpec, data["budget"], "budget"
+            )
+        if "benchmarks" in data:
+            kwargs["benchmarks"] = _from_checked_dict(
+                BenchmarkGridSpec, data["benchmarks"], "benchmarks"
+            )
+        if "quality_yield_target" in data:
+            kwargs["quality_yield_target"] = data["quality_yield_target"]
+        return cls(**kwargs)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentSpec":
+        """Parse a spec from JSON text."""
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path: str) -> "ExperimentSpec":
+        """Load a spec from a JSON file."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())

@@ -12,7 +12,7 @@ returned for a supply voltage ``V1 < V2`` is always a superset of the one for
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 

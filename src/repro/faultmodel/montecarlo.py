@@ -18,7 +18,7 @@ the log domain (``lgamma``) so they stay finite for the paper's
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional
 
 import numpy as np
 

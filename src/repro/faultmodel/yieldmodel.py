@@ -15,7 +15,6 @@ exports the CDF series the benchmark harness tabulates.
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -26,7 +25,6 @@ from repro.faultmodel.montecarlo import (
     FaultMapSampler,
     failure_count_pmf,
     max_failures_for_coverage,
-    samples_per_failure_count,
 )
 from repro.memory.organization import MemoryOrganization
 from repro.quality.cdf import WeightedEcdf
@@ -233,75 +231,37 @@ class YieldAnalyzer:
     ) -> Dict[str, MseDistribution]:
         """Evaluate several schemes against the *same* Monte-Carlo dies (Fig. 5).
 
-        ``workers`` fans the per-scheme evaluation out over that many
-        processes.  The shared fault-map population is always drawn serially
-        first and each scheme's analysis of a given die is deterministic, so
-        the results are bit-identical for every worker count.
+        A thin view over the design-space MSE grid-point evaluator
+        (:func:`repro.dse.evaluate.evaluate_mse_point`): the shared die
+        population is drawn serially from this analyzer's generator (the
+        historical stream the pinned Fig. 5 realisations rely on), then the
+        per-die evaluation -- deterministic given the die -- runs on the
+        sharded :class:`~repro.sim.engine.SweepEngine`.  ``workers`` fans the
+        dies out over that many processes; results are bit-identical for
+        every worker count.
         """
         if workers < 1:
             raise ValueError("workers must be at least 1")
+        if not schemes:
+            return {}
         shared = self.shared_fault_maps(samples_per_count)
-        if workers == 1 or len(schemes) <= 1:
-            return {
-                scheme.name: self.mse_distribution(
-                    scheme,
-                    samples_per_count,
-                    fault_maps_by_count=shared,
-                    include_fault_free=include_fault_free,
-                )
-                for scheme in schemes
-            }
-        context = {
-            "rows": self._organization.rows,
-            "word_width": self._organization.word_width,
-            "p_cell": self._p_cell,
-            "coverage": self._coverage,
-            "shared": shared,
-            "samples_per_count": samples_per_count,
-            "include_fault_free": include_fault_free,
-        }
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(schemes)),
-            initializer=_init_compare_worker,
-            initargs=(context,),
-        ) as pool:
-            futures = [pool.submit(_compare_scheme_task, s) for s in schemes]
-            distributions = [future.result() for future in futures]
-        return {
-            scheme.name: distribution
-            for scheme, distribution in zip(schemes, distributions)
-        }
+        # Imported here: the DSE layer sits above this module.
+        from repro.dse.evaluate import evaluate_mse_point
+        from repro.sim.engine import ExperimentConfig
 
-
-# --------------------------------------------------------------------------- #
-# Process-pool plumbing for compare_schemes(workers=N)
-# --------------------------------------------------------------------------- #
-# The shared die population ships once per worker via the pool initializer;
-# each task then analyses one scheme against it.  mse_distribution never
-# touches the analyzer's generator when every count has pre-drawn maps, so the
-# placeholder seed below is never consumed.
-_COMPARE_CONTEXT: Optional[Dict[str, object]] = None
-
-
-def _init_compare_worker(context: Dict[str, object]) -> None:
-    global _COMPARE_CONTEXT
-    _COMPARE_CONTEXT = context
-
-
-def _compare_scheme_task(scheme: ProtectionScheme) -> MseDistribution:
-    assert _COMPARE_CONTEXT is not None, "worker used before initialisation"
-    context = _COMPARE_CONTEXT
-    analyzer = YieldAnalyzer(
-        MemoryOrganization(
-            rows=context["rows"], word_width=context["word_width"]
-        ),
-        context["p_cell"],
-        rng=np.random.default_rng(0),
-        coverage=context["coverage"],
-    )
-    return analyzer.mse_distribution(
-        scheme,
-        context["samples_per_count"],
-        fault_maps_by_count=context["shared"],
-        include_fault_free=context["include_fault_free"],
-    )
+        config = ExperimentConfig(
+            rows=self._organization.rows,
+            word_width=self._organization.word_width,
+            p_cell=self._p_cell,
+            coverage=self._coverage,
+            samples_per_count=samples_per_count,
+            scheme_specs=tuple(scheme.name for scheme in schemes),
+            discard_multi_fault_words=False,
+        )
+        return evaluate_mse_point(
+            config,
+            schemes=list(schemes),
+            fault_maps_by_count=shared,
+            include_fault_free=include_fault_free,
+            workers=workers,
+        )

@@ -14,11 +14,11 @@ schemes in :mod:`repro.core`.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.memory.faults import FaultKind, FaultMap
+from repro.memory.faults import FaultMap
 from repro.memory.organization import MemoryOrganization
 from repro.memory.words import bit_mask
 

@@ -16,7 +16,7 @@ signed fixed-point values; the raw unsigned path is available too.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -15,7 +15,6 @@ from __future__ import annotations
 
 from typing import Iterable, Sequence
 
-import numpy as np
 
 from repro.core.base import ProtectionScheme
 from repro.memory.faults import FaultMap

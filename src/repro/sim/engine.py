@@ -21,6 +21,14 @@ This module provides that arrangement:
   full configuration, written after every completed shard, so interrupted
   sweeps resume without re-evaluating finished dies.
 
+The engine supports two die evaluations over the same sharded grid:
+:meth:`SweepEngine.run` trains a benchmark on the corrupted features of every
+die (the Fig. 7 application study), while :meth:`SweepEngine.run_mse` scores
+each die by its local MSE (Eq. 6, the Fig. 5 study).  Both share the plan,
+the seeding scheme, the process fan-out, and the checkpoint cache; they are
+the two grid-point evaluators behind the :mod:`repro.dse` design-space
+exploration layer.
+
 Deterministic seeding scheme
 ----------------------------
 
@@ -77,6 +85,7 @@ from repro.faultmodel.montecarlo import (
 from repro.memory.faults import FaultMap
 from repro.memory.organization import MemoryOrganization
 from repro.quality.cdf import WeightedEcdf
+from repro.quality.mse import mse_of_fault_map
 from repro.quantize.fixedpoint import FixedPointFormat
 from repro.sim.experiment import BenchmarkDefinition
 from repro.sim.faulty_storage import FaultyTensorStore
@@ -232,6 +241,18 @@ class QualityDistribution:
     def yield_at_quality(self, normalized_target: float) -> float:
         """Fraction of dies whose normalised quality reaches ``normalized_target``."""
         return float(self.ecdf.probability_at_least(normalized_target))
+
+    def quality_at_yield(self, yield_target: float) -> float:
+        """Normalised quality guaranteed at a die-yield target.
+
+        The largest quality bound ``q`` such that at most ``1 - yield_target``
+        of the die population falls strictly below it -- i.e. the quality an
+        application can rely on if it is willing to discard the worst
+        ``1 - yield_target`` of dies.
+        """
+        if not 0.0 < yield_target <= 1.0:
+            raise ValueError("yield_target must be in (0, 1]")
+        return float(self.ecdf.quantile(1.0 - yield_target))
 
     def cdf_series(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(normalised quality, P(Q <= q))`` step points -- the Fig. 7 curve."""
@@ -394,7 +415,12 @@ def _die_fault_map(
 def _evaluate_die(
     context: Mapping[str, object], fault_map: FaultMap
 ) -> List[float]:
-    """Normalised quality of one die under every configured scheme."""
+    """Per-scheme score of one die: normalised quality, or local MSE."""
+    if context.get("evaluation", "quality") == "mse":
+        return [
+            float(mse_of_fault_map(fault_map, scheme))
+            for scheme in context["schemes"]
+        ]
     qualities = []
     for scheme in context["schemes"]:
         store = FaultyTensorStore(
@@ -524,42 +550,51 @@ class SweepEngine:
 
     def config_hash(
         self,
-        benchmark: BenchmarkDefinition,
+        benchmark: Optional[BenchmarkDefinition] = None,
         fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]] = None,
         fixed_point: Optional[FixedPointFormat] = None,
+        extra: Optional[Mapping[str, object]] = None,
     ) -> str:
         """Hash identifying this sweep's results (keys the checkpoint cache).
 
         ``fixed_point`` is the *effective* storage format of the run --
         overrides must enter the hash, or a resume could silently replay
-        results quantised under a different format.
+        results quantised under a different format.  ``benchmark`` is ``None``
+        for evaluations that need no training data (the MSE mode), and
+        ``extra`` carries any additional mode parameters that must key the
+        cache; hashes of benchmark-quality sweeps are unchanged by both.
         """
         if fixed_point is None:
             fixed_point = FixedPointFormat(
                 total_bits=self._config.word_width,
                 frac_bits=self._config.frac_bits,
             )
-        digest = hashlib.sha256()
-        digest.update(json.dumps(
-            {
-                "engine_version": _ENGINE_VERSION,
-                "config": self._config.to_dict(),
-                "fixed_point": [fixed_point.total_bits, fixed_point.frac_bits],
-                "schemes": [scheme.name for scheme in self._schemes],
-                "benchmark": {
+        payload: Dict[str, object] = {
+            "engine_version": _ENGINE_VERSION,
+            "config": self._config.to_dict(),
+            "fixed_point": [fixed_point.total_bits, fixed_point.frac_bits],
+            "schemes": [scheme.name for scheme in self._schemes],
+            "benchmark": (
+                {
                     "name": benchmark.name,
                     "metric": benchmark.metric_name,
-                },
-            },
-            sort_keys=True,
-        ).encode())
-        for array in (
-            benchmark.train_features,
-            benchmark.train_targets,
-            benchmark.test_features,
-            benchmark.test_targets,
-        ):
-            digest.update(np.ascontiguousarray(array).tobytes())
+                }
+                if benchmark is not None
+                else None
+            ),
+        }
+        if extra:
+            payload["extra"] = dict(extra)
+        digest = hashlib.sha256()
+        digest.update(json.dumps(payload, sort_keys=True).encode())
+        if benchmark is not None:
+            for array in (
+                benchmark.train_features,
+                benchmark.train_targets,
+                benchmark.test_features,
+                benchmark.test_targets,
+            ):
+                digest.update(np.ascontiguousarray(array).tobytes())
         if fault_maps is not None:
             for key in sorted(fault_maps):
                 digest.update(json.dumps(key).encode())
@@ -612,22 +647,12 @@ class SweepEngine:
             Override for the stored fixed-point format (defaults to the
             config's ``Q(word_width - frac_bits).frac_bits`` format).
         """
-        if workers < 1:
-            raise ValueError("workers must be at least 1")
         config = self._config
-        if fault_maps is None and config.master_seed is None:
-            raise ValueError(
-                "a master_seed is required unless pre-drawn fault_maps are "
-                "supplied"
-            )
         clean_quality = benchmark.clean_quality()
         if clean_quality == 0.0:
             raise ValueError(
                 "the benchmark's fault-free quality is zero; cannot normalise"
             )
-        counts = config.evaluated_counts()
-        probabilities = config.count_probabilities()
-        organization = config.organization
         if fixed_point is None:
             fixed_point = FixedPointFormat(
                 total_bits=config.word_width, frac_bits=config.frac_bits
@@ -635,9 +660,101 @@ class SweepEngine:
         features = np.asarray(benchmark.train_features, dtype=np.float64)
         raw_features = fixed_point.quantize_array(features)
 
-        plan = self.plan()
+        context: Dict[str, object] = {
+            "evaluation": "quality",
+            "organization": config.organization,
+            "schemes": self._schemes,
+            "fixed_point": fixed_point,
+            "raw_features": raw_features,
+            "benchmark": benchmark,
+            "clean_quality": clean_quality,
+            "discard_multi_fault_words": config.discard_multi_fault_words,
+            "master_seed": config.master_seed,
+        }
+        config_hash = ""
+        if checkpoint is not None:
+            config_hash = self.config_hash(benchmark, fault_maps, fixed_point)
+        die_results = self._execute(
+            context,
+            workers=workers,
+            checkpoint=checkpoint,
+            config_hash=config_hash,
+            shard_size=shard_size,
+            shard_order=shard_order,
+            fault_maps=fault_maps,
+        )
+        return self._merge_quality(benchmark, clean_quality, die_results)
+
+    def run_mse(
+        self,
+        *,
+        workers: int = 1,
+        checkpoint: Optional[str] = None,
+        shard_size: Optional[int] = None,
+        shard_order: Optional[Sequence[int]] = None,
+        fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]] = None,
+        include_fault_free: bool = True,
+    ) -> Dict[str, "MseDistribution"]:
+        """Run the sweep scoring each die by its local MSE (the Fig. 5 study).
+
+        Same sharded grid, per-die seeding, parallel fan-out, and checkpoint
+        cache as :meth:`run`, but each die is evaluated analytically --
+        :func:`~repro.quality.mse.mse_of_fault_map` per scheme -- instead of
+        retraining a benchmark, and the merged result is one
+        :class:`~repro.faultmodel.yieldmodel.MseDistribution` per scheme.
+        ``include_fault_free`` adds the ``Pr(N = 0)`` point mass at MSE = 0
+        (pass ``False`` for the paper's Eq. 5 conditional view).
+        """
+        config = self._config
+        context: Dict[str, object] = {
+            "evaluation": "mse",
+            "organization": config.organization,
+            "schemes": self._schemes,
+            "discard_multi_fault_words": config.discard_multi_fault_words,
+            "master_seed": config.master_seed,
+        }
+        config_hash = ""
+        if checkpoint is not None:
+            config_hash = self.config_hash(
+                None,
+                fault_maps,
+                extra={
+                    "evaluation": "mse",
+                    "include_fault_free": include_fault_free,
+                },
+            )
+        die_results = self._execute(
+            context,
+            workers=workers,
+            checkpoint=checkpoint,
+            config_hash=config_hash,
+            shard_size=shard_size,
+            shard_order=shard_order,
+            fault_maps=fault_maps,
+        )
+        return self._merge_mse(die_results, include_fault_free)
+
+    def _execute(
+        self,
+        context: Dict[str, object],
+        *,
+        workers: int,
+        checkpoint: Optional[str],
+        config_hash: str,
+        shard_size: Optional[int],
+        shard_order: Optional[Sequence[int]],
+        fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]],
+    ) -> Dict[int, List[float]]:
+        """Evaluate every pending die of the plan (the shared execution core)."""
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if fault_maps is None and self._config.master_seed is None:
+            raise ValueError(
+                "a master_seed is required unless pre-drawn fault_maps are "
+                "supplied"
+            )
         entries: List[_DieEntry] = []
-        for die_index, count_index, sample_index, count in plan:
+        for die_index, count_index, sample_index, count in self.plan():
             explicit = None
             if fault_maps is not None:
                 try:
@@ -649,21 +766,8 @@ class SweepEngine:
                     ) from None
             entries.append((die_index, count_index, sample_index, count, explicit))
 
-        context: Dict[str, object] = {
-            "organization": organization,
-            "schemes": self._schemes,
-            "fixed_point": fixed_point,
-            "raw_features": raw_features,
-            "benchmark": benchmark,
-            "clean_quality": clean_quality,
-            "discard_multi_fault_words": config.discard_multi_fault_words,
-            "master_seed": config.master_seed,
-        }
-
         die_results: Dict[int, List[float]] = {}
-        config_hash = ""
         if checkpoint is not None:
-            config_hash = self.config_hash(benchmark, fault_maps, fixed_point)
             die_results.update(_load_checkpoint(checkpoint, config_hash))
         pending = [e for e in entries if e[0] not in die_results]
 
@@ -677,8 +781,8 @@ class SweepEngine:
             shards = [shards[i] for i in order]
 
         def _absorb(shard_results: List[Tuple[int, List[float]]]) -> None:
-            for die_index, qualities in shard_results:
-                die_results[die_index] = qualities
+            for die_index, values in shard_results:
+                die_results[die_index] = values
             if checkpoint is not None:
                 _save_checkpoint(checkpoint, config_hash, die_results)
 
@@ -696,10 +800,7 @@ class SweepEngine:
                 ]
                 for future in as_completed(futures):
                     _absorb(future.result())
-
-        return self._merge(
-            benchmark, clean_quality, counts, probabilities, die_results
-        )
+        return die_results
 
     # ------------------------------------------------------------------ #
     # Internals
@@ -723,22 +824,21 @@ class SweepEngine:
             for start in range(0, len(entries), shard_size)
         ]
 
-    def _merge(
+    def _scheme_groups(
         self,
-        benchmark: BenchmarkDefinition,
-        clean_quality: float,
-        counts: Sequence[int],
-        probabilities: Mapping[int, float],
         die_results: Mapping[int, Sequence[float]],
-    ) -> Dict[str, QualityDistribution]:
-        """Assemble per-scheme weighted ECDFs from the canonical die order.
+        scheme_index: int,
+        zero_mass: Optional[Tuple[np.ndarray, float]],
+    ) -> List[Tuple[np.ndarray, float]]:
+        """Weighted value groups of one scheme, in the canonical die order.
 
-        Merging iterates dies in ``(count_index, sample_index)`` order, so the
-        resulting :class:`WeightedEcdf` is identical no matter which shard or
-        worker produced each value, and bit-identical to the historical serial
-        runner on the same dies.
+        Grouping iterates dies in ``(count_index, sample_index)`` order, so
+        the resulting :class:`WeightedEcdf` is identical no matter which shard
+        or worker produced each value, and bit-identical to the historical
+        serial implementations on the same dies.
         """
         config = self._config
+        counts = config.evaluated_counts()
         samples = config.samples_per_count
         missing = [
             die_index
@@ -750,20 +850,35 @@ class SweepEngine:
                 f"sweep finished with {len(missing)} unevaluated dies "
                 f"(first: {missing[:5]}); this indicates a sharding bug"
             )
+        probabilities = config.count_probabilities()
+        groups: List[Tuple[np.ndarray, float]] = []
+        if zero_mass is not None:
+            groups.append(zero_mass)
+        for count_index, count in enumerate(counts):
+            values = np.array(
+                [
+                    die_results[count_index * samples + sample_index][
+                        scheme_index
+                    ]
+                    for sample_index in range(samples)
+                ]
+            )
+            groups.append((values, probabilities[count]))
+        return groups
+
+    def _merge_quality(
+        self,
+        benchmark: BenchmarkDefinition,
+        clean_quality: float,
+        die_results: Mapping[int, Sequence[float]],
+    ) -> Dict[str, QualityDistribution]:
+        """Assemble one normalised-quality distribution per scheme (Fig. 7)."""
+        config = self._config
+        samples = len(config.evaluated_counts()) * config.samples_per_count
         zero_mass = (np.array([1.0]), config.zero_fault_probability)
         results: Dict[str, QualityDistribution] = {}
         for scheme_index, scheme in enumerate(self._schemes):
-            groups: List[Tuple[np.ndarray, float]] = [zero_mass]
-            for count_index, count in enumerate(counts):
-                values = np.array(
-                    [
-                        die_results[count_index * samples + sample_index][
-                            scheme_index
-                        ]
-                        for sample_index in range(samples)
-                    ]
-                )
-                groups.append((values, probabilities[count]))
+            groups = self._scheme_groups(die_results, scheme_index, zero_mass)
             results[scheme.name] = QualityDistribution(
                 benchmark=benchmark.name,
                 metric_name=benchmark.metric_name,
@@ -771,6 +886,34 @@ class SweepEngine:
                 p_cell=config.p_cell,
                 clean_quality=clean_quality,
                 ecdf=WeightedEcdf.from_groups(groups),
-                samples=len(counts) * samples,
+                samples=samples,
+            )
+        return results
+
+    def _merge_mse(
+        self,
+        die_results: Mapping[int, Sequence[float]],
+        include_fault_free: bool,
+    ) -> Dict[str, "MseDistribution"]:
+        """Assemble one MSE distribution per scheme (Fig. 5)."""
+        from repro.faultmodel.yieldmodel import MseDistribution
+
+        config = self._config
+        samples = len(config.evaluated_counts()) * config.samples_per_count
+        zero_mass = (
+            (np.array([0.0]), config.zero_fault_probability)
+            if include_fault_free
+            else None
+        )
+        results: Dict[str, MseDistribution] = {}
+        for scheme_index, scheme in enumerate(self._schemes):
+            groups = self._scheme_groups(die_results, scheme_index, zero_mass)
+            results[scheme.name] = MseDistribution(
+                scheme_name=scheme.name,
+                p_cell=config.p_cell,
+                ecdf=WeightedEcdf.from_groups(groups),
+                zero_fault_probability=config.zero_fault_probability,
+                max_failures=config.max_failures,
+                samples=samples,
             )
         return results

@@ -16,8 +16,8 @@ K-Nearest Neighbours   activity-recognition-like classification score
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict
 
 import numpy as np
 
@@ -34,6 +34,7 @@ from repro.apps.preprocessing import StandardScaler, train_test_split
 
 __all__ = [
     "BenchmarkDefinition",
+    "benchmark_by_name",
     "elasticnet_benchmark",
     "pca_benchmark",
     "knn_benchmark",
@@ -188,6 +189,37 @@ def knn_benchmark(n_samples: int = 900, seed: int = 13) -> BenchmarkDefinition:
     )
 
 
+#: Benchmark names accepted by :func:`benchmark_by_name` (Table 1 order).
+BENCHMARK_NAMES = ("elasticnet", "pca", "knn")
+
+
+def benchmark_by_name(
+    name: str, scale: float = 1.0, seed: int = 17
+) -> BenchmarkDefinition:
+    """Build one Table 1 benchmark by name, at the standard sizing.
+
+    Seeds and sample counts follow :func:`standard_benchmarks` exactly, so
+    ``benchmark_by_name(name, scale, seed)`` equals
+    ``standard_benchmarks(scale, seed)[name]`` without constructing the other
+    two benchmarks.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    if name == "elasticnet":
+        return elasticnet_benchmark(n_samples=max(int(1000 * scale), 50), seed=seed)
+    if name == "pca":
+        return pca_benchmark(
+            n_samples=max(int(600 * scale), 50),
+            n_noise=max(int(100 * scale), 10),
+            seed=seed + 1,
+        )
+    if name == "knn":
+        return knn_benchmark(n_samples=max(int(900 * scale), 50), seed=seed + 2)
+    raise ValueError(
+        f"unknown benchmark {name!r}; expected one of {', '.join(BENCHMARK_NAMES)}"
+    )
+
+
 def standard_benchmarks(
     scale: float = 1.0, seed: int = 17
 ) -> Dict[str, BenchmarkDefinition]:
@@ -196,16 +228,7 @@ def standard_benchmarks(
     ``scale`` multiplies the default sample counts (0.25 gives a fast smoke
     configuration; 1.0 matches the default experiment sizes).
     """
-    if scale <= 0:
-        raise ValueError("scale must be positive")
     return {
-        "elasticnet": elasticnet_benchmark(
-            n_samples=max(int(1000 * scale), 50), seed=seed
-        ),
-        "pca": pca_benchmark(
-            n_samples=max(int(600 * scale), 50),
-            n_noise=max(int(100 * scale), 10),
-            seed=seed + 1,
-        ),
-        "knn": knn_benchmark(n_samples=max(int(900 * scale), 50), seed=seed + 2),
+        name: benchmark_by_name(name, scale=scale, seed=seed)
+        for name in BENCHMARK_NAMES
     }

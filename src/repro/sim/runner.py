@@ -21,22 +21,17 @@ should use :class:`~repro.sim.engine.SweepEngine` with a seeded
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.base import ProtectionScheme
-from repro.faultmodel.montecarlo import (
-    FaultMapSampler,
-    max_failures_for_coverage,
-)
-from repro.memory.faults import FaultMap
+from repro.faultmodel.montecarlo import max_failures_for_coverage
 from repro.memory.organization import MemoryOrganization
 from repro.quantize.fixedpoint import FixedPointFormat
 from repro.sim.engine import (
     ExperimentConfig,
     QualityDistribution,
-    SweepEngine,
     evaluated_failure_counts,
     reassign_count_probabilities,
 )
@@ -160,40 +155,19 @@ class QualityExperimentRunner:
             discard_multi_fault_words=discard_multi_fault_words,
             benchmark=benchmark.name,
         )
-        # Draw every die up front, in the exact count-major order (and from
-        # the exact shared-generator stream) of the original serial runner.
-        sampler = FaultMapSampler(self._organization, self._rng)
-        fault_maps: Dict[Tuple[int, int], FaultMap] = {}
-        for count_index, count in enumerate(config.evaluated_counts()):
-            for sample_index in range(samples_per_count):
-                fault_maps[(count_index, sample_index)] = self._draw_fault_map(
-                    sampler, count, discard_multi_fault_words
-                )
-        engine = SweepEngine(config, schemes=list(schemes))
-        return engine.run(
+        # The DSE quality evaluator pre-draws every die in the exact
+        # count-major order (and from the exact shared-generator stream) of
+        # the original serial runner, then delegates to the engine.  Imported
+        # here: the DSE layer sits above this module.
+        from repro.dse.evaluate import evaluate_quality_point
+
+        return evaluate_quality_point(
+            config,
             benchmark,
+            schemes=list(schemes),
+            sampling="legacy",
+            rng=self._rng,
             workers=workers,
             checkpoint=checkpoint,
-            fault_maps=fault_maps,
             fixed_point=self._fixed_point,
         )
-
-    def _draw_fault_map(
-        self,
-        sampler: FaultMapSampler,
-        fault_count: int,
-        discard_multi_fault_words: bool,
-        max_attempts: int = 1000,
-    ) -> FaultMap:
-        """Draw a fault map, optionally rejecting dies with >1 fault in any word.
-
-        Delegates to the sampler's legacy-stream rejection path, which redraws
-        with the exact per-map random sequence of the original serial runner.
-        """
-        return sampler.sample_batch(
-            fault_count,
-            1,
-            max_faults_per_word=1 if discard_multi_fault_words else None,
-            vectorized=False,
-            max_attempts=max_attempts,
-        )[0]

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import numpy as np
-import pytest
 
 from repro.memory.array import SramArray
 from repro.memory.bist import BistResult, MarchAlgorithm, run_march_test

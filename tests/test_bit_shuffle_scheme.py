@@ -8,7 +8,7 @@ from hypothesis import strategies as st
 
 from repro.core.scheme import BitShuffleScheme
 from repro.core.segments import segment_size, worst_case_error_magnitude
-from repro.memory.words import from_twos_complement, to_twos_complement
+from repro.memory.words import from_twos_complement
 
 
 class TestParameters:

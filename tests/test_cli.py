@@ -2,9 +2,19 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.dse import (
+    BenchmarkGridSpec,
+    ExperimentSpec,
+    GeometrySpec,
+    McBudgetSpec,
+    OperatingGridSpec,
+    SchemeGridSpec,
+)
 
 
 class TestParser:
@@ -157,3 +167,124 @@ class TestParallelFlags:
         assert main(smoke) == 0
         resumed = capsys.readouterr().out
         assert resumed == first
+
+    # The fig5 sweep shares the fig7 option set (--workers / --sampling /
+    # --checkpoint) since the DSE refactor.
+    FIG5_SMOKE = ["fig5", "--samples", "3", "--p-cell", "1e-4"]
+
+    def test_fig5_sweep_flag_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig5"])
+        assert args.workers == 1
+        assert args.sampling == "legacy"
+        assert args.checkpoint is None
+
+    def test_fig5_seeded_sampling_identical_for_worker_counts(self, capsys):
+        seeded = self.FIG5_SMOKE + ["--sampling", "seeded", "--seed", "9"]
+        assert main(seeded + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(seeded + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_fig5_seeded_differs_from_legacy_sampling(self, capsys):
+        assert main(self.FIG5_SMOKE) == 0
+        legacy = capsys.readouterr().out
+        assert main(self.FIG5_SMOKE + ["--sampling", "seeded"]) == 0
+        seeded = capsys.readouterr().out
+        assert seeded.splitlines()[0] == legacy.splitlines()[0]
+        assert seeded != legacy
+
+    def test_fig5_checkpoint_round_trip(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "fig5.json")
+        smoke = self.FIG5_SMOKE + ["--checkpoint", checkpoint]
+        assert main(smoke) == 0
+        first = capsys.readouterr().out
+        assert (tmp_path / "fig5.json").exists()
+        assert main(smoke) == 0
+        resumed = capsys.readouterr().out
+        assert resumed == first
+
+
+class TestDseCommands:
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        spec = ExperimentSpec(
+            geometry=GeometrySpec(rows=128),
+            operating_grid=OperatingGridSpec(vdd_values=(0.65, 0.70, 0.75)),
+            scheme_grid=SchemeGridSpec(
+                specs=("no-protection", "p-ecc", "bit-shuffle-nfm2")
+            ),
+            budget=McBudgetSpec(
+                samples_per_count=2,
+                n_count_points=3,
+                coverage=0.9,
+                master_seed=7,
+            ),
+            benchmarks=BenchmarkGridSpec(names=("knn",), scale=0.2, seed=17),
+        )
+        path = str(tmp_path / "spec.json")
+        spec.save(path)
+        return path
+
+    def test_dse_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["dse"])
+
+    def test_dse_run_requires_spec_or_table(self):
+        with pytest.raises(SystemExit):
+            main(["dse", "run"])
+
+    def test_dse_run_stdout_identical_for_worker_counts(
+        self, capsys, spec_path
+    ):
+        assert main(["dse", "run", "--spec", spec_path, "--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["dse", "run", "--spec", spec_path, "--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert "Design-space sweep" in serial
+        assert "bit-shuffle-nfm2" in serial
+        assert parallel == serial
+
+    def test_dse_run_writes_result_table(self, capsys, spec_path, tmp_path):
+        output = str(tmp_path / "table.json")
+        assert main(
+            ["dse", "run", "--spec", spec_path, "--output", output]
+        ) == 0
+        capsys.readouterr()
+        data = json.loads((tmp_path / "table.json").read_text())
+        assert len(data["rows"]) == 9
+
+    def test_dse_pareto_emits_non_empty_frontier(
+        self, capsys, spec_path, tmp_path
+    ):
+        output = str(tmp_path / "table.json")
+        assert main(
+            ["dse", "run", "--spec", spec_path, "--output", output]
+        ) == 0
+        capsys.readouterr()
+        # From a saved table (no re-sweep) and from the spec directly.
+        assert main(["dse", "pareto", "--table", output]) == 0
+        from_table = capsys.readouterr().out
+        assert "Pareto frontier" in from_table
+        assert "0 of 9 points" not in from_table
+        assert main(["dse", "pareto", "--spec", spec_path]) == 0
+        from_spec = capsys.readouterr().out
+        assert from_spec == from_table
+
+    def test_dse_report_prints_iso_quality_summary(self, capsys, spec_path):
+        assert main(["dse", "report", "--spec", spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto-optimal operating points" in out
+        assert "quality@yield >= 0.99" in out
+
+    def test_dse_checkpoint_dir_reused_across_runs(
+        self, capsys, spec_path, tmp_path
+    ):
+        cache = str(tmp_path / "grid-cache")
+        args = ["dse", "run", "--spec", spec_path, "--checkpoint", cache]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert len(list((tmp_path / "grid-cache").iterdir())) == 3
+        assert main(args) == 0
+        assert capsys.readouterr().out == first

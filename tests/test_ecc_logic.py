@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.ecc.hamming import secded_code_for_data_bits
 from repro.hardware.ecc_logic import (

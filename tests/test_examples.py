@@ -1,0 +1,51 @@
+"""Smoke test: every script in ``examples/`` must run cleanly.
+
+Each example is executed as a real subprocess (the way a reader would run
+it), with ``src/`` on the import path and a hard timeout.  The discovery is
+by glob, so a newly added example is covered automatically and none can rot
+silently.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES_DIR = REPO_ROOT / "examples"
+EXAMPLE_SCRIPTS = sorted(EXAMPLES_DIR.glob("*.py"))
+TIMEOUT_SECONDS = 180
+
+
+def test_examples_are_discovered():
+    names = {path.name for path in EXAMPLE_SCRIPTS}
+    # The glob must actually see the walkthroughs this suite exists to guard.
+    assert "quickstart.py" in names
+    assert "design_space.py" in names
+
+
+@pytest.mark.parametrize(
+    "script", EXAMPLE_SCRIPTS, ids=[path.stem for path in EXAMPLE_SCRIPTS]
+)
+def test_example_runs_cleanly(script: Path):
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join([src, existing])
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT_SECONDS,
+    )
+    assert completed.returncode == 0, (
+        f"{script.name} exited with {completed.returncode}\n"
+        f"stdout:\n{completed.stdout}\nstderr:\n{completed.stderr}"
+    )
+    assert completed.stdout.strip(), f"{script.name} printed nothing"

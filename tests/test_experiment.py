@@ -6,7 +6,6 @@ import numpy as np
 import pytest
 
 from repro.sim.experiment import (
-    BenchmarkDefinition,
     elasticnet_benchmark,
     knn_benchmark,
     pca_benchmark,

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.analysis.figures import (
     figure2_pcell_vs_vdd,

@@ -11,7 +11,6 @@ from repro.core.priority_ecc import PriorityEccScheme
 from repro.core.scheme import BitShuffleScheme
 from repro.core.secded_scheme import SecdedScheme
 from repro.memory.faults import FaultMap
-from repro.memory.organization import MemoryOrganization
 from repro.quality.mse import (
     mse_from_error_positions,
     mse_of_fault_map,

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.memory.faults import FaultMap
-from repro.memory.organization import MemoryOrganization
 from repro.memory.redundancy import (
     RedundancyRepair,
     repair_yield,

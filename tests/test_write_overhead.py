@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.hardware.overhead import OverheadModel
-from repro.memory.organization import MemoryOrganization
 
 
 @pytest.fixture
