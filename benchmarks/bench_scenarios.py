@@ -1,0 +1,158 @@
+"""Fault-scenario pipeline benchmarks: clustered sampler speedup + sweep smoke.
+
+Two gates and one characterisation table:
+
+* **vectorized clustered sampler >= 10x** -- the batch NumPy burst-placement
+  sampler behind the ``clustered`` scenario must beat the per-map/per-cluster
+  scalar reference (``vectorized=False``, the same rejection rule written as
+  plain Python) by at least :data:`CLUSTER_SPEEDUP_GATE` on a Monte-Carlo
+  sized batch;
+* **scenario sweep bit-identity** -- a seeded MSE sweep through each
+  non-default catalog scenario returns exactly equal distributions for
+  ``workers=1`` and ``workers=REPRO_BENCH_WORKERS`` (the engine's seeding
+  contract extended to scenario sampling);
+* a timing/summary table (run with ``pytest -s``) of one sweep per catalog
+  scenario at a shared operating point, showing how the scenario changes the
+  quality-aware yield answer.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.memory.organization import MemoryOrganization
+from repro.scenarios import ClusterTransform, ScenarioSpec
+from repro.sim.engine import ExperimentConfig, SweepEngine
+
+WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "2"))
+CLUSTER_SPEEDUP_GATE = 10.0
+
+ORG = MemoryOrganization.paper_16kb()
+CLUSTER_BATCH = 1000
+CLUSTER_FAULTS = 32
+
+SCENARIOS = (
+    ScenarioSpec("iid-pcell"),
+    ScenarioSpec("aged", (("years", 5.0),)),
+    ScenarioSpec("clustered", (("cluster_size", 4),)),
+    ScenarioSpec("repaired", (("spare_rows", 4),)),
+)
+
+
+def _sweep_config(scenario: ScenarioSpec) -> ExperimentConfig:
+    return ExperimentConfig(
+        rows=1024,
+        p_cell=2e-4,
+        coverage=0.95,
+        samples_per_count=4,
+        n_count_points=8,
+        master_seed=2015,
+        scheme_specs=("no-protection", "p-ecc", "bit-shuffle-nfm2"),
+        discard_multi_fault_words=False,
+        scenario=scenario,
+    )
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - start
+
+
+def _best_time(fn, repeats: int = 3):
+    """Best-of-``repeats`` wall time (robust against scheduler jitter)."""
+    result, best = _time(fn)
+    for _ in range(repeats - 1):
+        result, seconds = _time(fn)
+        best = min(best, seconds)
+    return result, best
+
+
+def test_clustered_vectorized_sampler_speedup(table_printer):
+    """The vectorized burst sampler must beat the scalar reference >= 10x."""
+    transform = ClusterTransform(cluster_size=4, row_fraction=0.5)
+
+    def draw(vectorized: bool, seed: int):
+        return transform.sample_cells(
+            ORG,
+            CLUSTER_FAULTS,
+            CLUSTER_BATCH,
+            np.random.default_rng(seed),
+            vectorized=vectorized,
+        )
+
+    # Warm-up outside the timed sections; gate on best-of-3 timings.
+    draw(True, 0), draw(False, 0)
+    vec_cells, vec_seconds = _best_time(lambda: draw(True, 1))
+    ref_cells, ref_seconds = _best_time(lambda: draw(False, 2))
+
+    # Both implementations produce valid layouts of the exact fault count.
+    for cells in (vec_cells, ref_cells):
+        assert len(cells) == CLUSTER_BATCH
+        for rows, cols in cells:
+            assert rows.size == CLUSTER_FAULTS
+            flat = rows * ORG.word_width + cols
+            assert np.unique(flat).size == CLUSTER_FAULTS
+
+    speedup = ref_seconds / vec_seconds
+    per_map_us = vec_seconds / CLUSTER_BATCH * 1e6
+    table_printer(
+        "Clustered burst sampler: vectorized vs scalar reference "
+        f"({CLUSTER_BATCH} maps x {CLUSTER_FAULTS} faults, 16kB memory)",
+        ["sampler", "seconds", "us/map", "speedup"],
+        [
+            ["scalar reference", ref_seconds, ref_seconds / CLUSTER_BATCH * 1e6, 1.0],
+            ["vectorized", vec_seconds, per_map_us, speedup],
+        ],
+    )
+    assert speedup >= CLUSTER_SPEEDUP_GATE, (
+        f"vectorized clustered sampler only {speedup:.1f}x faster than the "
+        f"scalar reference (gate: {CLUSTER_SPEEDUP_GATE}x)"
+    )
+
+
+@pytest.mark.parametrize(
+    "scenario", SCENARIOS[1:], ids=lambda s: s.name
+)
+def test_scenario_sweep_bit_identical_across_workers(scenario):
+    """Seeded scenario sampling inherits the engine's worker-identity contract."""
+    engine = SweepEngine(_sweep_config(scenario))
+    serial = engine.run_mse(workers=1)
+    parallel = engine.run_mse(workers=WORKERS)
+    for name in serial:
+        xs, ys = serial[name].ecdf.curve()
+        xp, yp = parallel[name].ecdf.curve()
+        assert np.array_equal(xs, xp) and np.array_equal(ys, yp)
+
+
+def test_scenario_sweep_summary(table_printer):
+    """One seeded MSE sweep per catalog scenario at a shared operating point."""
+    rows = []
+    for scenario in SCENARIOS:
+        config = _sweep_config(scenario)
+        engine = SweepEngine(config)
+        results, seconds = _time(lambda: engine.run_mse(workers=1))
+        dist = results["bit-shuffle-nfm2"]
+        rows.append(
+            [
+                scenario.name,
+                config.effective_p_cell,
+                config.max_failures,
+                dist.yield_at_mse(1e4),
+                seconds,
+            ]
+        )
+    table_printer(
+        "Scenario sweep summary (bit-shuffle-nfm2, 4kB memory, Pcell=2e-4)",
+        ["scenario", "effective Pcell", "Nmax", "yield@MSE<=1e4", "seconds"],
+        rows,
+    )
+    by_name = {row[0]: row for row in rows}
+    # Aging widens the failure-count grid; repair can only help the yield.
+    assert by_name["aged"][2] > by_name["iid-pcell"][2]
+    # Tolerance: ECDF weight sums differ by a few ulps between scenarios.
+    assert by_name["repaired"][3] >= by_name["iid-pcell"][3] - 1e-9

@@ -37,6 +37,7 @@ from repro.faultmodel.yieldmodel import MseDistribution
 from repro.hardware.overhead import OverheadReport
 from repro.hardware.technology import Technology
 from repro.memory.organization import MemoryOrganization
+from repro.scenarios.base import ScenarioSpec
 from repro.sim.engine import ExperimentConfig
 from repro.sim.experiment import BenchmarkDefinition
 from repro.sim.runner import QualityDistribution
@@ -101,6 +102,7 @@ def figure5_mse_cdf(
     sampling: str = "legacy",
     master_seed: Optional[int] = None,
     checkpoint: Optional[str] = None,
+    scenario: Optional[ScenarioSpec] = None,
 ) -> Dict[str, MseDistribution]:
     """Fig. 5: CDF of the local MSE for every protection option.
 
@@ -115,7 +117,10 @@ def figure5_mse_cdf(
     die population serially from ``rng``, reproducing the historical pinned
     curves; ``"seeded"`` derives one seed-sequence child per die from
     ``master_seed`` so sampling parallelises too.  ``checkpoint`` names an
-    optional JSON results cache for resumable sweeps.
+    optional JSON results cache for resumable sweeps.  ``scenario``
+    optionally names a fault-scenario pipeline (aged / clustered / repaired
+    dies) the population is drawn through; ``None`` is the default i.i.d.
+    population.
     """
     organization = (
         organization if organization is not None else MemoryOrganization.paper_16kb()
@@ -137,6 +142,7 @@ def figure5_mse_cdf(
         scheme_specs=("no-protection", "p-ecc")
         + tuple(f"bit-shuffle-nfm{n_fm}" for n_fm in n_fm_values),
         discard_multi_fault_words=False,
+        scenario=scenario,
     )
     return evaluate_mse_point(
         config,
@@ -182,6 +188,7 @@ def figure7_quality(
     workers: int = 1,
     master_seed: Optional[int] = None,
     checkpoint: Optional[str] = None,
+    scenario: Optional[ScenarioSpec] = None,
 ) -> Dict[str, QualityDistribution]:
     """Fig. 7: CDF of the application quality metric under memory failures.
 
@@ -213,6 +220,7 @@ def figure7_quality(
         master_seed=master_seed,
         scheme_specs=tuple(scheme.name for scheme in schemes),
         benchmark=benchmark.name,
+        scenario=scenario,
     )
     if master_seed is not None:
         return evaluate_quality_point(

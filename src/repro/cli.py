@@ -17,16 +17,21 @@ Every command prints a plain-text table to stdout; the benchmark harness under
 commands (``fig5``, ``fig7``) and ``dse run`` share one option set:
 ``--workers`` (process fan-out, bit-identical results for any count),
 ``--sampling legacy|seeded`` (shared-generator replay versus per-die seed
-children), and ``--checkpoint`` (resumable JSON results cache).
+children), ``--checkpoint`` (resumable JSON results cache), and
+``--scenario`` (fault-scenario pipeline: ``iid-pcell`` default, ``aged``,
+``clustered``, ``repaired``, with ``name,key=value`` parameters).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from typing import List, Optional, Sequence
 
 import numpy as np
+
+from repro.scenarios import SCENARIO_NAMES, ScenarioSpec
 
 from repro.analysis.figures import (
     figure2_pcell_vs_vdd,
@@ -47,6 +52,42 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError("must be a positive integer")
     return value
+
+
+def _scenario_param_value(text: str) -> object:
+    """Parse a scenario parameter value: int, then float, then plain string."""
+    for parse in (int, float):
+        try:
+            return parse(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_scenario(text: str) -> ScenarioSpec:
+    """Parse a ``--scenario`` flag: ``name[,key=value,...]``.
+
+    Examples: ``aged``, ``aged,years=5,temperature_c=85``,
+    ``clustered,cluster_size=8``.  The name and parameters are validated by
+    building the scenario immediately, so typos fail before any sweep runs.
+    """
+    parts = [part.strip() for part in text.split(",") if part.strip()]
+    if not parts:
+        raise argparse.ArgumentTypeError("scenario name must not be empty")
+    name, params = parts[0], []
+    for part in parts[1:]:
+        if "=" not in part:
+            raise argparse.ArgumentTypeError(
+                f"scenario parameter {part!r} must have the form key=value"
+            )
+        key, value = part.split("=", 1)
+        params.append((key.strip(), _scenario_param_value(value.strip())))
+    try:
+        spec = ScenarioSpec(name=name, params=tuple(params))
+        spec.build()
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(str(error)) from error
+    return spec
 
 
 def _add_sweep_options(
@@ -85,6 +126,17 @@ def _add_sweep_options(
         help=checkpoint_help
         or "JSON results cache updated after every completed shard; "
         "re-running with the same configuration resumes from it",
+    )
+    parser.add_argument(
+        "--scenario",
+        type=_parse_scenario,
+        default=None,
+        metavar="NAME[,KEY=VALUE...]",
+        help="fault-scenario pipeline the die population is drawn through: "
+        f"one of {', '.join(SCENARIO_NAMES)}, with optional parameters "
+        "(e.g. 'aged,years=5' or 'clustered,cluster_size=8'); default: the "
+        "i.i.d. iid-pcell scenario (for dse commands this overrides the "
+        "spec file's scenario section)",
     )
 
 
@@ -138,9 +190,14 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
         sampling=args.sampling,
         master_seed=args.seed if args.sampling == "seeded" else None,
         checkpoint=args.checkpoint,
+        scenario=args.scenario,
+    )
+    scenario_note = (
+        f", scenario {args.scenario.name}" if args.scenario is not None else ""
     )
     print(
-        f"Figure 5: quality-aware yield for a 16kB memory at Pcell={args.p_cell:g}"
+        f"Figure 5: quality-aware yield for a 16kB memory at "
+        f"Pcell={args.p_cell:g}{scenario_note}"
     )
     mse_targets = [1e0, 1e2, 1e4, 1e6, 1e8]
     headers = ["scheme"] + [f"yield@MSE<={t:g}" for t in mse_targets] + [
@@ -188,10 +245,14 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         workers=args.workers,
         master_seed=args.seed if args.sampling == "seeded" else None,
         checkpoint=args.checkpoint,
+        scenario=args.scenario,
+    )
+    scenario_note = (
+        f", scenario {args.scenario.name}" if args.scenario is not None else ""
     )
     print(
         f"Figure 7 ({args.benchmark}): normalised {benchmark.metric_name} "
-        f"under memory failures at Pcell={args.p_cell:g}"
+        f"under memory failures at Pcell={args.p_cell:g}{scenario_note}"
     )
     quality_targets = [0.5, 0.8, 0.9, 0.95, 0.99]
     headers = ["scheme"] + [f"yield@Q>={q}" for q in quality_targets] + ["median Q"]
@@ -269,10 +330,17 @@ def _print_dse_rows(rows: Sequence[dict]) -> None:
 def _dse_result(args: argparse.Namespace) -> DseResult:
     """The result table a dse subcommand operates on (run the spec, or load)."""
     if getattr(args, "table", None) is not None:
+        if args.scenario is not None:
+            raise SystemExit(
+                "--scenario cannot be applied to a previously written "
+                "--table; re-run 'dse run --spec ... --scenario ...'"
+            )
         return DseResult.load(args.table)
     if args.spec is None:
         raise SystemExit("either --spec or --table is required")
     spec = ExperimentSpec.from_file(args.spec)
+    if args.scenario is not None:
+        spec = replace(spec, scenario=args.scenario)
     explorer = DesignSpaceExplorer(
         spec, workers=args.workers, checkpoint_dir=args.checkpoint
     )
@@ -286,7 +354,8 @@ def _cmd_dse_run(args: argparse.Namespace) -> int:
         f"Design-space sweep: {len(spec.operating_points())} operating points x "
         f"{len(spec.scheme_grid.specs)} schemes x "
         f"{len(spec.benchmarks.names)} benchmarks "
-        f"(quality at yield target {spec.quality_yield_target:g})"
+        f"(scenario {spec.scenario.name}, "
+        f"quality at yield target {spec.quality_yield_target:g})"
     )
     _print_dse_rows(result.rows)
     if args.output is not None:

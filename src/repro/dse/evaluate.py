@@ -58,19 +58,44 @@ def legacy_fault_maps(
     exactly the sequence the pinned Fig. 5 and Fig. 7 golden curves were
     produced with.  The result plugs into ``SweepEngine.run(...,
     fault_maps=...)``.
+
+    A non-default ``config.scenario`` routes every draw through the same
+    fault-scenario pipeline the seeded engine sampling uses (the shared
+    generator then feeds the pipeline serially); the default i.i.d. scenario
+    keeps the exact historical stream.
     """
-    sampler = FaultMapSampler(config.organization, rng)
+    sampler = FaultMapSampler(
+        config.organization,
+        rng,
+        scenario=None if config.scenario is None else config.build_scenario(),
+    )
     max_per_word = 1 if config.discard_multi_fault_words else None
     fault_maps: Dict[Tuple[int, int], FaultMap] = {}
     for count_index, count in enumerate(config.evaluated_counts()):
-        for sample_index in range(config.samples_per_count):
-            fault_maps[(count_index, sample_index)] = sampler.sample_batch(
+        if config.scenario is None:
+            # The pinned golden curves depend on this exact per-map scalar
+            # stream: one draw per die, in count-major order.
+            batch = [
+                sampler.sample_batch(
+                    count,
+                    1,
+                    max_faults_per_word=max_per_word,
+                    vectorized=False,
+                    max_attempts=max_attempts,
+                )[0]
+                for _ in range(config.samples_per_count)
+            ]
+        else:
+            # Scenario pipelines have no legacy stream to preserve, so the
+            # whole stratum is drawn as one vectorized batch.
+            batch = sampler.sample_batch(
                 count,
-                1,
+                config.samples_per_count,
                 max_faults_per_word=max_per_word,
-                vectorized=False,
                 max_attempts=max_attempts,
-            )[0]
+            )
+        for sample_index, fault_map in enumerate(batch):
+            fault_maps[(count_index, sample_index)] = fault_map
     return fault_maps
 
 

@@ -16,6 +16,9 @@ kind                    built-in names                              factory sign
 ``benchmark``           ``elasticnet``, ``pca``, ``knn``            ``(scale, seed)``
 ``pcell-model``         ``calibrated-28nm`` (alias ``default``),    ``()`` / model parameters
                         ``gaussian``
+``scenario``            ``iid-pcell`` (aliases ``iid``,             scenario parameters
+                        ``default``), ``aged``, ``clustered``,
+                        ``repaired``
 ======================  ==========================================  ==========================
 
 Every name a built object reports (``scheme.name``, ``benchmark.name``) is
@@ -31,6 +34,9 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.base import ProtectionScheme
 from repro.faultmodel.pcell import PcellModel
+from repro.scenarios.base import FaultScenario
+from repro.scenarios.catalog import SCENARIO_NAMES
+from repro.scenarios.catalog import build_scenario as _build_scenario_catalog
 from repro.sim.engine import build_scheme as _build_scheme_registry
 from repro.sim.experiment import (
     BENCHMARK_NAMES,
@@ -43,6 +49,7 @@ __all__ = [
     "DesignRegistry",
     "build_benchmark",
     "build_pcell_model",
+    "build_scenario",
     "build_scheme",
 ]
 
@@ -57,7 +64,7 @@ class DesignRegistry:
     raises ``ValueError`` explaining what it accepts.
     """
 
-    KINDS = ("scheme", "benchmark", "pcell-model")
+    KINDS = ("scheme", "benchmark", "pcell-model", "scenario")
 
     def __init__(self) -> None:
         self._factories: Dict[str, Dict[str, Callable[..., object]]] = {
@@ -152,6 +159,16 @@ for _name in BENCHMARK_NAMES:
         ),
     )
 
+# Fault scenarios: exact catalog names, with the catalog's own resolver as
+# the fallback so the `iid` / `default` aliases keep working.
+for _name in SCENARIO_NAMES:
+    REGISTRY.register(
+        "scenario",
+        _name,
+        lambda _name=_name, **params: _build_scenario_catalog(_name, **params),
+    )
+REGISTRY.register_fallback("scenario", _build_scenario_catalog)
+
 REGISTRY.register("pcell-model", "calibrated-28nm", PcellModel.calibrated_28nm)
 REGISTRY.register("pcell-model", "default", PcellModel.calibrated_28nm)
 REGISTRY.register(
@@ -181,3 +198,8 @@ def build_benchmark(
 def build_pcell_model(name: str, **params) -> PcellModel:
     """Instantiate a ``Pcell(VDD)`` model from its registry name."""
     return REGISTRY.build("pcell-model", name, **params)
+
+
+def build_scenario(name: str, **params) -> FaultScenario:
+    """Instantiate a fault-scenario pipeline from its registry name."""
+    return REGISTRY.build("scenario", name, **params)

@@ -35,6 +35,7 @@ from repro.dse.registry import REGISTRY
 from repro.faultmodel.pcell import PcellModel
 from repro.hardware.energy import OperatingPoint, VoltageScalingModel
 from repro.memory.organization import MemoryOrganization
+from repro.scenarios.base import FaultScenario, ScenarioSpec
 from repro.sim.engine import ExperimentConfig
 
 __all__ = [
@@ -209,7 +210,13 @@ class BenchmarkGridSpec:
 
 @dataclass(frozen=True)
 class ExperimentSpec:
-    """Declarative cross-layer design-space sweep (the DSE input)."""
+    """Declarative cross-layer design-space sweep (the DSE input).
+
+    The ``scenario`` layer names the fault-generation pipeline (see
+    :mod:`repro.scenarios`) every grid point's dies are drawn through; a spec
+    without a ``scenario`` section runs the default ``iid-pcell`` pipeline,
+    which is bit-identical to the pre-scenario sweeps.
+    """
 
     geometry: GeometrySpec
     operating_grid: OperatingGridSpec
@@ -217,10 +224,28 @@ class ExperimentSpec:
     budget: McBudgetSpec = McBudgetSpec()
     benchmarks: BenchmarkGridSpec = BenchmarkGridSpec()
     quality_yield_target: float = 0.99
+    scenario: ScenarioSpec = ScenarioSpec()
 
     def __post_init__(self) -> None:
         if not 0.0 < self.quality_yield_target < 1.0:
             raise ValueError("quality_yield_target must be in (0, 1)")
+        if self.scenario is None:
+            object.__setattr__(self, "scenario", ScenarioSpec())
+        if not isinstance(self.scenario, ScenarioSpec):
+            raise ValueError(
+                f"scenario must be a ScenarioSpec, got "
+                f"{type(self.scenario).__name__}"
+            )
+
+    def build_scenario(self) -> FaultScenario:
+        """Resolve the scenario layer into a live pipeline.
+
+        Delegates to :meth:`ScenarioSpec.build`, which resolves through
+        :data:`repro.dse.registry.REGISTRY` (kind ``"scenario"``) -- the same
+        lookup the sweep engine performs, so custom scenarios registered
+        there are reachable from spec files by name end-to-end.
+        """
+        return self.scenario.build()
 
     # ------------------------------------------------------------------ #
     # Grid expansion
@@ -257,6 +282,10 @@ class ExperimentSpec:
             discard_multi_fault_words=self.budget.discard_multi_fault_words,
             frac_bits=self.geometry.frac_bits,
             benchmark=benchmark_name,
+            # ExperimentConfig normalises the default scenario to None, so
+            # default-spec grid points hash exactly as before the scenario
+            # layer existed.
+            scenario=self.scenario,
         )
 
     # ------------------------------------------------------------------ #
@@ -276,6 +305,7 @@ class ExperimentSpec:
         }
         data["scheme_grid"]["specs"] = list(self.scheme_grid.specs)
         data["benchmarks"]["names"] = list(self.benchmarks.names)
+        data["scenario"] = self.scenario.to_dict()
         return data
 
     def to_json(self, indent: int = 2) -> str:
@@ -329,6 +359,21 @@ class ExperimentSpec:
             )
         if "quality_yield_target" in data:
             kwargs["quality_yield_target"] = data["quality_yield_target"]
+        if "scenario" in data:
+            scenario = ScenarioSpec.from_dict(data["scenario"])
+            # Resolve through the registry now: an unknown scenario name or
+            # invalid parameter set must fail at load time, not halfway
+            # through a sweep.
+            try:
+                REGISTRY.build(
+                    "scenario", scenario.name, **dict(scenario.params)
+                )
+            except (TypeError, ValueError) as error:
+                # TypeError covers custom-registered factories called with a
+                # bad parameter set; both must surface as the documented
+                # load-time failure.
+                raise ValueError(f"invalid scenario section: {error}") from error
+            kwargs["scenario"] = scenario
         return cls(**kwargs)
 
     @classmethod

@@ -22,6 +22,7 @@ a fresh BIST restores the bound.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Optional
 
@@ -33,6 +34,11 @@ from repro.memory.faults import FaultKind, FaultMap
 from repro.memory.organization import MemoryOrganization
 
 __all__ = ["AgingModel", "AgingDie"]
+
+
+#: Boltzmann constant in eV/K (Arrhenius temperature acceleration).
+_BOLTZMANN_EV_PER_K = 8.617333262e-5
+_ZERO_CELSIUS_K = 273.15
 
 
 @dataclass(frozen=True)
@@ -52,12 +58,22 @@ class AgingModel:
         Sub-linear power-law exponent (``~0.2`` for BTI-like mechanisms).
     variability:
         Relative per-cell spread of the drift (lognormal sigma).
+    activation_energy_ev:
+        Arrhenius activation energy (eV) of the temperature acceleration.
+        The default of 0 makes the drift temperature-independent, preserving
+        the model's historical behaviour; BTI mechanisms are typically in the
+        0.05-0.15 eV range.
+    reference_temperature_c:
+        Temperature (Celsius) at which ``drift_at_reference_v`` is calibrated;
+        the acceleration factor is 1 there.
     """
 
     drift_at_reference_v: float = 0.040
     reference_years: float = 10.0
     time_exponent: float = 0.2
     variability: float = 0.3
+    activation_energy_ev: float = 0.0
+    reference_temperature_c: float = 25.0
 
     def __post_init__(self) -> None:
         if self.drift_at_reference_v < 0:
@@ -68,22 +84,62 @@ class AgingModel:
             raise ValueError("time_exponent must be in (0, 1]")
         if self.variability < 0:
             raise ValueError("variability must be non-negative")
+        if self.activation_energy_ev < 0:
+            raise ValueError("activation_energy_ev must be non-negative")
+        if self.reference_temperature_c <= -_ZERO_CELSIUS_K:
+            raise ValueError(
+                "reference_temperature_c must be above absolute zero"
+            )
 
-    def mean_drift(self, years: float) -> float:
-        """Mean critical-voltage drift accumulated after ``years`` of operation."""
+    def temperature_acceleration(self, temperature_c: float) -> float:
+        """Arrhenius acceleration factor relative to the reference temperature.
+
+        ``exp(Ea / k * (1/Tref - 1/T))`` -- 1 at the reference temperature,
+        monotonically increasing in ``T`` for a positive activation energy,
+        and identically 1 for ``activation_energy_ev = 0``.
+        """
+        if temperature_c <= -_ZERO_CELSIUS_K:
+            raise ValueError("temperature_c must be above absolute zero")
+        if self.activation_energy_ev == 0.0:
+            return 1.0
+        t_ref = self.reference_temperature_c + _ZERO_CELSIUS_K
+        t = temperature_c + _ZERO_CELSIUS_K
+        return math.exp(
+            self.activation_energy_ev / _BOLTZMANN_EV_PER_K * (1.0 / t_ref - 1.0 / t)
+        )
+
+    def mean_drift(
+        self, years: float, temperature_c: Optional[float] = None
+    ) -> float:
+        """Mean critical-voltage drift accumulated after ``years`` of operation.
+
+        ``temperature_c`` applies the Arrhenius acceleration factor; ``None``
+        evaluates at the reference temperature (factor 1), which is the
+        historical behaviour.
+        """
         if years < 0:
             raise ValueError("years must be non-negative")
         if years == 0:
             return 0.0
-        return self.drift_at_reference_v * (years / self.reference_years) ** self.time_exponent
+        drift = (
+            self.drift_at_reference_v
+            * (years / self.reference_years) ** self.time_exponent
+        )
+        if temperature_c is not None:
+            drift *= self.temperature_acceleration(temperature_c)
+        return drift
 
     def sample_cell_drift(
-        self, years: float, n_cells: int, rng: np.random.Generator
+        self,
+        years: float,
+        n_cells: int,
+        rng: np.random.Generator,
+        temperature_c: Optional[float] = None,
     ) -> np.ndarray:
         """Per-cell drift samples after ``years`` (lognormal around the mean)."""
         if n_cells < 0:
             raise ValueError("n_cells must be non-negative")
-        mean = self.mean_drift(years)
+        mean = self.mean_drift(years, temperature_c=temperature_c)
         if mean == 0.0 or n_cells == 0:
             return np.zeros(n_cells)
         if self.variability == 0.0:

@@ -18,12 +18,15 @@ the log domain (``lgamma``) so they stay finite for the paper's
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterator, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 import numpy as np
 
 from repro.memory.faults import FaultKind, FaultMap
 from repro.memory.organization import MemoryOrganization
+
+if TYPE_CHECKING:  # pragma: no cover - import for type annotations only
+    from repro.scenarios.base import FaultScenario
 
 __all__ = [
     "failure_count_pmf",
@@ -167,30 +170,58 @@ def samples_per_failure_count(
 
 
 class FaultMapSampler:
-    """Stratified random fault-map generator for Monte-Carlo evaluation."""
+    """Stratified random fault-map generator for Monte-Carlo evaluation.
+
+    ``scenario`` optionally routes every draw through a composable
+    :class:`~repro.scenarios.base.FaultScenario` pipeline (source ->
+    transforms -> repair), which is how non-i.i.d. fault populations (aged,
+    clustered, repaired dies) reach the sweeps.  Without a scenario the
+    sampler draws directly from :class:`FaultMap` -- bit-identical to the
+    default ``iid-pcell`` scenario and to every historical stream.
+    """
 
     def __init__(
         self,
         organization: MemoryOrganization,
         rng: Optional[np.random.Generator] = None,
         fault_kind: FaultKind = FaultKind.BIT_FLIP,
+        scenario: Optional["FaultScenario"] = None,
     ) -> None:
         self._organization = organization
         self._rng = rng if rng is not None else np.random.default_rng()
         self._fault_kind = fault_kind
+        if scenario is not None and fault_kind is not FaultKind.BIT_FLIP:
+            # The scenario's source owns the fault behaviour; a conflicting
+            # sampler-level kind would be silently ignored otherwise.
+            raise ValueError(
+                "fault_kind cannot be combined with a scenario; configure "
+                "the kind on the scenario's fault source instead"
+            )
+        self._scenario = scenario
 
     @property
     def organization(self) -> MemoryOrganization:
         """Geometry the sampled fault maps target."""
         return self._organization
 
-    def sample_with_count(self, fault_count: int) -> FaultMap:
-        """One uniformly random fault map with exactly ``fault_count`` faults.
+    @property
+    def scenario(self) -> Optional["FaultScenario"]:
+        """The fault-scenario pipeline draws run through (``None`` = plain i.i.d.)."""
+        return self._scenario
 
-        Draws cells without replacement directly from the generator, keeping
-        the exact random stream of the original scalar implementation (the
-        legacy Fig. 7 runner's golden regressions depend on it).
+    def sample_with_count(self, fault_count: int) -> FaultMap:
+        """One random fault map with exactly ``fault_count`` manufactured faults.
+
+        Without a scenario this draws cells without replacement directly from
+        the generator, keeping the exact random stream of the original scalar
+        implementation (the legacy Fig. 7 runner's golden regressions depend
+        on it).  With a scenario the map runs through the full pipeline (a
+        repair stage may leave fewer than ``fault_count`` post-repair faults).
         """
+        if self._scenario is not None:
+            return self._scenario.sample_die(
+                self._organization, fault_count, self._rng
+            )
         return FaultMap.random_with_count(
             self._organization, fault_count, self._rng, kind=self._fault_kind
         )
@@ -217,7 +248,21 @@ class FaultMapSampler:
         infeasible ``max_faults_per_word`` raises :class:`ValueError` and a
         feasible-but-unlucky rejection run gives up with a
         :class:`RuntimeError` after ``max_attempts`` redraws per map.
+
+        With a scenario configured, the whole batch flows through the
+        scenario pipeline instead (the scenario's source honours the same
+        ``vectorized`` switch, so legacy-stream callers stay reproducible).
         """
+        if self._scenario is not None:
+            return self._scenario.sample_batch(
+                self._organization,
+                fault_count,
+                batch_size,
+                self._rng,
+                max_faults_per_word=max_faults_per_word,
+                vectorized=vectorized,
+                max_rounds=max_attempts,
+            )
         return FaultMap.random_batch_with_count(
             self._organization,
             fault_count,
@@ -245,6 +290,16 @@ class FaultMapSampler:
 
         The probability is ``Pr(N = n)`` from Eq. 4 and should be used to
         weight the stratum's results when assembling distributions.
+
+        .. deprecated::
+            This generator predates the sweep engine and duplicates its
+            stratified planning; new sweeps should go through
+            :class:`~repro.sim.engine.SweepEngine` (whose
+            :class:`~repro.sim.engine.ExperimentConfig` owns the failure-count
+            grid, the ``Pr(N = n)`` weighting, and -- via a
+            :class:`~repro.scenarios.base.ScenarioSpec` -- the sampling
+            pipeline).  It is kept as the minimal paper-faithful reference of
+            the Fig. 5 budget-allocation rule.
         """
         allocation = samples_per_failure_count(
             self._organization.total_cells, p_cell, total_runs, max_failures

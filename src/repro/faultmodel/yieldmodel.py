@@ -24,11 +24,13 @@ from repro.core.base import ProtectionScheme
 from repro.faultmodel.montecarlo import (
     FaultMapSampler,
     failure_count_pmf,
+    failure_count_pmf_array,
     max_failures_for_coverage,
 )
 from repro.memory.organization import MemoryOrganization
 from repro.quality.cdf import WeightedEcdf
 from repro.quality.mse import mse_of_fault_map
+from repro.scenarios.base import ScenarioSpec, validated_effective_p_cell
 
 __all__ = ["MseDistribution", "YieldAnalyzer"]
 
@@ -96,6 +98,11 @@ class YieldAnalyzer:
     coverage:
         Fraction of the die population that must be covered by the failure
         count sweep (0.99 in the paper's application study).
+    scenario:
+        Optional :class:`~repro.scenarios.base.ScenarioSpec` naming the
+        fault-scenario pipeline the sampled dies run through (and whose
+        operating-point shift the failure-count grid follows).  ``None`` is
+        the default i.i.d. population with the historical sampling stream.
     """
 
     def __init__(
@@ -104,6 +111,7 @@ class YieldAnalyzer:
         p_cell: float,
         rng: Optional[np.random.Generator] = None,
         coverage: float = 0.99,
+        scenario: Optional[ScenarioSpec] = None,
     ) -> None:
         if not 0.0 < p_cell < 1.0:
             raise ValueError("p_cell must be in (0, 1)")
@@ -111,8 +119,25 @@ class YieldAnalyzer:
         self._p_cell = p_cell
         self._rng = rng if rng is not None else np.random.default_rng()
         self._coverage = coverage
+        if scenario is not None and scenario.is_default:
+            scenario = None
+        self._scenario_spec = scenario
+        self._scenario = scenario.build() if scenario is not None else None
+        # The shift-and-validate rule is shared with ExperimentConfig so the
+        # two failure-count grids can never disagree about a scenario.
+        self._effective_p_cell = (
+            validated_effective_p_cell(self._scenario, p_cell)
+            if self._scenario is not None
+            else p_cell
+        )
         self._max_failures = max_failures_for_coverage(
-            organization.total_cells, p_cell, coverage
+            organization.total_cells, self._effective_p_cell, coverage
+        )
+
+    def _sampler(self) -> FaultMapSampler:
+        """A sampler over this analyzer's generator and scenario pipeline."""
+        return FaultMapSampler(
+            self._organization, self._rng, scenario=self._scenario
         )
 
     # ------------------------------------------------------------------ #
@@ -134,9 +159,16 @@ class YieldAnalyzer:
         return self._max_failures
 
     @property
+    def effective_p_cell(self) -> float:
+        """The probability the failure-count grid is computed at (scenario-shifted)."""
+        return self._effective_p_cell
+
+    @property
     def zero_fault_probability(self) -> float:
         """``Pr(N = 0)`` for the operating point."""
-        return failure_count_pmf(self._organization.total_cells, self._p_cell, 0)
+        return failure_count_pmf(
+            self._organization.total_cells, self._effective_p_cell, 0
+        )
 
     # ------------------------------------------------------------------ #
     # Estimation
@@ -174,7 +206,7 @@ class YieldAnalyzer:
             raise ValueError("scheme word width does not match the memory")
         if samples_per_count <= 0:
             raise ValueError("samples_per_count must be positive")
-        sampler = FaultMapSampler(self._organization, self._rng)
+        sampler = self._sampler()
 
         groups: List[Tuple[np.ndarray, float]] = []
         if include_fault_free:
@@ -183,17 +215,30 @@ class YieldAnalyzer:
             # analytically rather than sampled.
             groups.append((np.array([0.0]), self.zero_fault_probability))
 
+        # One cached-PMF call covers every stratum weight (bit-identical to
+        # the historical per-count scalar evaluation); the sweep engine's
+        # count grid uses the same table, so the weighting math lives in one
+        # place.
+        pmf = failure_count_pmf_array(
+            self._organization.total_cells,
+            self._effective_p_cell,
+            self._max_failures,
+        )
         total_samples = 0
         for n in range(1, self._max_failures + 1):
-            probability = failure_count_pmf(
-                self._organization.total_cells, self._p_cell, n
-            )
+            probability = float(pmf[n])
             if fault_maps_by_count is not None and n in fault_maps_by_count:
                 maps = fault_maps_by_count[n]
             else:
                 # The legacy per-map stream keeps this analyzer's seeded
-                # Fig. 5 realisations stable across releases.
-                maps = sampler.sample_batch(n, samples_per_count, vectorized=False)
+                # Fig. 5 realisations stable across releases; scenario
+                # pipelines have no pinned stream and keep their fast
+                # vectorized samplers.
+                maps = sampler.sample_batch(
+                    n,
+                    samples_per_count,
+                    vectorized=self._scenario is not None,
+                )
             if not maps:
                 continue
             mses = np.array(
@@ -216,9 +261,10 @@ class YieldAnalyzer:
         self, samples_per_count: int = 200
     ) -> Dict[int, List]:
         """Generate one set of fault maps reusable across schemes (paired comparison)."""
-        sampler = FaultMapSampler(self._organization, self._rng)
+        sampler = self._sampler()
+        vectorized = self._scenario is not None
         return {
-            n: sampler.sample_batch(n, samples_per_count, vectorized=False)
+            n: sampler.sample_batch(n, samples_per_count, vectorized=vectorized)
             for n in range(1, self._max_failures + 1)
         }
 
@@ -257,6 +303,7 @@ class YieldAnalyzer:
             samples_per_count=samples_per_count,
             scheme_specs=tuple(scheme.name for scheme in schemes),
             discard_multi_fault_words=False,
+            scenario=self._scenario_spec,
         )
         return evaluate_mse_point(
             config,

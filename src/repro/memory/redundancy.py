@@ -24,7 +24,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.faultmodel.montecarlo import failure_count_pmf
 from repro.memory.faults import FaultMap
 from repro.memory.organization import MemoryOrganization
 
@@ -146,6 +145,24 @@ class RedundancyRepair:
             uncovered_faults=uncovered,
         )
 
+    def remaining_faults(self, fault_map: FaultMap) -> FaultMap:
+        """The post-repair fault map: every fault no spare row/column covered.
+
+        Spares are assumed fault-free, so a repaired die exposes exactly the
+        uncovered faults of :meth:`repair` -- with their original
+        :class:`~repro.memory.faults.FaultKind` preserved.  The result never
+        has more faults than the input (repair only removes), and together
+        with the covered cells it partitions the input's fault set (mass
+        conservation).  This is the map the fault-scenario pipeline hands to
+        protection encoding.
+        """
+        result = self.repair(fault_map)
+        uncovered = set(result.uncovered_faults)
+        return FaultMap(
+            fault_map.organization,
+            (f for f in fault_map if (f.row, f.column) in uncovered),
+        )
+
 
 def repair_yield(
     organization: MemoryOrganization,
@@ -161,6 +178,11 @@ def repair_yield(
     ``Pr(N <= spare_rows)``; this function uses that bound, which is exact for
     ``N <= spare_rows`` and conservative above it.
     """
+    # Imported here: the failure-count law lives a layer above this module
+    # (and the scenarios package between them would otherwise make the
+    # module-level import circular).
+    from repro.faultmodel.montecarlo import failure_count_pmf
+
     if not 0.0 <= p_cell <= 1.0:
         raise ValueError("p_cell must be a probability")
     if spare_rows < 0:

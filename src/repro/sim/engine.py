@@ -87,6 +87,12 @@ from repro.memory.organization import MemoryOrganization
 from repro.quality.cdf import WeightedEcdf
 from repro.quality.mse import mse_of_fault_map
 from repro.quantize.fixedpoint import FixedPointFormat
+from repro.scenarios.base import (
+    FaultScenario,
+    ScenarioSpec,
+    validated_effective_p_cell,
+)
+from repro.scenarios.catalog import default_scenario
 from repro.sim.experiment import BenchmarkDefinition
 from repro.sim.faulty_storage import FaultyTensorStore
 
@@ -296,6 +302,13 @@ class ExperimentConfig:
         Fraction bits of the stored fixed-point format.
     benchmark:
         Optional benchmark label recorded in the checkpoint hash.
+    scenario:
+        Optional :class:`~repro.scenarios.base.ScenarioSpec` naming the
+        fault-scenario pipeline every die is drawn through.  ``None`` (and
+        any spec of the default ``iid-pcell`` scenario, which is normalised
+        to ``None``) reproduces the historical i.i.d. sampling bit-for-bit
+        and leaves every checkpoint hash unchanged; a non-default scenario
+        keys the hash, so caches of different scenarios never alias.
     """
 
     rows: int
@@ -309,6 +322,7 @@ class ExperimentConfig:
     discard_multi_fault_words: bool = True
     frac_bits: int = 16
     benchmark: str = ""
+    scenario: Optional[ScenarioSpec] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.p_cell < 1.0:
@@ -317,23 +331,63 @@ class ExperimentConfig:
             raise ValueError("samples_per_count must be positive")
         if not self.scheme_specs:
             raise ValueError("at least one scheme spec is required")
+        if self.scenario is not None:
+            if not isinstance(self.scenario, ScenarioSpec):
+                raise ValueError(
+                    f"scenario must be a ScenarioSpec or None, got "
+                    f"{type(self.scenario).__name__}"
+                )
+            if self.scenario.is_default:
+                # Canonical form: the default pipeline is represented as
+                # None, so its hashes match the pre-scenario era exactly.
+                object.__setattr__(self, "scenario", None)
 
     @property
     def organization(self) -> MemoryOrganization:
         """Memory geometry under study."""
         return MemoryOrganization(rows=self.rows, word_width=self.word_width)
 
+    def build_scenario(self) -> FaultScenario:
+        """The live fault-scenario pipeline of this sweep (default i.i.d.)."""
+        if self.scenario is None:
+            return default_scenario()
+        return self.scenario.build()
+
+    @property
+    def effective_p_cell(self) -> float:
+        """The cell-failure probability the stratified grid is computed at.
+
+        Scenario sources may shift the base operating point (an aged
+        population fails more often than the fresh ``p_cell`` suggests); the
+        failure-count grid, its ``Pr(N = n)`` weights, and the fault-free
+        point mass all follow that shift.
+        """
+        if self.scenario is None:
+            return self.p_cell
+        # Cached on first access (outside the frozen-dataclass field set, so
+        # equality and hashing are unaffected): the grid properties below
+        # read this repeatedly per sweep, and recomputing it rebuilds the
+        # scenario pipeline each time.
+        cached = self.__dict__.get("_effective_p_cell")
+        if cached is not None:
+            return cached
+        effective = validated_effective_p_cell(self.build_scenario(), self.p_cell)
+        object.__setattr__(self, "_effective_p_cell", effective)
+        return effective
+
     @property
     def max_failures(self) -> int:
         """Largest failure count in the sweep (coverage-determined Nmax)."""
         return max_failures_for_coverage(
-            self.rows * self.word_width, self.p_cell, self.coverage
+            self.rows * self.word_width, self.effective_p_cell, self.coverage
         )
 
     @property
     def zero_fault_probability(self) -> float:
         """``Pr(N = 0)`` -- the fault-free point mass."""
-        return failure_count_pmf(self.rows * self.word_width, self.p_cell, 0)
+        return failure_count_pmf(
+            self.rows * self.word_width, self.effective_p_cell, 0
+        )
 
     def evaluated_counts(self) -> List[int]:
         """The failure counts this sweep evaluates."""
@@ -343,7 +397,7 @@ class ExperimentConfig:
         """``Pr(N = n)`` mass reassigned onto the evaluated counts."""
         return reassign_count_probabilities(
             self.rows * self.word_width,
-            self.p_cell,
+            self.effective_p_cell,
             self.max_failures,
             self.evaluated_counts(),
         )
@@ -353,8 +407,19 @@ class ExperimentConfig:
         return [build_scheme(spec, self.word_width) for spec in self.scheme_specs]
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-serialisable representation (feeds the checkpoint hash)."""
-        return {
+        """JSON-serialisable representation (feeds the checkpoint hash).
+
+        The ``scenario`` key is present only for non-default scenarios:
+        default sweeps keep the exact payload (and therefore the exact
+        checkpoint hashes) of the pre-scenario engine, while every other
+        scenario keys the cache so resumes can never replay another
+        scenario's dies.  The key holds the *resolved pipeline* description
+        (:meth:`FaultScenario.to_dict`), not the spec: two specs naming the
+        same pipeline (``years=5`` versus ``5.0``) share a cache, and a
+        custom scenario whose registered factory changes under the same name
+        changes the hash instead of silently aliasing stale results.
+        """
+        data: Dict[str, object] = {
             "rows": self.rows,
             "word_width": self.word_width,
             "p_cell": self.p_cell,
@@ -367,6 +432,9 @@ class ExperimentConfig:
             "frac_bits": self.frac_bits,
             "benchmark": self.benchmark,
         }
+        if self.scenario is not None:
+            data["scenario"] = self.build_scenario().to_dict()
+        return data
 
 
 # --------------------------------------------------------------------------- #
@@ -396,20 +464,25 @@ def _pool_evaluate_shard(entries: List[_DieEntry]) -> List[Tuple[int, List[float
 def _die_fault_map(
     context: Mapping[str, object], die_index: int, failure_count: int
 ) -> FaultMap:
-    """Draw die ``die_index``'s fault map from its own seed-sequence child."""
+    """Draw die ``die_index``'s fault map from its own seed-sequence child.
+
+    The draw runs through the sweep's fault-scenario pipeline; the default
+    ``iid-pcell`` scenario issues exactly the historical generator calls, so
+    seeded results are bit-identical to the pre-scenario engine.
+    """
     child = np.random.SeedSequence(
         context["master_seed"], spawn_key=(die_index,)
     )
     rng = np.random.default_rng(child)
     max_per_word = 1 if context["discard_multi_fault_words"] else None
-    return FaultMap.random_batch_with_count(
+    scenario: FaultScenario = context["scenario"]
+    return scenario.sample_die(
         context["organization"],
         failure_count,
-        1,
         rng,
         max_faults_per_word=max_per_word,
         max_rounds=_REJECTION_MAX_ATTEMPTS,
-    )[0]
+    )
 
 
 def _evaluate_die(
@@ -511,6 +584,9 @@ class SweepEngine:
         schemes: Optional[Sequence[ProtectionScheme]] = None,
     ) -> None:
         self._config = config
+        # Built once: the same (picklable) pipeline object ships to every
+        # worker, and building validates the scenario spec eagerly.
+        self._scenario = config.build_scenario()
         if schemes is None:
             self._schemes = config.build_schemes()
         else:
@@ -533,6 +609,11 @@ class SweepEngine:
     def schemes(self) -> List[ProtectionScheme]:
         """The protection schemes under study."""
         return list(self._schemes)
+
+    @property
+    def scenario(self) -> FaultScenario:
+        """The fault-scenario pipeline every seeded die is drawn through."""
+        return self._scenario
 
     # ------------------------------------------------------------------ #
     # Planning
@@ -670,6 +751,7 @@ class SweepEngine:
             "clean_quality": clean_quality,
             "discard_multi_fault_words": config.discard_multi_fault_words,
             "master_seed": config.master_seed,
+            "scenario": self._scenario,
         }
         config_hash = ""
         if checkpoint is not None:
@@ -712,6 +794,7 @@ class SweepEngine:
             "schemes": self._schemes,
             "discard_multi_fault_words": config.discard_multi_fault_words,
             "master_seed": config.master_seed,
+            "scenario": self._scenario,
         }
         config_hash = ""
         if checkpoint is not None:

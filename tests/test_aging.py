@@ -48,6 +48,79 @@ class TestAgingModel:
             AgingModel(variability=-0.1)
         with pytest.raises(ValueError):
             AgingModel().mean_drift(-1.0)
+        with pytest.raises(ValueError):
+            AgingModel(activation_energy_ev=-0.1)
+        with pytest.raises(ValueError):
+            AgingModel(reference_temperature_c=-300.0)
+        with pytest.raises(ValueError):
+            AgingModel(activation_energy_ev=0.1).temperature_acceleration(-300.0)
+
+    def test_temperature_acceleration_is_one_at_reference(self):
+        model = AgingModel(activation_energy_ev=0.1, reference_temperature_c=25.0)
+        assert model.temperature_acceleration(25.0) == pytest.approx(1.0)
+
+    def test_drift_monotone_in_temperature(self):
+        model = AgingModel(activation_energy_ev=0.1)
+        drifts = [
+            model.mean_drift(5.0, temperature_c=t) for t in (0.0, 25.0, 55.0, 85.0, 125.0)
+        ]
+        assert drifts == sorted(drifts)
+        assert drifts[-1] > drifts[0]
+
+    def test_zero_activation_energy_ignores_temperature(self):
+        model = AgingModel(activation_energy_ev=0.0)
+        assert model.mean_drift(5.0, temperature_c=125.0) == model.mean_drift(5.0)
+
+
+class TestAgedScenarioProperties:
+    """Property tests of the aged scenario's operating-point shift."""
+
+    def _source(self, **kwargs):
+        from repro.scenarios import AgedPcellSource
+
+        return AgedPcellSource(**kwargs)
+
+    def test_time_zero_identity_with_calibrated_28nm(self):
+        # At t = 0 the aged population is exactly the fresh calibrated-28nm
+        # population: no drift, no probability shift, for any base Pcell.
+        source = self._source(years=0.0)
+        for p_cell in (1e-9, 5e-6, 1e-3, 0.1):
+            assert source.effective_p_cell(p_cell) == p_cell
+
+    def test_pcell_shift_monotone_in_years(self):
+        for p_cell in (5e-6, 1e-3):
+            shifts = [
+                self._source(years=years).effective_p_cell(p_cell)
+                for years in (0.0, 1.0, 3.0, 10.0, 30.0)
+            ]
+            assert shifts == sorted(shifts)
+            assert shifts[-1] > p_cell
+
+    def test_pcell_shift_monotone_in_temperature(self):
+        model = AgingModel(activation_energy_ev=0.1)
+        shifts = [
+            self._source(
+                aging_model=model, years=5.0, temperature_c=t
+            ).effective_p_cell(1e-3)
+            for t in (0.0, 25.0, 85.0, 125.0)
+        ]
+        assert shifts == sorted(shifts)
+        assert shifts[-1] > shifts[0]
+
+    def test_aged_shift_never_decreases_pcell(self):
+        source = self._source(years=7.0)
+        for p_cell in (1e-8, 1e-6, 1e-4, 1e-2):
+            assert source.effective_p_cell(p_cell) >= p_cell
+
+    def test_rejects_negative_years(self):
+        with pytest.raises(ValueError):
+            self._source(years=-1.0)
+
+    def test_rejects_impossible_temperature_at_construction(self):
+        # Spec loaders validate scenarios by constructing them, so the
+        # failure must happen here, not at the first drift evaluation.
+        with pytest.raises(ValueError, match="absolute zero"):
+            self._source(years=5.0, temperature_c=-400.0)
 
 
 class TestAgingDie:

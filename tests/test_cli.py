@@ -206,6 +206,77 @@ class TestParallelFlags:
         assert resumed == first
 
 
+class TestScenarioFlags:
+    FIG7_AGED = [
+        "fig7",
+        "--benchmark",
+        "knn",
+        "--p-cell",
+        "2e-4",
+        "--samples",
+        "1",
+        "--count-points",
+        "2",
+        "--scale",
+        "0.2",
+        "--sampling",
+        "seeded",
+        "--scenario",
+        "aged",
+    ]
+
+    def test_scenario_flag_parses_name_and_params(self):
+        args = build_parser().parse_args(
+            ["fig7", "--scenario", "aged,years=5,temperature_c=85"]
+        )
+        assert args.scenario.name == "aged"
+        assert dict(args.scenario.params) == {
+            "years": 5,
+            "temperature_c": 85,
+        }
+
+    def test_scenario_flag_rejects_unknown_names_and_params(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--scenario", "meteor"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--scenario", "aged,bogus=1"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--scenario", "aged,years"])
+
+    def test_fig7_aged_stdout_identical_for_worker_counts(self, capsys):
+        assert main(self.FIG7_AGED + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.FIG7_AGED + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert "scenario aged" in serial
+        assert parallel == serial
+
+    def test_fig7_scenario_changes_the_output(self, capsys):
+        base = self.FIG7_AGED[:-2]  # same invocation without --scenario
+        assert main(base) == 0
+        default = capsys.readouterr().out
+        assert main(self.FIG7_AGED) == 0
+        aged = capsys.readouterr().out
+        assert aged != default
+
+    def test_fig5_clustered_smoke(self, capsys):
+        assert main(
+            [
+                "fig5",
+                "--samples",
+                "2",
+                "--p-cell",
+                "1e-4",
+                "--sampling",
+                "seeded",
+                "--scenario",
+                "clustered,cluster_size=2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "scenario clustered" in out
+
+
 class TestDseCommands:
     @pytest.fixture
     def spec_path(self, tmp_path):
@@ -288,3 +359,26 @@ class TestDseCommands:
         assert len(list((tmp_path / "grid-cache").iterdir())) == 3
         assert main(args) == 0
         assert capsys.readouterr().out == first
+
+    def test_dse_scenario_override_changes_sweep_and_cache(
+        self, capsys, spec_path, tmp_path
+    ):
+        cache = str(tmp_path / "grid-cache")
+        base = ["dse", "run", "--spec", spec_path, "--checkpoint", cache]
+        assert main(base) == 0
+        default_out = capsys.readouterr().out
+        default_files = set((tmp_path / "grid-cache").iterdir())
+        assert "scenario iid-pcell" in default_out
+        assert main(base + ["--scenario", "repaired,spare_rows=2"]) == 0
+        repaired_out = capsys.readouterr().out
+        assert "scenario repaired" in repaired_out
+        assert repaired_out != default_out
+        # The override keys its own per-point caches next to the default's.
+        assert default_files < set((tmp_path / "grid-cache").iterdir())
+
+    def test_dse_scenario_flag_rejected_with_table(self, capsys, spec_path, tmp_path):
+        output = str(tmp_path / "table.json")
+        assert main(["dse", "run", "--spec", spec_path, "--output", output]) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="scenario"):
+            main(["dse", "pareto", "--table", output, "--scenario", "aged"])

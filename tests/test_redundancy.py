@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.memory.faults import FaultMap
+from repro.memory.faults import FaultMap, FaultSite
 from repro.memory.redundancy import (
     RedundancyRepair,
     repair_yield,
@@ -59,6 +59,65 @@ class TestRepairAllocation:
         repair = RedundancyRepair(spare_rows=2, spare_columns=1)
         expected = 2 * small_org.word_width + 1 * (small_org.rows + 2)
         assert repair.overhead_cells(small_org) == expected
+
+
+class TestRemainingFaults:
+    """Property tests of the post-repair fault map the scenario pipeline uses."""
+
+    def _random_maps(self, org, rng, n_maps=50, max_faults=24):
+        for _ in range(n_maps):
+            count = int(rng.integers(0, max_faults + 1))
+            yield FaultMap.random_with_count(org, count, rng)
+
+    def test_repair_never_increases_fault_count(self, small_org, rng):
+        for spare_rows, spare_columns in ((0, 0), (2, 0), (0, 2), (3, 2)):
+            repair = RedundancyRepair(spare_rows, spare_columns)
+            for fault_map in self._random_maps(small_org, rng):
+                remaining = repair.remaining_faults(fault_map)
+                assert remaining.fault_count <= fault_map.fault_count
+
+    def test_mass_conservation_of_unrepaired_faults(self, small_org, rng):
+        # Every input fault is either covered by a replaced row/column or
+        # present, unchanged, in the post-repair map -- nothing is created,
+        # duplicated, or silently dropped.
+        repair = RedundancyRepair(spare_rows=2, spare_columns=1)
+        for fault_map in self._random_maps(small_org, rng):
+            result = repair.repair(fault_map)
+            remaining = repair.remaining_faults(fault_map)
+            all_cells = {(f.row, f.column) for f in fault_map}
+            remaining_cells = {(f.row, f.column) for f in remaining}
+            covered = {
+                (row, column)
+                for (row, column) in all_cells
+                if row in result.row_replacements
+                or column in result.column_replacements
+            }
+            assert remaining_cells == set(result.uncovered_faults)
+            assert remaining_cells | covered == all_cells
+            assert remaining_cells & covered == set()
+            assert len(remaining_cells) + len(covered) == fault_map.fault_count
+
+    def test_remaining_faults_preserve_kind(self, small_org):
+        from repro.memory.faults import FaultKind
+
+        fault_map = FaultMap(
+            small_org,
+            [
+                FaultSite(1, 0, FaultKind.STUCK_AT_ONE),
+                FaultSite(1, 1, FaultKind.STUCK_AT_ZERO),
+                FaultSite(5, 9, FaultKind.STUCK_AT_ZERO),
+            ],
+        )
+        # One spare row removes row 1; the row-5 stuck-at-0 survives as-is.
+        remaining = RedundancyRepair(spare_rows=1).remaining_faults(fault_map)
+        assert [(f.row, f.column, f.kind) for f in remaining] == [
+            (5, 9, FaultKind.STUCK_AT_ZERO)
+        ]
+
+    def test_full_repair_leaves_empty_map(self, small_org):
+        fault_map = FaultMap.from_cells(small_org, [(0, 0), (8, 17)])
+        remaining = RedundancyRepair(spare_rows=2).remaining_faults(fault_map)
+        assert remaining.fault_count == 0
 
 
 class TestRepairYield:
