@@ -53,7 +53,9 @@ def _snapshot(results):
     }
 
 
-def test_parallel_sweep_bit_identity_and_speedup(benchmark, table_printer, knn):
+def test_parallel_sweep_bit_identity_and_speedup(
+    benchmark, table_printer, json_summary, knn
+):
     engine = SweepEngine(CONFIG)
     n_dies = len(engine.plan())
 
@@ -88,6 +90,19 @@ def test_parallel_sweep_bit_identity_and_speedup(benchmark, table_printer, knn):
             [WORKERS, parallel_seconds, speedup, "yes"],
         ],
     )
+    json_summary(
+        "parallel_sweep",
+        {
+            "n_dies": n_dies,
+            "n_schemes": len(engine.schemes),
+            "cpus": cpus,
+            "workers": WORKERS,
+            "serial_seconds": serial_seconds,
+            "parallel_seconds": parallel_seconds,
+            "speedup": speedup,
+            "bit_identical": True,
+        },
+    )
 
     # The speedup gate only binds where the hardware can deliver it: a pool
     # of 4 on a 1-2 core runner measures scheduling overhead, not the engine.
@@ -98,7 +113,7 @@ def test_parallel_sweep_bit_identity_and_speedup(benchmark, table_printer, knn):
         )
 
 
-def test_checkpoint_replay_is_instant(tmp_path, knn, table_printer):
+def test_checkpoint_replay_is_instant(tmp_path, knn, table_printer, json_summary):
     """A completed checkpoint replays the whole sweep without re-evaluation."""
     engine = SweepEngine(CONFIG)
     path = str(tmp_path / "sweep.json")
@@ -116,6 +131,10 @@ def test_checkpoint_replay_is_instant(tmp_path, knn, table_printer):
         "Checkpoint replay",
         ["run", "wall clock [s]"],
         [["cold", cold_seconds], ["replay", replay_seconds]],
+    )
+    json_summary(
+        "checkpoint_replay",
+        {"cold_seconds": cold_seconds, "replay_seconds": replay_seconds},
     )
     # The replay does no die evaluation; it must be far faster than the sweep.
     assert replay_seconds < cold_seconds / 2

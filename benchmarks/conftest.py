@@ -5,13 +5,42 @@ timed section is the experiment itself; after timing, each benchmark prints
 the reproduced data series (run pytest with ``-s`` to see the tables) and
 asserts the paper's qualitative claims so a regression in the model breaks the
 harness loudly.
+
+When the ``REPRO_BENCH_JSON`` environment variable names a file, benchmarks
+additionally append machine-readable summary records there (one JSON object
+per line) via the ``json_summary`` fixture; CI uploads those files as build
+artifacts so perf trends can be tracked without scraping stdout tables.
 """
 
 from __future__ import annotations
 
-from typing import Sequence
+import json
+import os
+from typing import Mapping, Sequence
 
 import pytest
+
+
+def emit_json_summary(record_name: str, record: Mapping[str, object]) -> None:
+    """Append one benchmark record to the ``REPRO_BENCH_JSON`` file.
+
+    No-op when the variable is unset, so local runs leave no files behind.
+    Records are JSON lines (append-only): several tests -- or several
+    benchmark modules pointed at the same file -- can contribute to one
+    artifact without coordination.
+    """
+    path = os.environ.get("REPRO_BENCH_JSON")
+    if not path:
+        return
+    payload = {"record": record_name, **record}
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(json.dumps(payload, sort_keys=True) + "\n")
+
+
+@pytest.fixture
+def json_summary():
+    """Fixture exposing :func:`emit_json_summary` to benchmark modules."""
+    return emit_json_summary
 
 
 def print_table(title: str, headers: Sequence[str], rows: Sequence[Sequence[object]]) -> None:

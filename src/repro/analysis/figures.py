@@ -38,7 +38,7 @@ from repro.hardware.overhead import OverheadReport
 from repro.hardware.technology import Technology
 from repro.memory.organization import MemoryOrganization
 from repro.scenarios.base import ScenarioSpec
-from repro.sim.engine import ExperimentConfig
+from repro.sim.engine import AdaptiveBudget, AdaptiveBudgetReport, ExperimentConfig
 from repro.sim.experiment import BenchmarkDefinition
 from repro.sim.runner import QualityDistribution
 
@@ -103,6 +103,8 @@ def figure5_mse_cdf(
     master_seed: Optional[int] = None,
     checkpoint: Optional[str] = None,
     scenario: Optional[ScenarioSpec] = None,
+    adaptive: Optional[AdaptiveBudget] = None,
+    report_out: Optional[List[AdaptiveBudgetReport]] = None,
 ) -> Dict[str, MseDistribution]:
     """Fig. 5: CDF of the local MSE for every protection option.
 
@@ -120,13 +122,21 @@ def figure5_mse_cdf(
     optional JSON results cache for resumable sweeps.  ``scenario``
     optionally names a fault-scenario pipeline (aged / clustered / repaired
     dies) the population is drawn through; ``None`` is the default i.i.d.
-    population.
+    population.  ``adaptive`` switches the sweep to the engine's
+    confidence-driven budget (requires seeded sampling;
+    ``samples_per_count`` then caps the spend instead of fixing it), with
+    the outcome report appended to ``report_out`` when given.
     """
     organization = (
         organization if organization is not None else MemoryOrganization.paper_16kb()
     )
     if n_fm_values is None:
         n_fm_values = range(1, max_lut_bits(organization.word_width) + 1)
+    if adaptive is not None and sampling == "legacy":
+        raise ValueError(
+            "adaptive budgets require sampling='seeded' (the die population "
+            "is not known up front)"
+        )
     if sampling == "legacy":
         rng = rng if rng is not None else np.random.default_rng(2015)
         master_seed = None
@@ -143,6 +153,7 @@ def figure5_mse_cdf(
         + tuple(f"bit-shuffle-nfm{n_fm}" for n_fm in n_fm_values),
         discard_multi_fault_words=False,
         scenario=scenario,
+        adaptive=adaptive,
     )
     return evaluate_mse_point(
         config,
@@ -150,6 +161,7 @@ def figure5_mse_cdf(
         rng=rng,
         workers=workers,
         checkpoint=checkpoint,
+        report_out=report_out,
     )
 
 
@@ -189,6 +201,8 @@ def figure7_quality(
     master_seed: Optional[int] = None,
     checkpoint: Optional[str] = None,
     scenario: Optional[ScenarioSpec] = None,
+    adaptive: Optional[AdaptiveBudget] = None,
+    report_out: Optional[List[AdaptiveBudgetReport]] = None,
 ) -> Dict[str, QualityDistribution]:
     """Fig. 7: CDF of the application quality metric under memory failures.
 
@@ -205,12 +219,22 @@ def figure7_quality(
     generator ``rng``; ``checkpoint`` names an optional JSON results cache for
     resumable sweeps.  Either way the figure is one quality grid point of the
     design space (:func:`repro.dse.evaluate.evaluate_quality_point`).
+    ``adaptive`` switches the sweep to the engine's confidence-driven budget
+    (requires ``master_seed``; ``samples_per_count`` then caps the spend
+    instead of fixing it), with the outcome report appended to
+    ``report_out`` when given.
     """
     organization = (
         organization if organization is not None else MemoryOrganization.paper_16kb()
     )
     if schemes is None:
         schemes = standard_figure7_schemes(organization.word_width)
+    if adaptive is not None and master_seed is None:
+        raise ValueError(
+            "adaptive budgets require a master_seed (the die population is "
+            "not known up front, so legacy shared-generator sampling cannot "
+            "supply it)"
+        )
     config = ExperimentConfig(
         rows=organization.rows,
         word_width=organization.word_width,
@@ -221,6 +245,7 @@ def figure7_quality(
         scheme_specs=tuple(scheme.name for scheme in schemes),
         benchmark=benchmark.name,
         scenario=scenario,
+        adaptive=adaptive,
     )
     if master_seed is not None:
         return evaluate_quality_point(
@@ -229,6 +254,7 @@ def figure7_quality(
             schemes=list(schemes),
             workers=workers,
             checkpoint=checkpoint,
+            report_out=report_out,
         )
     rng = rng if rng is not None else np.random.default_rng(52)
     return evaluate_quality_point(
@@ -239,4 +265,5 @@ def figure7_quality(
         rng=rng,
         workers=workers,
         checkpoint=checkpoint,
+        report_out=report_out,
     )

@@ -17,9 +17,14 @@ Every command prints a plain-text table to stdout; the benchmark harness under
 commands (``fig5``, ``fig7``) and ``dse run`` share one option set:
 ``--workers`` (process fan-out, bit-identical results for any count),
 ``--sampling legacy|seeded`` (shared-generator replay versus per-die seed
-children), ``--checkpoint`` (resumable JSON results cache), and
+children), ``--checkpoint`` (resumable JSON results cache),
 ``--scenario`` (fault-scenario pipeline: ``iid-pcell`` default, ``aged``,
-``clustered``, ``repaired``, with ``name,key=value`` parameters).
+``clustered``, ``repaired``, with ``name,key=value`` parameters), and
+``--adaptive`` / ``--target-ci`` / ``--max-samples`` (confidence-driven
+Monte-Carlo budget: stop sampling once the yield estimate's confidence
+half-width reaches the target, instead of burning the full fixed budget).
+Adaptive runs append one ``adaptive budget:`` summary line after the table;
+fixed-budget output is byte-identical to earlier releases.
 """
 
 from __future__ import annotations
@@ -42,6 +47,7 @@ from repro.analysis.figures import (
 )
 from repro.analysis.tables import table1_applications
 from repro.dse import DesignSpaceExplorer, DseResult, ExperimentSpec
+from repro.sim.engine import AdaptiveBudget, AdaptiveBudgetReport
 from repro.sim.experiment import standard_benchmarks
 
 __all__ = ["main", "build_parser"]
@@ -114,11 +120,12 @@ def _add_sweep_options(
         parser.add_argument(
             "--sampling",
             choices=["legacy", "seeded"],
-            default="legacy",
+            default=None,
             help="fault-map sampling: 'legacy' replays the shared-generator "
             "stream of the serial implementation; 'seeded' derives one "
             "seed-sequence child per die from --seed (the parallel engine's "
-            "native mode)",
+            "native mode).  Default: legacy, or seeded when --adaptive is "
+            "given (adaptive budgets cannot pre-draw the population)",
         )
     parser.add_argument(
         "--checkpoint",
@@ -137,6 +144,71 @@ def _add_sweep_options(
         "(e.g. 'aged,years=5' or 'clustered,cluster_size=8'); default: the "
         "i.i.d. iid-pcell scenario (for dse commands this overrides the "
         "spec file's scenario section)",
+    )
+    parser.add_argument(
+        "--adaptive",
+        action="store_true",
+        help="confidence-driven Monte-Carlo budget: sample in "
+        "Neyman-allocated rounds and stop once the yield estimate's "
+        "confidence half-width reaches --target-ci, instead of burning the "
+        "full fixed budget; never spends more dies than the fixed budget "
+        "unless --max-samples raises the cap",
+    )
+    parser.add_argument(
+        "--target-ci",
+        type=float,
+        default=None,
+        metavar="HALF_WIDTH",
+        help="target confidence half-width of the adaptive stopping rule "
+        "(default 0.02; requires --adaptive)",
+    )
+    parser.add_argument(
+        "--max-samples",
+        type=_positive_int,
+        default=None,
+        metavar="DIES",
+        help="total die cap of the adaptive budget (default: the "
+        "equivalent fixed budget; requires --adaptive)",
+    )
+
+
+def _resolve_adaptive(args: argparse.Namespace) -> Optional[AdaptiveBudget]:
+    """The adaptive budget requested by the flags (``None`` = fixed mode)."""
+    if not args.adaptive:
+        if args.target_ci is not None:
+            raise SystemExit("--target-ci requires --adaptive")
+        if args.max_samples is not None:
+            raise SystemExit("--max-samples requires --adaptive")
+        return None
+    kwargs = {"max_total_samples": args.max_samples}
+    if args.target_ci is not None:
+        kwargs["target_ci"] = args.target_ci
+    return AdaptiveBudget(**kwargs)
+
+
+def _resolve_sampling(args: argparse.Namespace) -> str:
+    """The effective sampling mode (adaptive runs default to seeded)."""
+    if args.sampling is None:
+        return "seeded" if args.adaptive else "legacy"
+    if args.adaptive and args.sampling == "legacy":
+        raise SystemExit(
+            "--adaptive requires --sampling seeded: the adaptive controller "
+            "decides the die count as it runs, so the population cannot be "
+            "pre-drawn from the legacy shared generator"
+        )
+    return args.sampling
+
+
+def _print_adaptive_summary(report: AdaptiveBudgetReport) -> None:
+    """One deterministic summary line for adaptive runs (after the table)."""
+    status = "reached" if report.reached else "NOT reached (die cap hit)"
+    print(
+        f"adaptive budget: {report.total_dies} dies in {report.rounds} "
+        f"rounds (cap {report.max_total_dies}); target CI "
+        f"+/-{report.target_ci:g} {status}: achieved "
+        f"+/-{report.achieved_half_width:.4g} at "
+        f"{report.confidence:.0%} confidence, yield threshold "
+        f"{report.threshold:g}"
     )
 
 
@@ -182,15 +254,20 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
+    sampling = _resolve_sampling(args)
+    adaptive = _resolve_adaptive(args)
+    reports: List[AdaptiveBudgetReport] = []
     results = figure5_mse_cdf(
         p_cell=args.p_cell,
         samples_per_count=args.samples,
         rng=np.random.default_rng(args.seed),
         workers=args.workers,
-        sampling=args.sampling,
-        master_seed=args.seed if args.sampling == "seeded" else None,
+        sampling=sampling,
+        master_seed=args.seed if sampling == "seeded" else None,
         checkpoint=args.checkpoint,
         scenario=args.scenario,
+        adaptive=adaptive,
+        report_out=reports,
     )
     scenario_note = (
         f", scenario {args.scenario.name}" if args.scenario is not None else ""
@@ -211,6 +288,8 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
             + [dist.mse_at_yield(0.9999)]
         )
     _print_table(headers, rows)
+    for report in reports:
+        _print_adaptive_summary(report)
     return 0
 
 
@@ -236,6 +315,9 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         print(f"unknown benchmark {args.benchmark!r}", file=sys.stderr)
         return 2
     benchmark = benchmarks[args.benchmark]
+    sampling = _resolve_sampling(args)
+    adaptive = _resolve_adaptive(args)
+    reports: List[AdaptiveBudgetReport] = []
     results = figure7_quality(
         benchmark,
         p_cell=args.p_cell,
@@ -243,9 +325,11 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         n_count_points=args.count_points,
         rng=np.random.default_rng(args.seed),
         workers=args.workers,
-        master_seed=args.seed if args.sampling == "seeded" else None,
+        master_seed=args.seed if sampling == "seeded" else None,
         checkpoint=args.checkpoint,
         scenario=args.scenario,
+        adaptive=adaptive,
+        report_out=reports,
     )
     scenario_note = (
         f", scenario {args.scenario.name}" if args.scenario is not None else ""
@@ -264,6 +348,8 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
             + [dist.median_quality()]
         )
     _print_table(headers, rows)
+    for report in reports:
+        _print_adaptive_summary(report)
     return 0
 
 
@@ -335,12 +421,32 @@ def _dse_result(args: argparse.Namespace) -> DseResult:
                 "--scenario cannot be applied to a previously written "
                 "--table; re-run 'dse run --spec ... --scenario ...'"
             )
+        if args.adaptive or args.target_ci is not None or args.max_samples is not None:
+            raise SystemExit(
+                "--adaptive cannot be applied to a previously written "
+                "--table; re-run 'dse run --spec ... --adaptive'"
+            )
         return DseResult.load(args.table)
     if args.spec is None:
         raise SystemExit("either --spec or --table is required")
     spec = ExperimentSpec.from_file(args.spec)
     if args.scenario is not None:
         spec = replace(spec, scenario=args.scenario)
+    if args.adaptive or spec.budget.mode == "adaptive":
+        # The flags overlay the spec's budget section; values the user did
+        # not pass stay as the spec wrote them (a spec's target_ci must not
+        # silently reset to the default just because --adaptive was given).
+        overrides: dict = {"mode": "adaptive"}
+        if args.target_ci is not None:
+            overrides["target_ci"] = args.target_ci
+        if args.max_samples is not None:
+            overrides["max_samples"] = args.max_samples
+        spec = replace(spec, budget=replace(spec.budget, **overrides))
+    elif args.target_ci is not None or args.max_samples is not None:
+        raise SystemExit(
+            "--target-ci/--max-samples require --adaptive (or an adaptive "
+            "budget section in the spec file)"
+        )
     explorer = DesignSpaceExplorer(
         spec, workers=args.workers, checkpoint_dir=args.checkpoint
     )

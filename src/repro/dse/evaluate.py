@@ -33,7 +33,12 @@ from repro.hardware.technology import Technology
 from repro.memory.faults import FaultMap
 from repro.memory.organization import MemoryOrganization
 from repro.quantize.fixedpoint import FixedPointFormat
-from repro.sim.engine import ExperimentConfig, QualityDistribution, SweepEngine
+from repro.sim.engine import (
+    AdaptiveBudgetReport,
+    ExperimentConfig,
+    QualityDistribution,
+    SweepEngine,
+)
 from repro.sim.experiment import BenchmarkDefinition
 
 __all__ = [
@@ -111,6 +116,14 @@ def _resolve_fault_maps(
             f"unknown sampling mode {sampling!r}; expected one of "
             f"{', '.join(_SAMPLING_MODES)}"
         )
+    if config.adaptive is not None and (
+        sampling == "legacy" or fault_maps is not None
+    ):
+        raise ValueError(
+            "adaptive budgets decide the die count as they run, so the "
+            "population cannot be pre-drawn; use sampling='seeded' without "
+            "fault_maps, or a fixed budget"
+        )
     if fault_maps is not None:
         return fault_maps
     if sampling == "legacy":
@@ -118,6 +131,14 @@ def _resolve_fault_maps(
             raise ValueError("legacy sampling requires a random generator")
         return legacy_fault_maps(config, rng)
     return None
+
+
+def _record_adaptive_report(
+    engine: SweepEngine, report_out: Optional[List["AdaptiveBudgetReport"]]
+) -> None:
+    """Append the engine's adaptive outcome to ``report_out`` (if any)."""
+    if report_out is not None and engine.last_adaptive_report is not None:
+        report_out.append(engine.last_adaptive_report)
 
 
 def evaluate_quality_point(
@@ -131,22 +152,26 @@ def evaluate_quality_point(
     checkpoint: Optional[str] = None,
     fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]] = None,
     fixed_point: Optional[FixedPointFormat] = None,
+    report_out: Optional[List["AdaptiveBudgetReport"]] = None,
 ) -> Dict[str, QualityDistribution]:
     """Application-quality distributions of one grid point (a Fig. 7 slice).
 
     ``schemes`` overrides ``config.scheme_specs`` with pre-built instances;
     ``fault_maps`` supplies an explicit pre-drawn die population (overriding
-    ``sampling``); everything else is delegated to
-    :meth:`SweepEngine.run`.
+    ``sampling``); ``report_out`` collects the
+    :class:`~repro.sim.engine.AdaptiveBudgetReport` of an adaptive-budget
+    config; everything else is delegated to :meth:`SweepEngine.run`.
     """
     engine = SweepEngine(config, schemes=schemes)
-    return engine.run(
+    results = engine.run(
         benchmark,
         workers=workers,
         checkpoint=checkpoint,
         fault_maps=_resolve_fault_maps(config, sampling, rng, fault_maps),
         fixed_point=fixed_point,
     )
+    _record_adaptive_report(engine, report_out)
+    return results
 
 
 def evaluate_mse_point(
@@ -160,6 +185,7 @@ def evaluate_mse_point(
     fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]] = None,
     fault_maps_by_count: Optional[Mapping[int, List[FaultMap]]] = None,
     include_fault_free: bool = True,
+    report_out: Optional[List["AdaptiveBudgetReport"]] = None,
 ) -> Dict[str, MseDistribution]:
     """Local-MSE distributions of one grid point (a Fig. 5 slice).
 
@@ -179,12 +205,14 @@ def evaluate_mse_point(
             for sample_index, fault_map in enumerate(fault_maps_by_count[count])
         }
     engine = SweepEngine(config, schemes=schemes)
-    return engine.run_mse(
+    results = engine.run_mse(
         workers=workers,
         checkpoint=checkpoint,
         fault_maps=_resolve_fault_maps(config, sampling, rng, fault_maps),
         include_fault_free=include_fault_free,
     )
+    _record_adaptive_report(engine, report_out)
+    return results
 
 
 def evaluate_overhead_point(

@@ -24,7 +24,7 @@ from repro.dse.evaluate import evaluate_overhead_point
 from repro.dse.registry import build_benchmark, build_scheme
 from repro.dse.spec import ExperimentSpec
 from repro.hardware.overhead import ReadPathOverhead
-from repro.sim.engine import QualityDistribution, SweepEngine
+from repro.sim.engine import AdaptiveBudgetReport, QualityDistribution, SweepEngine
 
 __all__ = [
     "DSE_COLUMNS",
@@ -229,11 +229,22 @@ class DesignSpaceExplorer:
         self._spec = spec
         self._workers = workers
         self._checkpoint_dir = checkpoint_dir
+        self._adaptive_reports: Dict[
+            Tuple[str, float, float], AdaptiveBudgetReport
+        ] = {}
 
     @property
     def spec(self) -> ExperimentSpec:
         """The sweep description."""
         return self._spec
+
+    @property
+    def adaptive_reports(
+        self,
+    ) -> Dict[Tuple[str, float, float], AdaptiveBudgetReport]:
+        """Adaptive-budget outcomes of the last :meth:`run`, keyed by
+        ``(benchmark, vdd, p_cell)`` (empty for fixed-budget specs)."""
+        return dict(self._adaptive_reports)
 
     # ------------------------------------------------------------------ #
     # Joins
@@ -289,6 +300,7 @@ class DesignSpaceExplorer:
     # ------------------------------------------------------------------ #
     def run(self) -> DseResult:
         """Sweep the full grid and return the joined result table."""
+        self._adaptive_reports = {}
         spec = self._spec
         organization = spec.organization
         scaling = spec.operating_grid.scaling_model(organization)
@@ -322,6 +334,10 @@ class DesignSpaceExplorer:
                     workers=self._workers,
                     checkpoint=checkpoint,
                 )
+                if engine.last_adaptive_report is not None:
+                    self._adaptive_reports[
+                        (benchmark_name, point.vdd, point.p_cell)
+                    ] = engine.last_adaptive_report
                 per_point[(point.vdd, point.p_cell)] = results
                 # The scheme logic's dynamic energy scales with the same
                 # CV^2 law as the array access it accompanies.

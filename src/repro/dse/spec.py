@@ -36,7 +36,7 @@ from repro.faultmodel.pcell import PcellModel
 from repro.hardware.energy import OperatingPoint, VoltageScalingModel
 from repro.memory.organization import MemoryOrganization
 from repro.scenarios.base import FaultScenario, ScenarioSpec
-from repro.sim.engine import ExperimentConfig
+from repro.sim.engine import AdaptiveBudget, ExperimentConfig
 
 __all__ = [
     "BenchmarkGridSpec",
@@ -177,19 +177,67 @@ class SchemeGridSpec:
 
 @dataclass(frozen=True)
 class McBudgetSpec:
-    """Monte-Carlo layer: sampling budget and the deterministic master seed."""
+    """Monte-Carlo layer: sampling budget and the deterministic master seed.
+
+    ``mode="fixed"`` (the default) evaluates exactly ``samples_per_count``
+    dies per failure count -- bit-identical to every historical sweep.
+    ``mode="adaptive"`` switches every grid point to the engine's
+    confidence-driven budget: rounds of Neyman-allocated batches that stop
+    once the yield-at-threshold confidence half-width reaches ``target_ci``
+    or ``max_samples`` dies have been spent (``None`` caps at the equivalent
+    fixed budget, so adaptive never costs more than fixed).  The remaining
+    adaptive knobs (``confidence``, ``threshold``, ``initial_samples_per_
+    count``, ``round_dies``) mirror
+    :class:`~repro.sim.engine.AdaptiveBudget` and are ignored -- rejected,
+    for ``target_ci`` -- in fixed mode, so a spec cannot silently carry a
+    half-configured budget.
+    """
 
     samples_per_count: int = 10
     n_count_points: Optional[int] = None
     coverage: float = 0.99
     master_seed: int = 2015
     discard_multi_fault_words: bool = True
+    mode: str = "fixed"
+    target_ci: Optional[float] = None
+    confidence: float = 0.95
+    threshold: Optional[float] = None
+    initial_samples_per_count: int = 8
+    round_dies: int = 64
+    max_samples: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.samples_per_count < 1:
             raise ValueError("samples_per_count must be positive")
         if not 0.0 < self.coverage < 1.0:
             raise ValueError("coverage must be in (0, 1)")
+        if self.mode not in ("fixed", "adaptive"):
+            raise ValueError(
+                f"budget mode must be 'fixed' or 'adaptive', got {self.mode!r}"
+            )
+        if self.mode == "fixed" and self.target_ci is not None:
+            raise ValueError(
+                "target_ci requires mode='adaptive' (a fixed budget has no "
+                "stopping rule to apply it to)"
+            )
+        # Adaptive parameter validation is delegated to AdaptiveBudget so
+        # spec files and engine configs can never disagree about validity.
+        self.adaptive_budget()
+
+    def adaptive_budget(self) -> Optional["AdaptiveBudget"]:
+        """The engine-level adaptive budget (``None`` in fixed mode)."""
+        if self.mode != "adaptive":
+            return None
+        kwargs = {
+            "confidence": self.confidence,
+            "threshold": self.threshold,
+            "initial_samples_per_count": self.initial_samples_per_count,
+            "round_dies": self.round_dies,
+            "max_total_samples": self.max_samples,
+        }
+        if self.target_ci is not None:
+            kwargs["target_ci"] = self.target_ci
+        return AdaptiveBudget(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -286,6 +334,9 @@ class ExperimentSpec:
             # default-spec grid points hash exactly as before the scenario
             # layer existed.
             scenario=self.scenario,
+            # None in fixed mode, so fixed-budget grid points keep their
+            # historical checkpoint hashes; an adaptive budget keys them.
+            adaptive=self.budget.adaptive_budget(),
         )
 
     # ------------------------------------------------------------------ #

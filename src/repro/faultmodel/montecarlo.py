@@ -18,6 +18,7 @@ the log domain (``lgamma``) so they stay finite for the paper's
 from __future__ import annotations
 
 import math
+import warnings
 from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 import numpy as np
@@ -299,13 +300,29 @@ class FaultMapSampler:
             grid, the ``Pr(N = n)`` weighting, and -- via a
             :class:`~repro.scenarios.base.ScenarioSpec` -- the sampling
             pipeline).  It is kept as the minimal paper-faithful reference of
-            the Fig. 5 budget-allocation rule.
+            the Fig. 5 budget-allocation rule, and now emits a
+            :class:`DeprecationWarning` (once per call, before the first
+            stratum is drawn).
         """
+        # A plain function that returns an inner generator: the warning must
+        # fire exactly once at *call* time (with the caller on the stack),
+        # not lazily on the first next().
+        warnings.warn(
+            "FaultMapSampler.iter_stratified is deprecated; run stratified "
+            "sweeps through repro.sim.engine.SweepEngine (ExperimentConfig "
+            "owns the failure-count grid, weighting, and scenario pipeline)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         allocation = samples_per_failure_count(
             self._organization.total_cells, p_cell, total_runs, max_failures
         )
-        for n, batch_size in allocation.items():
-            probability = failure_count_pmf(
-                self._organization.total_cells, p_cell, n
-            )
-            yield n, probability, self.sample_batch(n, batch_size)
+
+        def _strata() -> Iterator[tuple[int, float, List[FaultMap]]]:
+            for n, batch_size in allocation.items():
+                probability = failure_count_pmf(
+                    self._organization.total_cells, p_cell, n
+                )
+                yield n, probability, self.sample_batch(n, batch_size)
+
+        return _strata()

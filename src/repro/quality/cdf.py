@@ -85,13 +85,26 @@ class WeightedEcdf:
             return float(remaining)
         return remaining
 
-    def quantile(self, q: float) -> float:
-        """Smallest value ``x`` with ``P(X <= x) >= q``."""
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile level must be in [0, 1], got {q}")
-        idx = int(np.searchsorted(self._cumulative, q, side="left"))
-        idx = min(idx, self._values.size - 1)
-        return float(self._values[idx])
+    def quantile(self, q: float | np.ndarray) -> float | np.ndarray:
+        """Smallest value ``x`` with ``P(X <= x) >= q``.
+
+        Accepts a scalar level (returns ``float``, exactly as the historical
+        scalar implementation) or an array of levels (returns an
+        ``np.ndarray`` evaluated by one vectorised ``searchsorted``, each
+        entry equal to the scalar result for that level).
+        """
+        q = np.asarray(q, dtype=np.float64)
+        if np.any(q < 0.0) or np.any(q > 1.0):
+            bad = q if q.ndim == 0 else q[(q < 0.0) | (q > 1.0)][0]
+            raise ValueError(f"quantile level must be in [0, 1], got {bad}")
+        idx = np.minimum(
+            np.searchsorted(self._cumulative, q, side="left"),
+            self._values.size - 1,
+        )
+        result = self._values[idx]
+        if result.ndim == 0:
+            return float(result)
+        return result
 
     def curve(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(x, F(x))`` step-curve points suitable for plotting or tabulation."""
@@ -110,17 +123,24 @@ class WeightedEcdf:
         ``group_probability / len(samples)`` weight per sample -- exactly the
         importance structure of the per-failure-count Monte-Carlo sweeps in
         the paper.
+
+        The accumulation runs through the exact mergeable summary of the
+        streaming-statistics core (:class:`repro.stats.WeightedSampleBuffer`),
+        so a caller holding per-shard buffers can fold them in canonical
+        order and land on the same CDF this method builds in one pass;
+        iterating the groups in canonical order here is bit-identical to the
+        historical concatenate-then-sort construction.
         """
-        values = []
-        weights = []
+        from repro.stats import WeightedSampleBuffer
+
+        buffer = WeightedSampleBuffer()
         for samples, probability in groups:
             samples = np.asarray(samples, dtype=np.float64).ravel()
             if probability < 0:
                 raise ValueError("group probability must be non-negative")
             if samples.size == 0:
                 continue
-            values.append(samples)
-            weights.append(np.full(samples.shape, probability / samples.size))
-        if not values:
-            raise ValueError("no samples supplied")
-        return cls(np.concatenate(values), np.concatenate(weights))
+            buffer.update_batch(
+                samples, np.full(samples.shape, probability / samples.size)
+            )
+        return cls(*buffer.finalize())

@@ -56,6 +56,39 @@ The engine also accepts pre-drawn fault maps (``fault_maps=``), which is how
 the legacy :class:`~repro.sim.runner.QualityExperimentRunner` API keeps its
 historical shared-generator sampling (and its golden regression curves) while
 delegating all evaluation, parallelism, and checkpointing to this engine.
+
+Budget modes and the streaming reduction
+----------------------------------------
+
+Two Monte-Carlo budgets are supported over the same sharded machinery:
+
+* **Fixed** (the default): every failure count receives exactly
+  ``samples_per_count`` dies, shards return exact per-die scores, and the
+  merge path (via the exact mergeable buffer of :mod:`repro.stats`) is
+  bit-identical to the historical serial implementations -- this is the mode
+  the pinned golden curves and the per-die checkpoint cache live in.
+* **Adaptive** (``config.adaptive = AdaptiveBudget(...)``): the sweep runs in
+  rounds.  Workers return O(bins) *streaming summaries* per shard -- one
+  :class:`~repro.stats.StreamingMoments` of the yield indicator and one
+  :class:`~repro.stats.FixedGridEcdfSketch` of the raw scores per (scheme,
+  stratum) -- which the parent folds in canonical shard order into
+  :class:`~repro.stats.StratumVarianceTracker` state.  After each round the
+  controller computes the confidence half-width of the yield-at-threshold
+  estimate and either stops (target met, or the die cap reached) or assigns
+  the next round's dies across strata by Neyman allocation (proportional to
+  ``Pr(N = n) * observed stratum std``).  Adaptive dies are seeded by
+  ``SeedSequence(master_seed, spawn_key=(count_index, sample_index))``, so a
+  die's stream is independent of the allocation path that scheduled it; with
+  a fixed shard width the whole run is bit-identical for any worker count.
+  Adaptive state (round summaries and per-stratum sample counts) checkpoints
+  under a hash that includes the adaptive parameters, so fixed and adaptive
+  caches can never alias.
+
+When several workers are used, the benchmark's feature matrices and the
+pre-quantized training codes are placed in :mod:`multiprocessing.shared_memory`
+blocks (:class:`~repro.sim.sharedmem.SharedNdarray`) and attached once per
+worker process instead of being pickled into each worker, so fanning out a
+sweep does not multiply the training set's memory footprint.
 """
 
 from __future__ import annotations
@@ -67,7 +100,7 @@ import os
 import re
 import tempfile
 from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -95,9 +128,19 @@ from repro.scenarios.base import (
 from repro.scenarios.catalog import default_scenario
 from repro.sim.experiment import BenchmarkDefinition
 from repro.sim.faulty_storage import FaultyTensorStore
+from repro.sim.sharedmem import SharedNdarray
+from repro.stats import (
+    FixedGridEcdfSketch,
+    StratumVarianceTracker,
+    StreamingMoments,
+    largest_remainder_allocation,
+    normal_critical_value,
+)
 
 __all__ = [
     "DEFAULT_SCHEME_SPECS",
+    "AdaptiveBudget",
+    "AdaptiveBudgetReport",
     "ExperimentConfig",
     "QualityDistribution",
     "SweepEngine",
@@ -211,6 +254,169 @@ def reassign_count_probabilities(
 
 
 # --------------------------------------------------------------------------- #
+# Adaptive Monte-Carlo budgets
+# --------------------------------------------------------------------------- #
+# Dies per adaptive work unit.  Deliberately *not* derived from the worker
+# count: the Welford merge order follows the shard partition, so a fixed
+# width is what makes adaptive results bit-identical for any worker count.
+_ADAPTIVE_SHARD_DIES = 32
+
+_DEFAULT_QUALITY_THRESHOLD = 0.9  # normalised quality (clean = 1.0)
+_DEFAULT_MSE_THRESHOLD = 1e2  # local-MSE bound of the yield criterion
+
+
+def _adaptive_sketch_edges(evaluation: str, bins: int) -> np.ndarray:
+    """The shared score grid of one adaptive sweep's ECDF sketches.
+
+    Quality scores are normalised around 1.0, so a linear grid over
+    ``[0, 2]`` covers them (out-of-range dies land in the exact-extremum
+    under/overflow bins).  MSE magnitudes span many decades, so they get a
+    log grid; MSE = 0 (fully corrected dies) falls in the underflow bin,
+    whose support is the exact observed minimum, i.e. 0.0.
+    """
+    if evaluation == "mse":
+        return FixedGridEcdfSketch.log10(1e-12, 1e18, bins).edges
+    return FixedGridEcdfSketch.linear(0.0, 2.0, bins).edges
+
+
+@dataclass(frozen=True)
+class AdaptiveBudget:
+    """Confidence-driven Monte-Carlo budget (the ``mode="adaptive"`` sweep).
+
+    The controller estimates the yield at a threshold -- the fraction of
+    dies whose normalised quality reaches ``threshold`` (quality sweeps) or
+    whose local MSE stays at or below it (MSE sweeps) -- and keeps drawing
+    dies until the estimate's two-sided confidence half-width drops to
+    ``target_ci``, or ``max_total_samples`` dies have been spent.
+
+    Parameters
+    ----------
+    target_ci:
+        Target half-width of the yield estimate's confidence interval.
+    confidence:
+        Confidence level of the interval (normal approximation).
+    threshold:
+        Yield threshold the CI is tracked at; ``None`` selects the mode
+        default (normalised quality 0.9, or MSE 1e2).
+    initial_samples_per_count:
+        Dies drawn for every failure count in the first round (at least 2,
+        so every stratum has a defined sample variance).
+    round_dies:
+        Total dies per subsequent round, split across strata by Neyman
+        allocation.
+    max_total_samples:
+        Hard cap on evaluated dies; ``None`` means the equivalent fixed
+        budget (``samples_per_count`` dies for every failure count), so an
+        adaptive sweep never costs more than the fixed sweep it replaces.
+    sketch_bins:
+        Bin count of the fixed-grid ECDF sketches (the O(bins) that bounds
+        shard payloads and merged-result memory).
+    """
+
+    target_ci: float = 0.02
+    confidence: float = 0.95
+    threshold: Optional[float] = None
+    initial_samples_per_count: int = 8
+    round_dies: int = 64
+    max_total_samples: Optional[int] = None
+    sketch_bins: int = 256
+
+    def __post_init__(self) -> None:
+        if not self.target_ci > 0.0:
+            raise ValueError("target_ci must be positive")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must be in (0, 1)")
+        if self.initial_samples_per_count < 2:
+            raise ValueError(
+                "initial_samples_per_count must be at least 2 (a stratum "
+                "needs two observations for a sample variance)"
+            )
+        if self.round_dies < 1:
+            raise ValueError("round_dies must be positive")
+        if self.max_total_samples is not None and self.max_total_samples < 1:
+            raise ValueError("max_total_samples must be positive")
+        if self.sketch_bins < 8:
+            raise ValueError("sketch_bins must be at least 8")
+
+    def resolved_threshold(self, evaluation: str) -> float:
+        """The yield threshold for an evaluation mode (mode default if unset)."""
+        if self.threshold is not None:
+            return float(self.threshold)
+        if evaluation == "mse":
+            return _DEFAULT_MSE_THRESHOLD
+        return _DEFAULT_QUALITY_THRESHOLD
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable representation (keys the checkpoint hash)."""
+        return {
+            "target_ci": self.target_ci,
+            "confidence": self.confidence,
+            "threshold": self.threshold,
+            "initial_samples_per_count": self.initial_samples_per_count,
+            "round_dies": self.round_dies,
+            "max_total_samples": self.max_total_samples,
+            "sketch_bins": self.sketch_bins,
+        }
+
+
+@dataclass
+class AdaptiveBudgetReport:
+    """Outcome of one adaptive-budget sweep (``SweepEngine.last_adaptive_report``).
+
+    ``half_widths`` / ``estimates`` are keyed by scheme name; the sweep stops
+    when *every* scheme's half-width reaches the target.  ``stratum_weights``,
+    ``stratum_stds`` and ``samples_per_count`` are keyed by failure count and
+    feed :meth:`fixed_equivalent_dies`, the analytic answer to "how many dies
+    would the uniform fixed budget have needed for the same half-width?".
+    """
+
+    evaluation: str
+    threshold: float
+    target_ci: float
+    confidence: float
+    reached: bool
+    rounds: int
+    total_dies: int
+    max_total_dies: int
+    half_widths: Dict[str, float]
+    estimates: Dict[str, float]
+    samples_per_count: Dict[int, int]
+    stratum_weights: Dict[int, float] = field(default_factory=dict)
+    stratum_stds: Dict[str, Dict[int, float]] = field(default_factory=dict)
+    max_shard_payload_scalars: int = 0
+
+    @property
+    def achieved_half_width(self) -> float:
+        """The widest (worst-scheme) confidence half-width at stop time."""
+        return max(self.half_widths.values())
+
+    def fixed_equivalent_dies(self, target_ci: Optional[float] = None) -> int:
+        """Dies a uniform fixed budget would need to reach ``target_ci``.
+
+        Uses the final per-stratum standard-deviation estimates: a fixed
+        budget of ``S`` dies per failure count has estimator variance
+        ``sum_n w_n^2 s_n^2 / S``, so the smallest sufficient ``S`` is
+        ``ceil(z^2 * sum_n w_n^2 s_n^2 / target_ci^2)`` for the worst
+        scheme, and the die bill is ``S * len(strata)``.
+        """
+        target = self.target_ci if target_ci is None else target_ci
+        if target <= 0.0:
+            raise ValueError("target_ci must be positive")
+        z = normal_critical_value(self.confidence)
+        worst = 0.0
+        for stds in self.stratum_stds.values():
+            worst = max(
+                worst,
+                sum(
+                    (self.stratum_weights[count] * std) ** 2
+                    for count, std in stds.items()
+                ),
+            )
+        samples_per_count = max(2, math.ceil(z * z * worst / (target * target)))
+        return samples_per_count * len(self.stratum_weights)
+
+
+# --------------------------------------------------------------------------- #
 # Results
 # --------------------------------------------------------------------------- #
 @dataclass
@@ -309,6 +515,11 @@ class ExperimentConfig:
         to ``None``) reproduces the historical i.i.d. sampling bit-for-bit
         and leaves every checkpoint hash unchanged; a non-default scenario
         keys the hash, so caches of different scenarios never alias.
+    adaptive:
+        Optional :class:`AdaptiveBudget` switching the sweep from the fixed
+        ``samples_per_count`` budget to confidence-driven sampling.  ``None``
+        (fixed mode) keeps every historical result and checkpoint hash
+        bit-identical; a budget keys the hash with its full parameter set.
     """
 
     rows: int
@@ -323,8 +534,16 @@ class ExperimentConfig:
     frac_bits: int = 16
     benchmark: str = ""
     scenario: Optional[ScenarioSpec] = None
+    adaptive: Optional[AdaptiveBudget] = None
 
     def __post_init__(self) -> None:
+        if self.adaptive is not None and not isinstance(
+            self.adaptive, AdaptiveBudget
+        ):
+            raise ValueError(
+                f"adaptive must be an AdaptiveBudget or None, got "
+                f"{type(self.adaptive).__name__}"
+            )
         if not 0.0 < self.p_cell < 1.0:
             raise ValueError("p_cell must be in (0, 1)")
         if self.samples_per_count <= 0:
@@ -434,7 +653,21 @@ class ExperimentConfig:
         }
         if self.scenario is not None:
             data["scenario"] = self.build_scenario().to_dict()
+        if self.adaptive is not None:
+            # Adaptive budgets key the cache with their full parameter set:
+            # a fixed-mode checkpoint must never resume an adaptive sweep
+            # (or vice versa), and two different CI targets must not alias.
+            data["adaptive"] = self.adaptive.to_dict()
         return data
+
+    def max_adaptive_samples(self) -> int:
+        """Total die cap of the adaptive budget (the equivalent fixed budget
+        when the budget leaves ``max_total_samples`` unset)."""
+        if self.adaptive is None:
+            raise ValueError("config has no adaptive budget")
+        if self.adaptive.max_total_samples is not None:
+            return self.adaptive.max_total_samples
+        return len(self.evaluated_counts()) * self.samples_per_count
 
 
 # --------------------------------------------------------------------------- #
@@ -451,14 +684,94 @@ _WORKER_CONTEXT: Optional[Dict[str, object]] = None
 _REJECTION_MAX_ATTEMPTS = 1000
 
 
+@dataclass
+class _SharedBenchmark:
+    """Picklable stand-in for a :class:`BenchmarkDefinition` whose data
+    arrays live in shared memory (workers rebuild the real object once)."""
+
+    name: str
+    metric_name: str
+    evaluate: object
+    arrays: Dict[str, SharedNdarray]
+
+    def materialize(self) -> BenchmarkDefinition:
+        return BenchmarkDefinition(
+            name=self.name,
+            metric_name=self.metric_name,
+            train_features=self.arrays["train_features"].asarray(),
+            train_targets=self.arrays["train_targets"].asarray(),
+            test_features=self.arrays["test_features"].asarray(),
+            test_targets=self.arrays["test_targets"].asarray(),
+            evaluate=self.evaluate,
+        )
+
+
+def _share_context(
+    context: Dict[str, object],
+) -> Tuple[Dict[str, object], List[SharedNdarray]]:
+    """Move the context's big arrays into shared-memory blocks.
+
+    Returns the picklable context (array fields replaced by
+    :class:`SharedNdarray` handles) plus the blocks the caller must
+    ``unlink`` once the worker pool is done.  Workers attach each block at
+    most once per process, so shard fan-out no longer scales the training
+    set's memory footprint with the worker count.
+    """
+    shared = dict(context)
+    blocks: List[SharedNdarray] = []
+    raw_features = context.get("raw_features")
+    if isinstance(raw_features, np.ndarray):
+        handle = SharedNdarray.create(raw_features)
+        blocks.append(handle)
+        shared["raw_features"] = handle
+    benchmark = context.get("benchmark")
+    if isinstance(benchmark, BenchmarkDefinition):
+        arrays: Dict[str, SharedNdarray] = {}
+        for field_name in (
+            "train_features",
+            "train_targets",
+            "test_features",
+            "test_targets",
+        ):
+            handle = SharedNdarray.create(
+                np.asarray(getattr(benchmark, field_name))
+            )
+            blocks.append(handle)
+            arrays[field_name] = handle
+        shared["benchmark"] = _SharedBenchmark(
+            name=benchmark.name,
+            metric_name=benchmark.metric_name,
+            evaluate=benchmark.evaluate,
+            arrays=arrays,
+        )
+    return shared, blocks
+
+
+def _materialize_context(context: Dict[str, object]) -> Dict[str, object]:
+    """Resolve shared-memory handles back into arrays (worker side)."""
+    context = dict(context)
+    raw_features = context.get("raw_features")
+    if isinstance(raw_features, SharedNdarray):
+        context["raw_features"] = raw_features.asarray()
+    benchmark = context.get("benchmark")
+    if isinstance(benchmark, _SharedBenchmark):
+        context["benchmark"] = benchmark.materialize()
+    return context
+
+
 def _init_worker(context: Dict[str, object]) -> None:
     global _WORKER_CONTEXT
-    _WORKER_CONTEXT = context
+    _WORKER_CONTEXT = _materialize_context(context)
 
 
 def _pool_evaluate_shard(entries: List[_DieEntry]) -> List[Tuple[int, List[float]]]:
     assert _WORKER_CONTEXT is not None, "worker used before initialisation"
     return _evaluate_shard(entries, _WORKER_CONTEXT)
+
+
+def _pool_summarize_shard(entries: List["_AdaptiveEntry"]):
+    assert _WORKER_CONTEXT is not None, "worker used before initialisation"
+    return _summarize_shard(entries, _WORKER_CONTEXT)
 
 
 def _die_fault_map(
@@ -517,13 +830,93 @@ def _evaluate_shard(
     return results
 
 
+# Adaptive dies travel as (count_index, sample_index, failure_count); the
+# sample index is the die's position within its stratum across all rounds.
+_AdaptiveEntry = Tuple[int, int, int]
+
+# One (scheme, stratum) cell of a shard summary.
+_ShardSummary = List[Tuple[Tuple[int, int], StreamingMoments, FixedGridEcdfSketch]]
+
+
+def _adaptive_die_fault_map(
+    context: Mapping[str, object],
+    count_index: int,
+    sample_index: int,
+    failure_count: int,
+) -> FaultMap:
+    """Draw an adaptive die from its own seed-sequence child.
+
+    Adaptive dies are keyed by ``spawn_key=(count_index, sample_index)``
+    rather than a flat die index: the key depends only on the die's position
+    within its stratum, never on the allocation path that scheduled it, so
+    resumed and re-allocated sweeps draw identical dies.
+    """
+    child = np.random.SeedSequence(
+        context["master_seed"], spawn_key=(count_index, sample_index)
+    )
+    rng = np.random.default_rng(child)
+    max_per_word = 1 if context["discard_multi_fault_words"] else None
+    scenario: FaultScenario = context["scenario"]
+    return scenario.sample_die(
+        context["organization"],
+        failure_count,
+        rng,
+        max_faults_per_word=max_per_word,
+        max_rounds=_REJECTION_MAX_ATTEMPTS,
+    )
+
+
+def _summarize_shard(
+    entries: List[_AdaptiveEntry], context: Mapping[str, object]
+) -> _ShardSummary:
+    """Evaluate one adaptive shard and reduce it to streaming summaries.
+
+    The returned payload is O(bins): one indicator-moments accumulator and
+    one fixed-grid ECDF sketch per (scheme, stratum) touched by the shard,
+    regardless of how many dies the shard evaluated.  Dies are evaluated in
+    entry order and folded value-by-value, so the summary is a deterministic
+    function of the entry list alone.
+    """
+    adaptive: Mapping[str, object] = context["adaptive"]
+    threshold = float(adaptive["threshold"])
+    larger_is_better = adaptive["direction"] == "ge"
+    edges = adaptive["edges"]
+    cells: Dict[Tuple[int, int], Tuple[StreamingMoments, FixedGridEcdfSketch]] = {}
+    for count_index, sample_index, failure_count in entries:
+        fault_map = _adaptive_die_fault_map(
+            context, count_index, sample_index, failure_count
+        )
+        scores = _evaluate_die(context, fault_map)
+        for scheme_index, score in enumerate(scores):
+            key = (scheme_index, count_index)
+            cell = cells.get(key)
+            if cell is None:
+                cell = (StreamingMoments(), FixedGridEcdfSketch(edges))
+                cells[key] = cell
+            moments, sketch = cell
+            passed = score >= threshold if larger_is_better else score <= threshold
+            moments.update_batch([1.0 if passed else 0.0])
+            sketch.update_batch([score])
+    return [
+        (key, cells[key][0], cells[key][1]) for key in sorted(cells)
+    ]
+
+
 # --------------------------------------------------------------------------- #
 # Checkpointing
 # --------------------------------------------------------------------------- #
-def _load_checkpoint(path: str, config_hash: str) -> Dict[int, List[float]]:
-    """Load completed per-die results from ``path`` (empty if absent)."""
+def _read_checkpoint_payload(
+    path: str, config_hash: str, mode: str
+) -> Optional[Dict[str, object]]:
+    """Read and validate a checkpoint file (``None`` if absent).
+
+    ``mode`` distinguishes fixed per-die caches from adaptive round-state
+    caches.  The hash check already separates the two (adaptive parameters
+    key the hash), so the mode check only fires on hand-edited files -- but
+    it fires loudly rather than mis-parsing them.
+    """
     if not os.path.exists(path):
-        return {}
+        return None
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
     if data.get("version") != _CHECKPOINT_VERSION:
@@ -536,18 +929,16 @@ def _load_checkpoint(path: str, config_hash: str) -> Dict[int, List[float]]:
             f"configuration (hash {data.get('config_hash')!r}, expected "
             f"{config_hash!r}); delete it or point --checkpoint elsewhere"
         )
-    return {int(k): [float(v) for v in vs] for k, vs in data["dies"].items()}
+    if data.get("mode", "fixed") != mode:
+        raise ValueError(
+            f"checkpoint {path!r} holds {data.get('mode', 'fixed')!r}-budget "
+            f"state, expected {mode!r}"
+        )
+    return data
 
 
-def _save_checkpoint(
-    path: str, config_hash: str, dies: Mapping[int, Sequence[float]]
-) -> None:
-    """Atomically write the per-die results cache (temp file + rename)."""
-    payload = {
-        "version": _CHECKPOINT_VERSION,
-        "config_hash": config_hash,
-        "dies": {str(k): list(v) for k, v in sorted(dies.items())},
-    }
+def _write_checkpoint_payload(path: str, payload: Mapping[str, object]) -> None:
+    """Atomically write a checkpoint (temp file + rename)."""
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
@@ -559,6 +950,109 @@ def _save_checkpoint(
         if os.path.exists(temp_path):
             os.unlink(temp_path)
         raise
+
+
+def _load_checkpoint(path: str, config_hash: str) -> Dict[int, List[float]]:
+    """Load completed per-die results from ``path`` (empty if absent)."""
+    data = _read_checkpoint_payload(path, config_hash, "fixed")
+    if data is None:
+        return {}
+    return {int(k): [float(v) for v in vs] for k, vs in data["dies"].items()}
+
+
+def _save_checkpoint(
+    path: str, config_hash: str, dies: Mapping[int, Sequence[float]]
+) -> None:
+    """Atomically write the per-die results cache."""
+    _write_checkpoint_payload(
+        path,
+        {
+            "version": _CHECKPOINT_VERSION,
+            "config_hash": config_hash,
+            "dies": {str(k): list(v) for k, v in sorted(dies.items())},
+        },
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Shard dispatch (shared by the fixed and adaptive paths)
+# --------------------------------------------------------------------------- #
+class _ShardDispatcher:
+    """Owns the optional process pool and shared-memory blocks of one sweep.
+
+    ``workers == 1`` evaluates inline (fully debuggable, no copies at all).
+    With more workers, the context's large arrays move into shared memory
+    once (:func:`_share_context`) and a :class:`ProcessPoolExecutor` is kept
+    alive for the dispatcher's lifetime -- the adaptive controller submits
+    many rounds of shards to the same pool.  :meth:`close` must run (the
+    engine uses ``try/finally``) so the shared blocks are unlinked.
+    """
+
+    def __init__(self, context: Dict[str, object], workers: int) -> None:
+        self._context = context
+        self._blocks: List[SharedNdarray] = []
+        self._pool: Optional[ProcessPoolExecutor] = None
+        if workers > 1:
+            shared, self._blocks = _share_context(context)
+            self._pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_init_worker,
+                initargs=(shared,),
+            )
+
+    def evaluate_unordered(self, shards, absorb) -> None:
+        """Fixed path: feed each shard's per-die results to ``absorb`` as
+        they complete (result identity is die-keyed, so order is free)."""
+        if self._pool is None:
+            for shard in shards:
+                absorb(_evaluate_shard(shard, self._context))
+            return
+        futures = [
+            self._pool.submit(_pool_evaluate_shard, shard) for shard in shards
+        ]
+        for future in as_completed(futures):
+            absorb(future.result())
+
+    def summarize_ordered(self, shards) -> List[_ShardSummary]:
+        """Adaptive path: one O(bins) summary per shard, *in shard order*.
+
+        Arrival order is discarded on purpose: the caller folds summaries in
+        shard-index order, which is what makes the floating-point merge
+        canonical for any worker count.
+        """
+        if self._pool is None:
+            return [_summarize_shard(shard, self._context) for shard in shards]
+        futures = [
+            self._pool.submit(_pool_summarize_shard, shard) for shard in shards
+        ]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared-memory blocks."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+        for block in self._blocks:
+            block.unlink()
+        self._blocks = []
+
+
+def _summary_payload_scalars(summary: _ShardSummary) -> int:
+    """Scalar count of one shard's summary payload (the O(bins) witness)."""
+    total = 0
+    for _key, _moments, sketch in summary:
+        total += 5 + sketch.payload_scalars()
+    return total
+
+
+@dataclass
+class _AdaptiveOutcome:
+    """Merged state of one finished adaptive sweep (pre-assembly)."""
+
+    trackers: List[StratumVarianceTracker]
+    sketches: Dict[Tuple[int, int], FixedGridEcdfSketch]
+    samples_done: Dict[int, int]
+    report: AdaptiveBudgetReport
 
 
 # --------------------------------------------------------------------------- #
@@ -584,6 +1078,7 @@ class SweepEngine:
         schemes: Optional[Sequence[ProtectionScheme]] = None,
     ) -> None:
         self._config = config
+        self._last_adaptive_report: Optional[AdaptiveBudgetReport] = None
         # Built once: the same (picklable) pipeline object ships to every
         # worker, and building validates the scenario spec eagerly.
         self._scenario = config.build_scenario()
@@ -614,6 +1109,12 @@ class SweepEngine:
     def scenario(self) -> FaultScenario:
         """The fault-scenario pipeline every seeded die is drawn through."""
         return self._scenario
+
+    @property
+    def last_adaptive_report(self) -> Optional[AdaptiveBudgetReport]:
+        """Outcome of the most recent adaptive sweep run on this engine
+        (``None`` before any adaptive run)."""
+        return self._last_adaptive_report
 
     # ------------------------------------------------------------------ #
     # Planning
@@ -753,6 +1254,22 @@ class SweepEngine:
             "master_seed": config.master_seed,
             "scenario": self._scenario,
         }
+        if config.adaptive is not None:
+            self._check_adaptive_call(fault_maps, shard_size, shard_order)
+            config_hash = ""
+            if checkpoint is not None:
+                config_hash = self.config_hash(benchmark, None, fixed_point)
+            outcome = self._run_adaptive(
+                context,
+                zero_mass_value=1.0,
+                include_zero_mass=True,
+                workers=workers,
+                checkpoint=checkpoint,
+                config_hash=config_hash,
+            )
+            return self._merge_quality_adaptive(
+                benchmark, clean_quality, outcome
+            )
         config_hash = ""
         if checkpoint is not None:
             config_hash = self.config_hash(benchmark, fault_maps, fixed_point)
@@ -796,6 +1313,27 @@ class SweepEngine:
             "master_seed": config.master_seed,
             "scenario": self._scenario,
         }
+        if config.adaptive is not None:
+            self._check_adaptive_call(fault_maps, shard_size, shard_order)
+            config_hash = ""
+            if checkpoint is not None:
+                config_hash = self.config_hash(
+                    None,
+                    None,
+                    extra={
+                        "evaluation": "mse",
+                        "include_fault_free": include_fault_free,
+                    },
+                )
+            outcome = self._run_adaptive(
+                context,
+                zero_mass_value=0.0,
+                include_zero_mass=include_fault_free,
+                workers=workers,
+                checkpoint=checkpoint,
+                config_hash=config_hash,
+            )
+            return self._merge_mse_adaptive(outcome, include_fault_free)
         config_hash = ""
         if checkpoint is not None:
             config_hash = self.config_hash(
@@ -869,21 +1407,319 @@ class SweepEngine:
             if checkpoint is not None:
                 _save_checkpoint(checkpoint, config_hash, die_results)
 
-        if workers == 1 or len(shards) <= 1:
-            for shard in shards:
-                _absorb(_evaluate_shard(shard, context))
-        else:
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(shards)),
-                initializer=_init_worker,
-                initargs=(context,),
-            ) as pool:
-                futures = [
-                    pool.submit(_pool_evaluate_shard, shard) for shard in shards
-                ]
-                for future in as_completed(futures):
-                    _absorb(future.result())
+        effective_workers = 1 if len(shards) <= 1 else min(workers, len(shards))
+        dispatcher = _ShardDispatcher(context, effective_workers)
+        try:
+            dispatcher.evaluate_unordered(shards, _absorb)
+        finally:
+            dispatcher.close()
         return die_results
+
+    # ------------------------------------------------------------------ #
+    # Adaptive budget controller
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _check_adaptive_call(fault_maps, shard_size, shard_order) -> None:
+        """Reject fixed-mode-only arguments on adaptive sweeps, loudly."""
+        if fault_maps is not None:
+            raise ValueError(
+                "adaptive budgets draw each die from its own seed-sequence "
+                "child; pre-drawn fault_maps require the fixed budget"
+            )
+        if shard_size is not None or shard_order is not None:
+            raise ValueError(
+                "shard_size/shard_order do not apply to adaptive sweeps "
+                "(the controller shards each round at a fixed width)"
+            )
+
+    def _run_adaptive(
+        self,
+        context: Dict[str, object],
+        *,
+        zero_mass_value: float,
+        include_zero_mass: bool,
+        workers: int,
+        checkpoint: Optional[str],
+        config_hash: str,
+    ) -> "_AdaptiveOutcome":
+        """Round-based confidence-driven sweep (the adaptive execution core).
+
+        Each round fans a batch of dies out as fixed-width shards whose
+        workers return O(bins) streaming summaries; the parent folds them in
+        shard order, re-estimates every scheme's yield-at-threshold CI, and
+        either stops or Neyman-allocates the next round by the observed
+        per-stratum standard deviations.  State is checkpointed after every
+        round when a cache path is given.
+        """
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        config = self._config
+        adaptive = config.adaptive
+        if config.master_seed is None:
+            raise ValueError("adaptive sweeps require a master_seed")
+        evaluation = str(context["evaluation"])
+        threshold = adaptive.resolved_threshold(evaluation)
+        direction = "ge" if evaluation == "quality" else "le"
+        edges = _adaptive_sketch_edges(evaluation, adaptive.sketch_bins)
+        counts = config.evaluated_counts()
+        probabilities = config.count_probabilities()
+        weights = {ci: probabilities[count] for ci, count in enumerate(counts)}
+        max_total = config.max_adaptive_samples()
+        if max_total < 2 * len(counts):
+            raise ValueError(
+                f"the adaptive die cap ({max_total}) cannot seed all "
+                f"{len(counts)} failure counts with the minimum 2 dies each; "
+                f"raise max_total_samples or samples_per_count"
+            )
+        initial = min(
+            adaptive.initial_samples_per_count, max_total // len(counts)
+        )
+        if include_zero_mass:
+            zero_ok = (
+                zero_mass_value >= threshold
+                if direction == "ge"
+                else zero_mass_value <= threshold
+            )
+            baseline = config.zero_fault_probability if zero_ok else 0.0
+        else:
+            baseline = 0.0
+
+        n_schemes = len(self._schemes)
+        trackers = [StratumVarianceTracker(weights) for _ in range(n_schemes)]
+        sketches = {
+            (si, ci): FixedGridEcdfSketch(edges)
+            for si in range(n_schemes)
+            for ci in range(len(counts))
+        }
+        samples_done = {ci: 0 for ci in range(len(counts))}
+        rounds_done = 0
+        max_payload = 0
+
+        if checkpoint is not None:
+            saved = _read_checkpoint_payload(checkpoint, config_hash, "adaptive")
+            if saved is not None:
+                rounds_done = int(saved["rounds"])
+                samples_done = {
+                    int(k): int(v)
+                    for k, v in saved["samples_per_count_index"].items()
+                }
+                trackers = [
+                    StratumVarianceTracker.from_dict(data)
+                    for data in saved["trackers"]
+                ]
+                for key, data in saved["sketches"].items():
+                    scheme_index, count_index = (
+                        int(part) for part in key.split(":")
+                    )
+                    sketches[(scheme_index, count_index)] = (
+                        FixedGridEcdfSketch.from_dict(data)
+                    )
+                max_payload = int(saved.get("max_shard_payload_scalars", 0))
+
+        context = dict(context)
+        context["adaptive"] = {
+            "threshold": threshold,
+            "direction": direction,
+            "edges": edges,
+        }
+
+        reached = False
+        dispatcher: Optional[_ShardDispatcher] = None
+        try:
+            while True:
+                total_done = sum(samples_done.values())
+                if total_done:
+                    half_width = max(
+                        tracker.half_width(adaptive.confidence)
+                        for tracker in trackers
+                    )
+                    if half_width <= adaptive.target_ci:
+                        reached = True
+                        break
+                    if total_done >= max_total:
+                        break
+                    budget = min(adaptive.round_dies, max_total - total_done)
+                    allocation = largest_remainder_allocation(
+                        {
+                            ci: sum(
+                                weights[ci] * tracker.strata[ci].std()
+                                for tracker in trackers
+                            )
+                            for ci in weights
+                        },
+                        budget,
+                    )
+                else:
+                    allocation = {ci: initial for ci in weights}
+                entries: List[_AdaptiveEntry] = [
+                    (ci, samples_done[ci] + j, counts[ci])
+                    for ci in sorted(allocation)
+                    for j in range(allocation[ci])
+                ]
+                if not entries:
+                    break
+                shards = [
+                    entries[start:start + _ADAPTIVE_SHARD_DIES]
+                    for start in range(0, len(entries), _ADAPTIVE_SHARD_DIES)
+                ]
+                if dispatcher is None:
+                    dispatcher = _ShardDispatcher(context, workers)
+                # Canonical fold: shard-index order, then sorted cell keys
+                # inside each shard -- never completion order.
+                for summary in dispatcher.summarize_ordered(shards):
+                    max_payload = max(
+                        max_payload, _summary_payload_scalars(summary)
+                    )
+                    for (si, ci), moments, sketch in summary:
+                        trackers[si].strata[ci].merge(moments)
+                        sketches[(si, ci)].merge(sketch)
+                for ci, batch in allocation.items():
+                    samples_done[ci] += batch
+                rounds_done += 1
+                if checkpoint is not None:
+                    _write_checkpoint_payload(
+                        checkpoint,
+                        {
+                            "version": _CHECKPOINT_VERSION,
+                            "config_hash": config_hash,
+                            "mode": "adaptive",
+                            "rounds": rounds_done,
+                            "samples_per_count_index": {
+                                str(ci): samples_done[ci]
+                                for ci in sorted(samples_done)
+                            },
+                            "trackers": [
+                                tracker.to_dict() for tracker in trackers
+                            ],
+                            "sketches": {
+                                f"{si}:{ci}": sketches[(si, ci)].to_dict()
+                                for si, ci in sorted(sketches)
+                                if sketches[(si, ci)].count
+                            },
+                            "max_shard_payload_scalars": max_payload,
+                        },
+                    )
+        finally:
+            if dispatcher is not None:
+                dispatcher.close()
+
+        report = AdaptiveBudgetReport(
+            evaluation=evaluation,
+            threshold=threshold,
+            target_ci=adaptive.target_ci,
+            confidence=adaptive.confidence,
+            reached=reached,
+            rounds=rounds_done,
+            total_dies=sum(samples_done.values()),
+            max_total_dies=max_total,
+            half_widths={
+                scheme.name: trackers[si].half_width(adaptive.confidence)
+                for si, scheme in enumerate(self._schemes)
+            },
+            estimates={
+                scheme.name: trackers[si].estimate(baseline)
+                for si, scheme in enumerate(self._schemes)
+            },
+            samples_per_count={
+                counts[ci]: samples_done[ci] for ci in sorted(samples_done)
+            },
+            stratum_weights={counts[ci]: weights[ci] for ci in sorted(weights)},
+            stratum_stds={
+                scheme.name: {
+                    counts[ci]: trackers[si].strata[ci].std()
+                    for ci in sorted(weights)
+                }
+                for si, scheme in enumerate(self._schemes)
+            },
+            max_shard_payload_scalars=max_payload,
+        )
+        self._last_adaptive_report = report
+        return _AdaptiveOutcome(
+            trackers=trackers,
+            sketches=sketches,
+            samples_done=samples_done,
+            report=report,
+        )
+
+    def _adaptive_scheme_ecdf(
+        self,
+        outcome: "_AdaptiveOutcome",
+        scheme_index: int,
+        zero_mass: Optional[Tuple[float, float]],
+    ) -> WeightedEcdf:
+        """One scheme's CDF from its merged per-stratum sketches (O(bins)).
+
+        Mirrors :meth:`_scheme_groups`: the optional zero-fault point mass
+        first, then strata in count order, each stratum's bin masses scaled
+        to its ``Pr(N = n)`` weight.
+        """
+        from repro.stats import WeightedSampleBuffer
+
+        config = self._config
+        counts = config.evaluated_counts()
+        probabilities = config.count_probabilities()
+        buffer = WeightedSampleBuffer()
+        if zero_mass is not None:
+            buffer.update_batch([zero_mass[0]], [zero_mass[1]])
+        for ci, count in enumerate(counts):
+            sketch = outcome.sketches[(scheme_index, ci)]
+            support, mass = sketch.finalize()
+            if support.size == 0:
+                continue
+            buffer.update_batch(
+                support, probabilities[count] * mass / mass.sum()
+            )
+        return WeightedEcdf(*buffer.finalize())
+
+    def _merge_quality_adaptive(
+        self,
+        benchmark: BenchmarkDefinition,
+        clean_quality: float,
+        outcome: "_AdaptiveOutcome",
+    ) -> Dict[str, QualityDistribution]:
+        """Assemble adaptive quality distributions (sketch-backed ECDFs)."""
+        config = self._config
+        total_dies = sum(outcome.samples_done.values())
+        zero_mass = (1.0, config.zero_fault_probability)
+        results: Dict[str, QualityDistribution] = {}
+        for scheme_index, scheme in enumerate(self._schemes):
+            results[scheme.name] = QualityDistribution(
+                benchmark=benchmark.name,
+                metric_name=benchmark.metric_name,
+                scheme_name=scheme.name,
+                p_cell=config.p_cell,
+                clean_quality=clean_quality,
+                ecdf=self._adaptive_scheme_ecdf(
+                    outcome, scheme_index, zero_mass
+                ),
+                samples=total_dies,
+            )
+        return results
+
+    def _merge_mse_adaptive(
+        self, outcome: "_AdaptiveOutcome", include_fault_free: bool
+    ) -> Dict[str, "MseDistribution"]:
+        """Assemble adaptive MSE distributions (sketch-backed ECDFs)."""
+        from repro.faultmodel.yieldmodel import MseDistribution
+
+        config = self._config
+        total_dies = sum(outcome.samples_done.values())
+        zero_mass = (
+            (0.0, config.zero_fault_probability) if include_fault_free else None
+        )
+        results: Dict[str, MseDistribution] = {}
+        for scheme_index, scheme in enumerate(self._schemes):
+            results[scheme.name] = MseDistribution(
+                scheme_name=scheme.name,
+                p_cell=config.p_cell,
+                ecdf=self._adaptive_scheme_ecdf(
+                    outcome, scheme_index, zero_mass
+                ),
+                zero_fault_probability=config.zero_fault_probability,
+                max_failures=config.max_failures,
+                samples=total_dies,
+            )
+        return results
 
     # ------------------------------------------------------------------ #
     # Internals

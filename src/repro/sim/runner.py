@@ -17,6 +17,13 @@ distributions for every ``N``.  New code that wants parallel *sampling* as
 well (per-die seed-sequence children, reproducible for any worker count)
 should use :class:`~repro.sim.engine.SweepEngine` with a seeded
 :class:`~repro.sim.engine.ExperimentConfig` directly.
+
+This front end is fixed-budget by construction: its die population is
+pre-drawn from the shared generator before evaluation starts, which is
+exactly what an adaptive (confidence-driven) budget cannot do.  Sweeps that
+want :class:`~repro.sim.engine.AdaptiveBudget` early stopping go through the
+engine's seeded sampling path (``figure5_mse_cdf`` / ``figure7_quality``
+``adaptive=...``, or ``McBudgetSpec(mode="adaptive")`` in a DSE spec).
 """
 
 from __future__ import annotations

@@ -1,0 +1,106 @@
+"""Zero-copy array fan-out via :mod:`multiprocessing.shared_memory`.
+
+The sweep engine ships a worker context containing the benchmark's feature
+matrices and the pre-quantized training codes.  Serialising those arrays into
+every worker costs a pickle of the full payload per process (and, under the
+``spawn`` start method, a pipe copy as well).  :class:`SharedNdarray` places
+an array in one POSIX shared-memory block instead; what travels to a worker
+is a ~100-byte handle, and the worker *attaches* to the block -- once per
+process, cached -- so every shard it evaluates reads the same mapping.
+
+Lifecycle contract: the process that calls :meth:`SharedNdarray.create` owns
+the block and must call :meth:`unlink` when the consumers are done (the
+engine does so after its process pool has shut down).  Workers only ever
+attach and read; the attached views are marked read-only so a buggy scheme
+cannot corrupt the training data another worker is reading.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import shared_memory
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = ["SharedNdarray"]
+
+# Per-process cache of attached blocks: attaching is a syscall + mmap, and a
+# worker evaluates many shards against the same handful of arrays.
+_ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+
+class SharedNdarray:
+    """Picklable handle to a read-only ndarray living in shared memory."""
+
+    __slots__ = ("name", "shape", "dtype_str", "_owned")
+
+    def __init__(self, name: str, shape: Tuple[int, ...], dtype_str: str) -> None:
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype_str = dtype_str
+        self._owned: shared_memory.SharedMemory | None = None
+
+    def __getstate__(self):
+        # The owning SharedMemory object stays with the creator; only the
+        # handle travels.
+        return (self.name, self.shape, self.dtype_str)
+
+    def __setstate__(self, state) -> None:
+        self.name, self.shape, self.dtype_str = state
+        self._owned = None
+
+    # ------------------------------------------------------------------ #
+    # Creation (parent side)
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def create(cls, array: np.ndarray) -> "SharedNdarray":
+        """Copy ``array`` into a fresh shared-memory block and return its handle."""
+        array = np.ascontiguousarray(array)
+        block = shared_memory.SharedMemory(
+            create=True, size=max(array.nbytes, 1)
+        )
+        view = np.ndarray(array.shape, dtype=array.dtype, buffer=block.buf)
+        view[...] = array
+        handle = cls(block.name, array.shape, array.dtype.str)
+        handle._owned = block
+        return handle
+
+    def unlink(self) -> None:
+        """Release the block (creator only; safe to call twice)."""
+        if self._owned is not None:
+            self._owned.close()
+            try:
+                self._owned.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._owned = None
+
+    # ------------------------------------------------------------------ #
+    # Attachment (worker side)
+    # ------------------------------------------------------------------ #
+    def asarray(self) -> np.ndarray:
+        """The shared array, attached at most once per process (read-only view)."""
+        if self._owned is not None:
+            block = self._owned
+            cached = None
+        else:
+            cached = _ATTACHED.get(self.name)
+            if cached is None:
+                block = shared_memory.SharedMemory(name=self.name)
+            else:
+                block = cached[0]
+        if cached is not None:
+            return cached[1]
+        view = np.ndarray(
+            self.shape, dtype=np.dtype(self.dtype_str), buffer=block.buf
+        )
+        view.flags.writeable = False
+        if self._owned is None:
+            _ATTACHED[self.name] = (block, view)
+        return view
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedNdarray(name={self.name!r}, shape={self.shape}, "
+            f"dtype={self.dtype_str!r})"
+        )

@@ -1,0 +1,187 @@
+"""Fixed-grid mergeable ECDF / quantile sketch.
+
+:class:`FixedGridEcdfSketch` histograms weighted observations onto a fixed,
+shared bin grid.  Because every shard of a sweep uses the *same* grid, merging
+is exact bin-wise addition -- the sketch of the whole population equals the
+merge of the shards' sketches regardless of how the dies were partitioned --
+and the payload is O(bins) no matter how many dies a shard evaluated.
+
+Bins are right-closed: bin ``i`` (``1 <= i <= B``) holds values in
+``(edges[i-1], edges[i]]``, bin ``0`` holds values ``<= edges[0]``, and the
+overflow bin holds values ``> edges[-1]``.  The CDF is therefore *exact at
+every grid edge*; between edges it is a conservative step function.  Exact
+minimum and maximum are tracked so the support of the finalised distribution
+is honest at both tails.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, Mapping, Tuple
+
+import numpy as np
+
+from repro.stats.base import as_float_array
+
+__all__ = ["FixedGridEcdfSketch"]
+
+
+class FixedGridEcdfSketch:
+    """Weighted ECDF sketch over a fixed bin grid (mergeable, O(bins))."""
+
+    __slots__ = ("edges", "counts", "count", "minimum", "maximum")
+
+    def __init__(self, edges: Any) -> None:
+        edges = as_float_array(edges)
+        if edges.size < 2:
+            raise ValueError("a sketch grid needs at least two edges")
+        if np.any(np.diff(edges) <= 0):
+            raise ValueError("sketch edges must be strictly increasing")
+        self.edges = edges
+        self.counts = np.zeros(edges.size + 1, dtype=np.float64)
+        self.count = 0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    # ------------------------------------------------------------------ #
+    # Grid factories
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def linear(cls, low: float, high: float, bins: int) -> "FixedGridEcdfSketch":
+        """Uniform grid of ``bins`` right-closed bins over ``[low, high]``."""
+        if bins < 1:
+            raise ValueError("bins must be positive")
+        return cls(np.linspace(low, high, bins + 1))
+
+    @classmethod
+    def log10(cls, low: float, high: float, bins: int) -> "FixedGridEcdfSketch":
+        """Log-spaced grid (decades) -- the natural grid for MSE magnitudes."""
+        if low <= 0 or high <= low:
+            raise ValueError("log grid needs 0 < low < high")
+        if bins < 1:
+            raise ValueError("bins must be positive")
+        return cls(np.logspace(math.log10(low), math.log10(high), bins + 1))
+
+    # ------------------------------------------------------------------ #
+    # StreamingSummary protocol
+    # ------------------------------------------------------------------ #
+    def update_batch(self, values: Any, weights: Any = None) -> None:
+        """Absorb observations; ``weights`` is a scalar or per-value array
+        (default: unit weight per observation)."""
+        values = as_float_array(values)
+        if values.size == 0:
+            return
+        indices = np.searchsorted(self.edges, values, side="left")
+        if weights is None:
+            np.add.at(self.counts, indices, 1.0)
+        else:
+            weights = np.broadcast_to(
+                np.asarray(weights, dtype=np.float64), values.shape
+            )
+            np.add.at(self.counts, indices, weights)
+        self.count += int(values.size)
+        self.minimum = min(self.minimum, float(values.min()))
+        self.maximum = max(self.maximum, float(values.max()))
+
+    def merge(self, other: "FixedGridEcdfSketch") -> None:
+        """Exact bin-wise addition; grids must match exactly."""
+        if not np.array_equal(self.edges, other.edges):
+            raise ValueError("cannot merge sketches with different grids")
+        self.counts += other.counts
+        self.count += other.count
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def finalize(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(support, weights)`` of the sketched distribution.
+
+        Occupied bins are reported at their upper edge -- except the
+        underflow bin, reported at the exact observed minimum, and the
+        overflow bin, reported at the exact observed maximum -- so the
+        support never extends beyond the data.  Weights are the raw bin
+        masses (not normalised).
+        """
+        support = np.concatenate(
+            (
+                [self.minimum if self.count else self.edges[0]],
+                self.edges[1:],
+                [self.maximum if self.count else self.edges[-1]],
+            )
+        )
+        occupied = self.counts > 0
+        return support[occupied], self.counts[occupied]
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def total_weight(self) -> float:
+        """Sum of all absorbed weights."""
+        return float(self.counts.sum())
+
+    def probability_at_most(self, threshold: float) -> float:
+        """``P(X <= threshold)`` -- exact when ``threshold`` is a grid edge,
+        otherwise the mass of all bins entirely at or below it (a lower
+        bound)."""
+        total = self.total_weight
+        if total <= 0:
+            return 0.0
+        idx = int(np.searchsorted(self.edges, threshold, side="right"))
+        return float(self.counts[:idx].sum()) / total
+
+    def quantile(self, q: float) -> float:
+        """Smallest support point whose cumulative mass reaches ``q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile level must be in [0, 1], got {q}")
+        support, weights = self.finalize()
+        if support.size == 0:
+            raise ValueError("cannot take the quantile of an empty sketch")
+        cumulative = np.cumsum(weights) / weights.sum()
+        idx = min(
+            int(np.searchsorted(cumulative, q, side="left")), support.size - 1
+        )
+        return float(support[idx])
+
+    def payload_scalars(self) -> int:
+        """Number of scalars this sketch ships when pickled (O(bins))."""
+        return int(self.edges.size + self.counts.size) + 3
+
+    # ------------------------------------------------------------------ #
+    # Serialisation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """Exact JSON-safe state; bins stored sparsely (index, mass)."""
+        occupied = np.flatnonzero(self.counts)
+        return {
+            "edges": self.edges.tolist(),
+            "bins": {int(i): float(self.counts[i]) for i in occupied},
+            "count": self.count,
+            "min": None if math.isinf(self.minimum) else self.minimum,
+            "max": None if math.isinf(self.maximum) else self.maximum,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FixedGridEcdfSketch":
+        """Rebuild a sketch saved by :meth:`to_dict`."""
+        sketch = cls(np.asarray(data["edges"], dtype=np.float64))
+        for index, mass in data["bins"].items():
+            sketch.counts[int(index)] = float(mass)
+        sketch.count = int(data["count"])
+        sketch.minimum = math.inf if data["min"] is None else float(data["min"])
+        sketch.maximum = -math.inf if data["max"] is None else float(data["max"])
+        return sketch
+
+    def copy(self) -> "FixedGridEcdfSketch":
+        """Independent deep copy (fresh count arrays)."""
+        other = FixedGridEcdfSketch(self.edges)
+        other.counts = self.counts.copy()
+        other.count = self.count
+        other.minimum = self.minimum
+        other.maximum = self.maximum
+        return other
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FixedGridEcdfSketch(bins={self.edges.size - 1}, "
+            f"count={self.count}, total_weight={self.total_weight!r})"
+        )

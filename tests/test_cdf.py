@@ -76,6 +76,40 @@ class TestEvaluation:
         with pytest.raises(ValueError):
             WeightedEcdf([1.0]).quantile(1.5)
 
+    def test_quantile_accepts_arrays(self):
+        ecdf = WeightedEcdf([10.0, 20.0, 30.0, 40.0])
+        out = ecdf.quantile(np.array([0.0, 0.25, 0.26, 1.0]))
+        assert isinstance(out, np.ndarray)
+        assert out.tolist() == [10.0, 10.0, 20.0, 40.0]
+
+    @given(
+        st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=40),
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=1, max_size=16),
+    )
+    def test_vectorized_quantile_matches_scalar_exactly(self, values, levels):
+        # The array path must reproduce the scalar path bit-for-bit, level
+        # by level (including the q=0 and q=1 boundary behaviour).
+        ecdf = WeightedEcdf(values)
+        vectorized = ecdf.quantile(np.asarray(levels))
+        assert vectorized.shape == (len(levels),)
+        for level, value in zip(levels, vectorized):
+            scalar = ecdf.quantile(level)
+            assert isinstance(scalar, float)
+            assert scalar == value
+
+    def test_vectorized_quantile_rejects_any_out_of_range_entry(self):
+        ecdf = WeightedEcdf([1.0, 2.0])
+        with pytest.raises(ValueError):
+            ecdf.quantile(np.array([0.5, 1.5]))
+        with pytest.raises(ValueError):
+            ecdf.quantile(np.array([-0.1, 0.5]))
+
+    def test_vectorized_quantile_preserves_input_shape_values(self):
+        ecdf = WeightedEcdf([5.0, 6.0, 7.0])
+        out = ecdf.quantile(np.array([[0.0, 1.0], [0.5, 0.9]]))
+        assert out.shape == (2, 2)
+        assert out[0, 0] == 5.0 and out[0, 1] == 7.0
+
     def test_curve_is_monotone(self, rng):
         ecdf = WeightedEcdf(rng.normal(size=100))
         x, f = ecdf.curve()

@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro import cli as cli_module
 from repro.cli import build_parser, main
 from repro.dse import (
     BenchmarkGridSpec,
@@ -121,8 +122,12 @@ class TestParallelFlags:
         parser = build_parser()
         args = parser.parse_args(["fig7"])
         assert args.workers == 1
-        assert args.sampling == "legacy"
+        # The parser leaves sampling unset; the command resolves it to the
+        # historical legacy stream unless --adaptive flips it to seeded.
+        assert args.sampling is None
+        assert cli_module._resolve_sampling(args) == "legacy"
         assert args.checkpoint is None
+        assert args.adaptive is False
 
     def test_fig7_stdout_identical_for_worker_counts(self, capsys):
         assert main(self.FIG7_SMOKE + ["--workers", "1"]) == 0
@@ -176,8 +181,10 @@ class TestParallelFlags:
         parser = build_parser()
         args = parser.parse_args(["fig5"])
         assert args.workers == 1
-        assert args.sampling == "legacy"
+        assert args.sampling is None
+        assert cli_module._resolve_sampling(args) == "legacy"
         assert args.checkpoint is None
+        assert args.adaptive is False
 
     def test_fig5_seeded_sampling_identical_for_worker_counts(self, capsys):
         seeded = self.FIG5_SMOKE + ["--sampling", "seeded", "--seed", "9"]
@@ -316,6 +323,89 @@ class TestDseCommands:
         assert "Design-space sweep" in serial
         assert "bit-shuffle-nfm2" in serial
         assert parallel == serial
+
+    @pytest.fixture
+    def adaptive_spec_path(self, tmp_path):
+        spec = ExperimentSpec(
+            geometry=GeometrySpec(rows=128),
+            operating_grid=OperatingGridSpec(vdd_values=(0.70,)),
+            scheme_grid=SchemeGridSpec(specs=("no-protection",)),
+            budget=McBudgetSpec(
+                samples_per_count=12,
+                n_count_points=3,
+                coverage=0.9,
+                master_seed=7,
+                mode="adaptive",
+                target_ci=0.05,
+                max_samples=24,
+            ),
+            benchmarks=BenchmarkGridSpec(names=("knn",), scale=0.2, seed=17),
+        )
+        path = str(tmp_path / "adaptive-spec.json")
+        spec.save(path)
+        return path
+
+    def test_dse_adaptive_flag_keeps_spec_budget_values(
+        self, monkeypatch, adaptive_spec_path
+    ):
+        # Regression: `--adaptive` on an already-adaptive spec must not
+        # silently reset the spec's target_ci/max_samples to the defaults.
+        captured = {}
+
+        class _FakeExplorer:
+            def __init__(self, spec, workers=1, checkpoint_dir=None):
+                captured["spec"] = spec
+
+            def run(self):
+                raise SystemExit(0)
+
+        monkeypatch.setattr(cli_module, "DesignSpaceExplorer", _FakeExplorer)
+        with pytest.raises(SystemExit):
+            main(["dse", "run", "--spec", adaptive_spec_path, "--adaptive"])
+        budget = captured["spec"].budget
+        assert budget.mode == "adaptive"
+        assert budget.target_ci == pytest.approx(0.05)
+        assert budget.max_samples == 24
+
+    def test_dse_target_ci_overrides_adaptive_spec_without_flag(
+        self, monkeypatch, adaptive_spec_path
+    ):
+        # Regression: an adaptive spec section suffices -- --target-ci must
+        # not demand --adaptive on top (the error message promises as much),
+        # and the override must only touch the value the user passed.
+        captured = {}
+
+        class _FakeExplorer:
+            def __init__(self, spec, workers=1, checkpoint_dir=None):
+                captured["spec"] = spec
+
+            def run(self):
+                raise SystemExit(0)
+
+        monkeypatch.setattr(cli_module, "DesignSpaceExplorer", _FakeExplorer)
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "dse",
+                    "run",
+                    "--spec",
+                    adaptive_spec_path,
+                    "--target-ci",
+                    "0.01",
+                ]
+            )
+        budget = captured["spec"].budget
+        assert budget.target_ci == pytest.approx(0.01)
+        assert budget.max_samples == 24  # untouched spec value
+
+    def test_dse_target_ci_still_rejected_for_fixed_spec(self, spec_path):
+        with pytest.raises(SystemExit, match="--adaptive"):
+            main(["dse", "run", "--spec", spec_path, "--target-ci", "0.01"])
+
+    def test_dse_adaptive_run_end_to_end(self, capsys, adaptive_spec_path):
+        assert main(["dse", "run", "--spec", adaptive_spec_path]) == 0
+        out = capsys.readouterr().out
+        assert "Design-space sweep" in out
 
     def test_dse_run_writes_result_table(self, capsys, spec_path, tmp_path):
         output = str(tmp_path / "table.json")

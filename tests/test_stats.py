@@ -1,0 +1,385 @@
+"""Property tests for the streaming-summary algebra (`repro.stats`).
+
+The adaptive sweeps stand on three algebraic claims, checked here across
+moments, sketches, stratum trackers, and the exact buffer:
+
+* ``merge`` is associative and commutative (exactly for the integer state --
+  counts, bin tallies, extrema -- and up to floating-point rounding for the
+  running means/variances);
+* updating in batches, in any partition, equals one-shot construction;
+* ``to_dict`` / ``from_dict`` round-trip the state exactly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quality.cdf import WeightedEcdf
+from repro.stats import (
+    FixedGridEcdfSketch,
+    StratumVarianceTracker,
+    StreamingMoments,
+    StreamingSummary,
+    WeightedSampleBuffer,
+    largest_remainder_allocation,
+    normal_critical_value,
+)
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+value_lists = st.lists(finite_floats, min_size=1, max_size=40)
+
+
+def _moments_from(values) -> StreamingMoments:
+    moments = StreamingMoments()
+    moments.update_batch(values)
+    return moments
+
+
+def _sketch_from(values, edges=None) -> FixedGridEcdfSketch:
+    sketch = FixedGridEcdfSketch(
+        np.linspace(-1e6, 1e6, 65) if edges is None else edges
+    )
+    sketch.update_batch(values)
+    return sketch
+
+
+def _assert_moments_close(a: StreamingMoments, b: StreamingMoments) -> None:
+    assert a.count == b.count
+    assert a.minimum == b.minimum
+    assert a.maximum == b.maximum
+    assert a.mean == pytest.approx(b.mean, rel=1e-9, abs=1e-9)
+    # m2 is a sum of squared deviations; compare on the variance scale.
+    assert a.variance() == pytest.approx(b.variance(), rel=1e-6, abs=1e-6)
+
+
+class TestProtocol:
+    @pytest.mark.parametrize(
+        "summary",
+        [
+            StreamingMoments(),
+            FixedGridEcdfSketch.linear(0.0, 1.0, 8),
+            WeightedSampleBuffer(),
+        ],
+    )
+    def test_summaries_satisfy_protocol(self, summary):
+        assert isinstance(summary, StreamingSummary)
+
+
+class TestStreamingMoments:
+    @given(value_lists, value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutes(self, left, right):
+        ab = _moments_from(left)
+        ab.merge(_moments_from(right))
+        ba = _moments_from(right)
+        ba.merge(_moments_from(left))
+        _assert_moments_close(ab, ba)
+
+    @given(value_lists, value_lists, value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associates(self, a, b, c):
+        left = _moments_from(a)
+        left.merge(_moments_from(b))
+        left.merge(_moments_from(c))
+        bc = _moments_from(b)
+        bc.merge(_moments_from(c))
+        right = _moments_from(a)
+        right.merge(bc)
+        _assert_moments_close(left, right)
+
+    @given(value_lists, st.integers(min_value=1, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_batched_update_equals_one_shot(self, values, n_chunks):
+        one_shot = _moments_from(values)
+        chunked = StreamingMoments()
+        for chunk in np.array_split(np.asarray(values, dtype=np.float64), n_chunks):
+            chunked.update_batch(chunk)
+        _assert_moments_close(one_shot, chunked)
+        reference = np.asarray(values, dtype=np.float64)
+        assert chunked.mean == pytest.approx(reference.mean(), rel=1e-9, abs=1e-9)
+        if reference.size > 1:
+            assert chunked.variance() == pytest.approx(
+                reference.var(ddof=1), rel=1e-6, abs=1e-6
+            )
+
+    def test_merge_with_empty_is_identity(self):
+        moments = _moments_from([1.0, 2.0, 5.0])
+        before = moments.to_dict()
+        moments.merge(StreamingMoments())
+        assert moments.to_dict() == before
+        empty = StreamingMoments()
+        empty.merge(_moments_from([1.0, 2.0, 5.0]))
+        assert empty.to_dict() == before
+
+    def test_constant_stream_has_zero_variance(self):
+        moments = StreamingMoments()
+        for _ in range(5):
+            moments.update_batch([3.25, 3.25])
+        assert moments.variance() == 0.0
+        assert moments.std() == 0.0
+
+    @given(value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_json_round_trip_is_exact(self, values):
+        moments = _moments_from(values)
+        payload = json.loads(json.dumps(moments.to_dict()))
+        restored = StreamingMoments.from_dict(payload)
+        assert restored.to_dict() == moments.to_dict()
+        assert restored.mean == moments.mean
+        assert restored.m2 == moments.m2
+
+    def test_finalize_fields(self):
+        result = _moments_from([2.0, 4.0, 6.0]).finalize()
+        assert result.count == 3
+        assert result.mean == pytest.approx(4.0)
+        assert result.variance == pytest.approx(4.0)
+        assert result.std == pytest.approx(2.0)
+        assert (result.minimum, result.maximum) == (2.0, 6.0)
+
+
+class TestFixedGridEcdfSketch:
+    @given(value_lists, value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_commutes_exactly(self, left, right):
+        ab = _sketch_from(left)
+        ab.merge(_sketch_from(right))
+        ba = _sketch_from(right)
+        ba.merge(_sketch_from(left))
+        # Bin tallies are plain additions of equal terms: exact equality.
+        assert np.array_equal(ab.counts, ba.counts)
+        assert ab.count == ba.count
+        assert (ab.minimum, ab.maximum) == (ba.minimum, ba.maximum)
+
+    @given(value_lists, value_lists, value_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_associates_exactly(self, a, b, c):
+        left = _sketch_from(a)
+        left.merge(_sketch_from(b))
+        left.merge(_sketch_from(c))
+        bc = _sketch_from(b)
+        bc.merge(_sketch_from(c))
+        right = _sketch_from(a)
+        right.merge(bc)
+        assert np.array_equal(left.counts, right.counts)
+        assert left.count == right.count
+
+    @given(value_lists, st.integers(min_value=1, max_value=7))
+    @settings(max_examples=60, deadline=None)
+    def test_batched_update_equals_one_shot(self, values, n_chunks):
+        one_shot = _sketch_from(values)
+        chunked = FixedGridEcdfSketch(np.linspace(-1e6, 1e6, 65))
+        for chunk in np.array_split(np.asarray(values, dtype=np.float64), n_chunks):
+            chunked.update_batch(chunk)
+        assert np.array_equal(one_shot.counts, chunked.counts)
+        assert one_shot.count == chunked.count
+        assert one_shot.minimum == chunked.minimum
+        assert one_shot.maximum == chunked.maximum
+
+    def test_cdf_exact_at_grid_edges(self):
+        sketch = FixedGridEcdfSketch([0.0, 1.0, 2.0, 3.0])
+        values = [0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5]
+        sketch.update_batch(values)
+        reference = np.asarray(values)
+        for edge in (0.0, 1.0, 2.0, 3.0):
+            assert sketch.probability_at_most(edge) == pytest.approx(
+                float(np.mean(reference <= edge))
+            )
+
+    def test_mismatched_grids_refuse_to_merge(self):
+        with pytest.raises(ValueError, match="grids"):
+            FixedGridEcdfSketch.linear(0, 1, 8).merge(
+                FixedGridEcdfSketch.linear(0, 2, 8)
+            )
+
+    def test_support_stays_within_observed_data(self):
+        sketch = FixedGridEcdfSketch.linear(0.0, 10.0, 10)
+        sketch.update_batch([-3.5, 0.2, 9.1, 17.25])
+        support, weights = sketch.finalize()
+        assert support[0] == -3.5  # exact observed minimum (underflow bin)
+        assert support[-1] == 17.25  # exact observed maximum (overflow bin)
+        assert weights.sum() == pytest.approx(4.0)
+
+    def test_quantile_matches_weighted_ecdf_on_grid_values(self):
+        # With every observation on a grid edge, the sketch is lossless and
+        # must agree with the exact WeightedEcdf everywhere.
+        edges = np.linspace(0.0, 1.0, 21)
+        rng = np.random.default_rng(5)
+        values = rng.choice(edges, size=200)
+        sketch = FixedGridEcdfSketch(edges)
+        sketch.update_batch(values)
+        exact = WeightedEcdf(values)
+        for q in (0.0, 0.1, 0.25, 0.5, 0.9, 1.0):
+            assert sketch.quantile(q) == pytest.approx(exact.quantile(q))
+
+    def test_payload_is_o_bins_not_o_samples(self):
+        small = FixedGridEcdfSketch.linear(0.0, 1.0, 64)
+        big = FixedGridEcdfSketch.linear(0.0, 1.0, 64)
+        rng = np.random.default_rng(11)
+        small.update_batch(rng.random(10))
+        big.update_batch(rng.random(100_000))
+        assert big.payload_scalars() == small.payload_scalars()
+
+    @given(value_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_json_round_trip_is_exact(self, values):
+        sketch = _sketch_from(values)
+        payload = json.loads(json.dumps(sketch.to_dict()))
+        restored = FixedGridEcdfSketch.from_dict(payload)
+        assert np.array_equal(restored.counts, sketch.counts)
+        assert restored.count == sketch.count
+        assert (restored.minimum, restored.maximum) == (
+            sketch.minimum,
+            sketch.maximum,
+        )
+
+    def test_log_grid_requires_positive_bounds(self):
+        with pytest.raises(ValueError):
+            FixedGridEcdfSketch.log10(0.0, 1.0, 8)
+
+
+class TestStratumVarianceTracker:
+    WEIGHTS = {1: 0.5, 2: 0.3, 3: 0.2}
+
+    def _tracker_from(self, batches) -> StratumVarianceTracker:
+        tracker = StratumVarianceTracker(self.WEIGHTS)
+        for stratum, values in batches:
+            tracker.update_batch(stratum, values)
+        return tracker
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from([1, 2, 3]), value_lists),
+            min_size=0,
+            max_size=6,
+        ),
+        st.lists(
+            st.tuples(st.sampled_from([1, 2, 3]), value_lists),
+            min_size=0,
+            max_size=6,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_merge_commutes(self, left, right):
+        ab = self._tracker_from(left)
+        ab.merge(self._tracker_from(right))
+        ba = self._tracker_from(right)
+        ba.merge(self._tracker_from(left))
+        for key in self.WEIGHTS:
+            _assert_moments_close(ab.strata[key], ba.strata[key])
+
+    def test_batched_update_equals_one_shot(self):
+        rng = np.random.default_rng(3)
+        values = {k: rng.normal(size=30) for k in self.WEIGHTS}
+        one_shot = StratumVarianceTracker(self.WEIGHTS)
+        chunked = StratumVarianceTracker(self.WEIGHTS)
+        for k, v in values.items():
+            one_shot.update_batch(k, v)
+            for chunk in np.array_split(v, 4):
+                chunked.update_batch(k, chunk)
+        for key in self.WEIGHTS:
+            _assert_moments_close(one_shot.strata[key], chunked.strata[key])
+        assert one_shot.estimate() == pytest.approx(chunked.estimate())
+        assert one_shot.half_width() == pytest.approx(
+            chunked.half_width(), rel=1e-6
+        )
+
+    def test_stratified_estimate_and_half_width(self):
+        tracker = StratumVarianceTracker({1: 0.6, 2: 0.4})
+        tracker.update_batch(1, [1.0, 1.0, 0.0, 0.0])  # mean .5, var 1/3
+        tracker.update_batch(2, [1.0, 1.0, 1.0, 1.0])  # mean 1, var 0
+        assert tracker.estimate() == pytest.approx(0.6 * 0.5 + 0.4 * 1.0)
+        assert tracker.estimate(baseline=0.1) == pytest.approx(
+            0.1 + 0.6 * 0.5 + 0.4 * 1.0
+        )
+        expected_var = 0.6**2 * (1.0 / 3.0) / 4
+        assert tracker.estimate_variance() == pytest.approx(expected_var)
+        z = normal_critical_value(0.95)
+        assert tracker.half_width(0.95) == pytest.approx(
+            z * math.sqrt(expected_var)
+        )
+
+    def test_neyman_allocation_targets_high_variance_strata(self):
+        tracker = StratumVarianceTracker({1: 0.5, 2: 0.5})
+        tracker.update_batch(1, [0.0, 1.0, 0.0, 1.0])  # noisy stratum
+        tracker.update_batch(2, [1.0, 1.0, 1.0, 1.0])  # settled stratum
+        allocation = tracker.neyman_allocation(10)
+        assert allocation == {1: 10, 2: 0}
+
+    def test_allocation_conserves_batch_and_is_deterministic(self):
+        scores = {1: 0.31, 2: 0.17, 3: 0.52}
+        for batch in (0, 1, 7, 64):
+            allocation = largest_remainder_allocation(scores, batch)
+            assert sum(allocation.values()) == batch
+            assert allocation == largest_remainder_allocation(scores, batch)
+
+    def test_all_zero_scores_fall_back_to_uniform(self):
+        assert largest_remainder_allocation({1: 0.0, 2: 0.0}, 4) == {1: 2, 2: 2}
+
+    def test_mismatched_strata_refuse_to_merge(self):
+        with pytest.raises(ValueError, match="strata"):
+            StratumVarianceTracker({1: 1.0}).merge(
+                StratumVarianceTracker({2: 1.0})
+            )
+
+    def test_json_round_trip_is_exact(self):
+        tracker = self._tracker_from([(1, [0.5, 0.25]), (3, [2.0])])
+        payload = json.loads(json.dumps(tracker.to_dict()))
+        restored = StratumVarianceTracker.from_dict(payload)
+        assert restored.to_dict() == tracker.to_dict()
+        assert restored.estimate() == tracker.estimate()
+
+
+class TestWeightedSampleBuffer:
+    def test_finalize_preserves_order_and_weights(self):
+        buffer = WeightedSampleBuffer()
+        buffer.update_batch([3.0, 1.0], 0.5)
+        buffer.update_batch([2.0], [0.25])
+        values, weights = buffer.finalize()
+        assert values.tolist() == [3.0, 1.0, 2.0]
+        assert weights.tolist() == [0.5, 0.5, 0.25]
+
+    def test_merge_appends_in_fold_order(self):
+        a = WeightedSampleBuffer()
+        a.update_batch([1.0], 1.0)
+        b = WeightedSampleBuffer()
+        b.update_batch([2.0], 2.0)
+        a.merge(b)
+        values, weights = a.finalize()
+        assert values.tolist() == [1.0, 2.0]
+        assert weights.tolist() == [1.0, 2.0]
+
+    def test_sharded_groups_fold_to_the_from_groups_cdf(self):
+        # The fixed-budget reduction contract: per-shard buffers folded in
+        # canonical order produce the same ECDF as a one-pass from_groups.
+        rng = np.random.default_rng(7)
+        groups = [(rng.normal(size=8), w) for w in (0.5, 0.3, 0.2)]
+        direct = WeightedEcdf.from_groups(groups)
+        shards = []
+        for samples, probability in groups:
+            shard = WeightedSampleBuffer()
+            shard.update_batch(
+                samples, np.full(len(samples), probability / len(samples))
+            )
+            shards.append(shard)
+        folded = WeightedSampleBuffer()
+        for shard in shards:
+            folded.merge(shard)
+        merged = WeightedEcdf(*folded.finalize())
+        assert np.array_equal(direct.values, merged.values)
+        assert np.array_equal(direct.weights, merged.weights)
+
+    def test_empty_buffer_refuses_to_finalize(self):
+        with pytest.raises(ValueError, match="no samples"):
+            WeightedSampleBuffer().finalize()
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            WeightedSampleBuffer().update_batch([1.0], [-0.5])
