@@ -14,7 +14,7 @@ overhead join input.  The general grid lives behind ``repro-faulty-mem dse``.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -41,6 +41,10 @@ from repro.scenarios.base import ScenarioSpec
 from repro.sim.engine import AdaptiveBudget, AdaptiveBudgetReport, ExperimentConfig
 from repro.sim.experiment import BenchmarkDefinition
 from repro.sim.runner import QualityDistribution
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.sim.engine import SweepRunStats
+    from repro.store.store import ResultStore
 
 __all__ = [
     "figure2_pcell_vs_vdd",
@@ -105,6 +109,8 @@ def figure5_mse_cdf(
     scenario: Optional[ScenarioSpec] = None,
     adaptive: Optional[AdaptiveBudget] = None,
     report_out: Optional[List[AdaptiveBudgetReport]] = None,
+    store: Optional["ResultStore"] = None,
+    stats_out: Optional[List["SweepRunStats"]] = None,
 ) -> Dict[str, MseDistribution]:
     """Fig. 5: CDF of the local MSE for every protection option.
 
@@ -125,7 +131,12 @@ def figure5_mse_cdf(
     population.  ``adaptive`` switches the sweep to the engine's
     confidence-driven budget (requires seeded sampling;
     ``samples_per_count`` then caps the spend instead of fixing it), with
-    the outcome report appended to ``report_out`` when given.
+    the outcome report appended to ``report_out`` when given.  ``store``
+    makes the figure a store-backed view: an exact configuration-hash hit
+    is served from the :class:`~repro.store.ResultStore` bit-identically
+    with zero new die evaluations, and a computed sweep is recorded into
+    it; ``stats_out`` collects the run's
+    :class:`~repro.sim.engine.SweepRunStats` (which path ran, die counts).
     """
     organization = (
         organization if organization is not None else MemoryOrganization.paper_16kb()
@@ -162,6 +173,8 @@ def figure5_mse_cdf(
         workers=workers,
         checkpoint=checkpoint,
         report_out=report_out,
+        store=store,
+        stats_out=stats_out,
     )
 
 
@@ -203,6 +216,8 @@ def figure7_quality(
     scenario: Optional[ScenarioSpec] = None,
     adaptive: Optional[AdaptiveBudget] = None,
     report_out: Optional[List[AdaptiveBudgetReport]] = None,
+    store: Optional["ResultStore"] = None,
+    stats_out: Optional[List["SweepRunStats"]] = None,
 ) -> Dict[str, QualityDistribution]:
     """Fig. 7: CDF of the application quality metric under memory failures.
 
@@ -222,7 +237,8 @@ def figure7_quality(
     ``adaptive`` switches the sweep to the engine's confidence-driven budget
     (requires ``master_seed``; ``samples_per_count`` then caps the spend
     instead of fixing it), with the outcome report appended to
-    ``report_out`` when given.
+    ``report_out`` when given.  ``store`` / ``stats_out`` behave as in
+    :func:`figure5_mse_cdf` (store-backed view with bit-identical hits).
     """
     organization = (
         organization if organization is not None else MemoryOrganization.paper_16kb()
@@ -255,6 +271,8 @@ def figure7_quality(
             workers=workers,
             checkpoint=checkpoint,
             report_out=report_out,
+            store=store,
+            stats_out=stats_out,
         )
     rng = rng if rng is not None else np.random.default_rng(52)
     return evaluate_quality_point(
@@ -266,4 +284,6 @@ def figure7_quality(
         workers=workers,
         checkpoint=checkpoint,
         report_out=report_out,
+        store=store,
+        stats_out=stats_out,
     )

@@ -11,6 +11,9 @@ Usage (after ``pip install -e .``)::
     repro-faulty-mem dse run --spec g.json     # design-space sweep table
     repro-faulty-mem dse pareto --spec g.json  # energy/quality frontier
     repro-faulty-mem dse report --spec g.json  # iso-quality summary
+    repro-faulty-mem store query --store results/   # inspect a result store
+    repro-faulty-mem store gc --store results/      # compact it
+    repro-faulty-mem store export --store results/ --output r.jsonl
 
 Every command prints a plain-text table to stdout; the benchmark harness under
 ``benchmarks/`` reuses the same analysis functions.  The two Monte-Carlo sweep
@@ -25,6 +28,11 @@ Monte-Carlo budget: stop sampling once the yield estimate's confidence
 half-width reaches the target, instead of burning the full fixed budget).
 Adaptive runs append one ``adaptive budget:`` summary line after the table;
 fixed-budget output is byte-identical to earlier releases.
+
+The sweep commands also share ``--store`` (persistent result store: warm
+re-runs are served from disk bit-identically with zero new die evaluations;
+``store:`` status lines go to stderr so stdout never changes), and the
+``store`` command group inspects and maintains such a store.
 """
 
 from __future__ import annotations
@@ -81,13 +89,32 @@ def _parse_scenario(text: str) -> ScenarioSpec:
     if not parts:
         raise argparse.ArgumentTypeError("scenario name must not be empty")
     name, params = parts[0], []
+    if "=" in name:
+        raise argparse.ArgumentTypeError(
+            f"scenario name {name!r} must not contain '='; parameters follow "
+            f"the name after a comma (e.g. 'aged,years=5')"
+        )
     for part in parts[1:]:
-        if "=" not in part:
+        key, separator, value = part.partition("=")
+        key, value = key.strip(), value.strip()
+        if not separator:
             raise argparse.ArgumentTypeError(
                 f"scenario parameter {part!r} must have the form key=value"
             )
-        key, value = part.split("=", 1)
-        params.append((key.strip(), _scenario_param_value(value.strip())))
+        if not key:
+            raise argparse.ArgumentTypeError(
+                f"scenario parameter {part!r} is missing a key before '='"
+            )
+        if "=" in value:
+            raise argparse.ArgumentTypeError(
+                f"scenario parameter {part!r} has more than one '='; "
+                f"values must not contain '='"
+            )
+        if not value:
+            raise argparse.ArgumentTypeError(
+                f"scenario parameter {part!r} is missing a value after '='"
+            )
+        params.append((key, _scenario_param_value(value)))
     try:
         spec = ScenarioSpec(name=name, params=tuple(params))
         spec.build()
@@ -170,6 +197,46 @@ def _add_sweep_options(
         help="total die cap of the adaptive budget (default: the "
         "equivalent fixed budget; requires --adaptive)",
     )
+    parser.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent result store directory (created if missing): "
+        "sweeps whose full configuration hash is already stored are served "
+        "from it bit-identically with zero new die evaluations, and "
+        "computed sweeps are recorded into it; status lines go to stderr, "
+        "so stdout stays byte-identical with and without a warm store",
+    )
+
+
+def _open_store(args: argparse.Namespace):
+    """The ResultStore named by ``--store`` (``None`` when not given)."""
+    if getattr(args, "store", None) is None:
+        return None
+    from repro.store import ResultStore
+
+    return ResultStore(args.store)
+
+
+def _print_store_events(store) -> None:
+    """One stderr status line per store interaction of this command.
+
+    stderr, not stdout: the table a warm re-run prints must stay
+    byte-identical to the cold run's.
+    """
+    for event in store.session_events:
+        key = event["key"][:16]
+        if event["type"] == "put":
+            evaluated = event["meta"].get("evaluated_dies", "?")
+            print(
+                f"store: recorded {key} ({evaluated} dies evaluated)",
+                file=sys.stderr,
+            )
+        elif event["type"] == "hit":
+            print(
+                f"store: served {key} from cache (0 dies evaluated)",
+                file=sys.stderr,
+            )
 
 
 def _resolve_adaptive(args: argparse.Namespace) -> Optional[AdaptiveBudget]:
@@ -257,18 +324,25 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     sampling = _resolve_sampling(args)
     adaptive = _resolve_adaptive(args)
     reports: List[AdaptiveBudgetReport] = []
-    results = figure5_mse_cdf(
-        p_cell=args.p_cell,
-        samples_per_count=args.samples,
-        rng=np.random.default_rng(args.seed),
-        workers=args.workers,
-        sampling=sampling,
-        master_seed=args.seed if sampling == "seeded" else None,
-        checkpoint=args.checkpoint,
-        scenario=args.scenario,
-        adaptive=adaptive,
-        report_out=reports,
-    )
+    store = _open_store(args)
+    try:
+        results = figure5_mse_cdf(
+            p_cell=args.p_cell,
+            samples_per_count=args.samples,
+            rng=np.random.default_rng(args.seed),
+            workers=args.workers,
+            sampling=sampling,
+            master_seed=args.seed if sampling == "seeded" else None,
+            checkpoint=args.checkpoint,
+            scenario=args.scenario,
+            adaptive=adaptive,
+            report_out=reports,
+            store=store,
+        )
+    finally:
+        if store is not None:
+            _print_store_events(store)
+            store.close()
     scenario_note = (
         f", scenario {args.scenario.name}" if args.scenario is not None else ""
     )
@@ -318,19 +392,26 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
     sampling = _resolve_sampling(args)
     adaptive = _resolve_adaptive(args)
     reports: List[AdaptiveBudgetReport] = []
-    results = figure7_quality(
-        benchmark,
-        p_cell=args.p_cell,
-        samples_per_count=args.samples,
-        n_count_points=args.count_points,
-        rng=np.random.default_rng(args.seed),
-        workers=args.workers,
-        master_seed=args.seed if sampling == "seeded" else None,
-        checkpoint=args.checkpoint,
-        scenario=args.scenario,
-        adaptive=adaptive,
-        report_out=reports,
-    )
+    store = _open_store(args)
+    try:
+        results = figure7_quality(
+            benchmark,
+            p_cell=args.p_cell,
+            samples_per_count=args.samples,
+            n_count_points=args.count_points,
+            rng=np.random.default_rng(args.seed),
+            workers=args.workers,
+            master_seed=args.seed if sampling == "seeded" else None,
+            checkpoint=args.checkpoint,
+            scenario=args.scenario,
+            adaptive=adaptive,
+            report_out=reports,
+            store=store,
+        )
+    finally:
+        if store is not None:
+            _print_store_events(store)
+            store.close()
     scenario_note = (
         f", scenario {args.scenario.name}" if args.scenario is not None else ""
     )
@@ -426,6 +507,12 @@ def _dse_result(args: argparse.Namespace) -> DseResult:
                 "--adaptive cannot be applied to a previously written "
                 "--table; re-run 'dse run --spec ... --adaptive'"
             )
+        if args.store is not None:
+            raise SystemExit(
+                "--store cannot be applied to a previously written --table "
+                "(the table bypasses the sweep); re-run "
+                "'dse run --spec ... --store ...'"
+            )
         return DseResult.load(args.table)
     if args.spec is None:
         raise SystemExit("either --spec or --table is required")
@@ -447,10 +534,19 @@ def _dse_result(args: argparse.Namespace) -> DseResult:
             "--target-ci/--max-samples require --adaptive (or an adaptive "
             "budget section in the spec file)"
         )
-    explorer = DesignSpaceExplorer(
-        spec, workers=args.workers, checkpoint_dir=args.checkpoint
-    )
-    return explorer.run()
+    store = _open_store(args)
+    try:
+        explorer = DesignSpaceExplorer(
+            spec,
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint,
+            store=store,
+        )
+        return explorer.run()
+    finally:
+        if store is not None:
+            _print_store_events(store)
+            store.close()
 
 
 def _cmd_dse_run(args: argparse.Namespace) -> int:
@@ -505,6 +601,73 @@ def _cmd_dse_report(args: argparse.Namespace) -> int:
         )
         if rows:
             _print_dse_rows(rows)
+    return 0
+
+
+# --------------------------------------------------------------------------- #
+# Result-store maintenance commands
+# --------------------------------------------------------------------------- #
+def _existing_store(path: str):
+    """Open a store that must already exist (maintenance commands never
+    create one as a side effect of a typo'd path)."""
+    from repro.store import ResultStore, StoreError
+
+    try:
+        return ResultStore(path, create=False)
+    except StoreError as error:
+        raise SystemExit(str(error)) from error
+
+
+def _cmd_store_query(args: argparse.Namespace) -> int:
+    with _existing_store(args.store) as store:
+        records = store.query(kind=args.kind, key_prefix=args.key)
+        if args.count:
+            print(len(records))
+            return 0
+        print(
+            f"Result store {store.root}: {len(records)} live record(s)"
+            + (f" of kind {args.kind}" if args.kind else "")
+            + (f" with key prefix {args.key}" if args.key else "")
+        )
+        rows = [
+            [
+                record["key"][:16],
+                record["kind"],
+                record["seq"],
+                record["meta"].get("benchmark") or "-",
+                record["meta"].get("p_cell", "-"),
+                record["meta"].get("evaluated_dies", "-"),
+                record["meta"].get("total_dies", "-"),
+            ]
+            for record in records
+        ]
+        _print_table(
+            ["key", "kind", "seq", "benchmark", "p_cell", "evaluated", "dies"],
+            rows,
+        )
+    return 0
+
+
+def _cmd_store_gc(args: argparse.Namespace) -> int:
+    with _existing_store(args.store) as store:
+        summary = store.gc()
+    print(
+        f"store gc: kept {summary['kept']} record(s), dropped "
+        f"{summary['dropped']} superseded, removed "
+        f"{summary['segments_removed']} segment(s)"
+    )
+    return 0
+
+
+def _cmd_store_export(args: argparse.Namespace) -> int:
+    from repro.store import StoreError
+
+    with _existing_store(args.store) as store:
+        try:
+            count = store.export(args.output, format=args.format)
+        except StoreError as error:
+            raise SystemExit(str(error)) from error
+    print(f"store export: wrote {count} record(s) to {args.output} ({args.format})")
     return 0
 
 
@@ -605,6 +768,66 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_dse_options(pd_report)
     pd_report.set_defaults(func=_cmd_dse_report)
+
+    ps = sub.add_parser(
+        "store",
+        help="inspect and maintain a persistent result store "
+        "(see --store on fig5/fig7/dse)",
+    )
+    store_sub = ps.add_subparsers(dest="store_command", required=True)
+
+    def _add_store_root(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--store",
+            required=True,
+            metavar="DIR",
+            help="result store directory (must already exist)",
+        )
+
+    ps_query = store_sub.add_parser(
+        "query", help="list the live (latest-per-key) records"
+    )
+    _add_store_root(ps_query)
+    ps_query.add_argument(
+        "--kind",
+        choices=["quality", "mse"],
+        default=None,
+        help="only records of this evaluation kind",
+    )
+    ps_query.add_argument(
+        "--key",
+        default=None,
+        metavar="PREFIX",
+        help="only records whose configuration hash starts with PREFIX",
+    )
+    ps_query.add_argument(
+        "--count",
+        action="store_true",
+        help="print only the number of matching records",
+    )
+    ps_query.set_defaults(func=_cmd_store_query)
+
+    ps_gc = store_sub.add_parser(
+        "gc", help="compact the store (keep the newest record per key)"
+    )
+    _add_store_root(ps_gc)
+    ps_gc.set_defaults(func=_cmd_store_gc)
+
+    ps_export = store_sub.add_parser(
+        "export", help="export the live records to a file"
+    )
+    _add_store_root(ps_export)
+    ps_export.add_argument(
+        "--output", required=True, metavar="FILE", help="output file path"
+    )
+    ps_export.add_argument(
+        "--format",
+        choices=["jsonl", "csv", "parquet"],
+        default="jsonl",
+        help="jsonl = full records (lossless); csv/parquet = flat summary "
+        "table (parquet requires pyarrow)",
+    )
+    ps_export.set_defaults(func=_cmd_store_export)
 
     return parser
 

@@ -21,7 +21,7 @@ Two sampling modes are supported everywhere:
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -38,8 +38,12 @@ from repro.sim.engine import (
     ExperimentConfig,
     QualityDistribution,
     SweepEngine,
+    SweepRunStats,
 )
 from repro.sim.experiment import BenchmarkDefinition
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.store.store import ResultStore
 
 __all__ = [
     "evaluate_mse_point",
@@ -141,6 +145,14 @@ def _record_adaptive_report(
         report_out.append(engine.last_adaptive_report)
 
 
+def _record_run_stats(
+    engine: SweepEngine, stats_out: Optional[List[SweepRunStats]]
+) -> None:
+    """Append the engine's run bookkeeping to ``stats_out`` (if any)."""
+    if stats_out is not None and engine.last_run_stats is not None:
+        stats_out.append(engine.last_run_stats)
+
+
 def evaluate_quality_point(
     config: ExperimentConfig,
     benchmark: BenchmarkDefinition,
@@ -153,6 +165,8 @@ def evaluate_quality_point(
     fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]] = None,
     fixed_point: Optional[FixedPointFormat] = None,
     report_out: Optional[List["AdaptiveBudgetReport"]] = None,
+    store: Optional["ResultStore"] = None,
+    stats_out: Optional[List[SweepRunStats]] = None,
 ) -> Dict[str, QualityDistribution]:
     """Application-quality distributions of one grid point (a Fig. 7 slice).
 
@@ -160,7 +174,10 @@ def evaluate_quality_point(
     ``fault_maps`` supplies an explicit pre-drawn die population (overriding
     ``sampling``); ``report_out`` collects the
     :class:`~repro.sim.engine.AdaptiveBudgetReport` of an adaptive-budget
-    config; everything else is delegated to :meth:`SweepEngine.run`.
+    config; ``store`` serves exact configuration-hash hits and records
+    computed sweeps; ``stats_out`` collects the run's
+    :class:`~repro.sim.engine.SweepRunStats`; everything else is delegated
+    to :meth:`SweepEngine.run`.
     """
     engine = SweepEngine(config, schemes=schemes)
     results = engine.run(
@@ -169,8 +186,10 @@ def evaluate_quality_point(
         checkpoint=checkpoint,
         fault_maps=_resolve_fault_maps(config, sampling, rng, fault_maps),
         fixed_point=fixed_point,
+        store=store,
     )
     _record_adaptive_report(engine, report_out)
+    _record_run_stats(engine, stats_out)
     return results
 
 
@@ -186,6 +205,8 @@ def evaluate_mse_point(
     fault_maps_by_count: Optional[Mapping[int, List[FaultMap]]] = None,
     include_fault_free: bool = True,
     report_out: Optional[List["AdaptiveBudgetReport"]] = None,
+    store: Optional["ResultStore"] = None,
+    stats_out: Optional[List[SweepRunStats]] = None,
 ) -> Dict[str, MseDistribution]:
     """Local-MSE distributions of one grid point (a Fig. 5 slice).
 
@@ -210,8 +231,10 @@ def evaluate_mse_point(
         checkpoint=checkpoint,
         fault_maps=_resolve_fault_maps(config, sampling, rng, fault_maps),
         include_fault_free=include_fault_free,
+        store=store,
     )
     _record_adaptive_report(engine, report_out)
+    _record_run_stats(engine, stats_out)
     return results
 
 

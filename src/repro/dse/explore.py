@@ -17,14 +17,23 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.base import ProtectionScheme
 from repro.dse.evaluate import evaluate_overhead_point
 from repro.dse.registry import build_benchmark, build_scheme
 from repro.dse.spec import ExperimentSpec
 from repro.hardware.overhead import ReadPathOverhead
-from repro.sim.engine import AdaptiveBudgetReport, QualityDistribution, SweepEngine
+from repro.sim.engine import (
+    AdaptiveBudgetReport,
+    QualityDistribution,
+    SweepEngine,
+    SweepRunStats,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from repro.store.invalidate import GridPointStatus
+    from repro.store.store import ResultStore
 
 __all__ = [
     "DSE_COLUMNS",
@@ -216,6 +225,13 @@ class DesignSpaceExplorer:
         (operating point, benchmark) cell checkpoints independently under a
         name derived from its configuration hash, so re-running any spec that
         shares grid points replays them instantly.
+    store:
+        Optional :class:`~repro.store.ResultStore`.  Grid points whose
+        configuration hash is already stored are served from it --
+        bit-identical, with zero new die evaluations -- and computed points
+        are recorded into it, making the explorer a store-backed view: a
+        re-run against a warm store recomputes only the points a spec or
+        code change dirtied (see :meth:`dirty_points`).
     """
 
     def __init__(
@@ -223,15 +239,18 @@ class DesignSpaceExplorer:
         spec: ExperimentSpec,
         workers: int = 1,
         checkpoint_dir: Optional[str] = None,
+        store: Optional["ResultStore"] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self._spec = spec
         self._workers = workers
         self._checkpoint_dir = checkpoint_dir
+        self._store = store
         self._adaptive_reports: Dict[
             Tuple[str, float, float], AdaptiveBudgetReport
         ] = {}
+        self._run_stats: Dict[Tuple[str, float, float], SweepRunStats] = {}
 
     @property
     def spec(self) -> ExperimentSpec:
@@ -245,6 +264,25 @@ class DesignSpaceExplorer:
         """Adaptive-budget outcomes of the last :meth:`run`, keyed by
         ``(benchmark, vdd, p_cell)`` (empty for fixed-budget specs)."""
         return dict(self._adaptive_reports)
+
+    @property
+    def run_stats(self) -> Dict[Tuple[str, float, float], SweepRunStats]:
+        """Per-grid-point :class:`~repro.sim.engine.SweepRunStats` of the last
+        :meth:`run`, keyed by ``(benchmark, vdd, p_cell)``.  With a warm
+        store, every entry has ``store_hit=True`` and ``evaluated_dies=0``."""
+        return dict(self._run_stats)
+
+    def dirty_points(self) -> List["GridPointStatus"]:
+        """Grid points a :meth:`run` would actually recompute against the
+        configured store (requires ``store``); everything else is served
+        from disk.  A spec edit, benchmark-data change, or engine version
+        bump moves the affected points' configuration hashes, which is what
+        marks them dirty."""
+        if self._store is None:
+            raise ValueError("dirty_points requires a store")
+        from repro.store.invalidate import dirty_grid_points
+
+        return dirty_grid_points(self._store, self._spec)
 
     # ------------------------------------------------------------------ #
     # Joins
@@ -301,6 +339,7 @@ class DesignSpaceExplorer:
     def run(self) -> DseResult:
         """Sweep the full grid and return the joined result table."""
         self._adaptive_reports = {}
+        self._run_stats = {}
         spec = self._spec
         organization = spec.organization
         scaling = spec.operating_grid.scaling_model(organization)
@@ -333,11 +372,16 @@ class DesignSpaceExplorer:
                     benchmark,
                     workers=self._workers,
                     checkpoint=checkpoint,
+                    store=self._store,
                 )
                 if engine.last_adaptive_report is not None:
                     self._adaptive_reports[
                         (benchmark_name, point.vdd, point.p_cell)
                     ] = engine.last_adaptive_report
+                if engine.last_run_stats is not None:
+                    self._run_stats[
+                        (benchmark_name, point.vdd, point.p_cell)
+                    ] = engine.last_run_stats
                 per_point[(point.vdd, point.p_cell)] = results
                 # The scheme logic's dynamic energy scales with the same
                 # CV^2 law as the array access it accompanies.

@@ -11,7 +11,7 @@ need: ``P(Q <= q)`` for Fig. 5 style metrics where *smaller is better*, and
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -109,6 +109,42 @@ class WeightedEcdf:
     def curve(self) -> Tuple[np.ndarray, np.ndarray]:
         """``(x, F(x))`` step-curve points suitable for plotting or tabulation."""
         return self._values.copy(), self._cumulative.copy()
+
+    # ------------------------------------------------------------------ #
+    # Serialisation (exact round-trip)
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, List[float]]:
+        """JSON-safe state: sorted values plus their *normalised* weights.
+
+        Floats survive JSON via shortest-round-trip ``repr``, so
+        :meth:`from_dict` reconstructs a bit-identical distribution -- this
+        is what lets the persistent result store serve stored sweeps in place
+        of re-simulation.
+        """
+        return {
+            "values": self._values.tolist(),
+            "weights": self._weights.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Sequence[float]]) -> "WeightedEcdf":
+        """Rebuild a CDF saved by :meth:`to_dict`, bit-identically.
+
+        The stored weights are already normalised and the values already
+        sorted, so no renormalisation or re-sort runs here -- dividing an
+        almost-1.0 float sum back out would perturb the low bits.
+        """
+        values = np.asarray(data["values"], dtype=np.float64)
+        weights = np.asarray(data["weights"], dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("an empirical CDF needs at least one observation")
+        if weights.shape != values.shape:
+            raise ValueError("values and weights must have the same length")
+        ecdf = cls.__new__(cls)
+        ecdf._values = values
+        ecdf._weights = weights
+        ecdf._cumulative = np.cumsum(weights)
+        return ecdf
 
     # ------------------------------------------------------------------ #
     # Construction helpers

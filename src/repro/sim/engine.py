@@ -101,7 +101,7 @@ import re
 import tempfile
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -137,6 +137,9 @@ from repro.stats import (
     normal_critical_value,
 )
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (store imports sim)
+    from repro.store.store import ResultStore
+
 __all__ = [
     "DEFAULT_SCHEME_SPECS",
     "AdaptiveBudget",
@@ -144,6 +147,7 @@ __all__ = [
     "ExperimentConfig",
     "QualityDistribution",
     "SweepEngine",
+    "SweepRunStats",
     "build_scheme",
     "evaluated_failure_counts",
     "reassign_count_probabilities",
@@ -390,6 +394,63 @@ class AdaptiveBudgetReport:
         """The widest (worst-scheme) confidence half-width at stop time."""
         return max(self.half_widths.values())
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe state (stored with adaptive records in the result store)."""
+        return {
+            "evaluation": self.evaluation,
+            "threshold": self.threshold,
+            "target_ci": self.target_ci,
+            "confidence": self.confidence,
+            "reached": self.reached,
+            "rounds": self.rounds,
+            "total_dies": self.total_dies,
+            "max_total_dies": self.max_total_dies,
+            "half_widths": dict(self.half_widths),
+            "estimates": dict(self.estimates),
+            "samples_per_count": {
+                str(count): dies
+                for count, dies in self.samples_per_count.items()
+            },
+            "stratum_weights": {
+                str(count): weight
+                for count, weight in self.stratum_weights.items()
+            },
+            "stratum_stds": {
+                scheme: {str(count): std for count, std in stds.items()}
+                for scheme, stds in self.stratum_stds.items()
+            },
+            "max_shard_payload_scalars": self.max_shard_payload_scalars,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "AdaptiveBudgetReport":
+        """Rebuild a report saved by :meth:`to_dict` (int keys restored)."""
+        return cls(
+            evaluation=str(data["evaluation"]),
+            threshold=float(data["threshold"]),
+            target_ci=float(data["target_ci"]),
+            confidence=float(data["confidence"]),
+            reached=bool(data["reached"]),
+            rounds=int(data["rounds"]),
+            total_dies=int(data["total_dies"]),
+            max_total_dies=int(data["max_total_dies"]),
+            half_widths={k: float(v) for k, v in data["half_widths"].items()},
+            estimates={k: float(v) for k, v in data["estimates"].items()},
+            samples_per_count={
+                int(k): int(v) for k, v in data["samples_per_count"].items()
+            },
+            stratum_weights={
+                int(k): float(v) for k, v in data["stratum_weights"].items()
+            },
+            stratum_stds={
+                scheme: {int(k): float(v) for k, v in stds.items()}
+                for scheme, stds in data["stratum_stds"].items()
+            },
+            max_shard_payload_scalars=int(
+                data.get("max_shard_payload_scalars", 0)
+            ),
+        )
+
     def fixed_equivalent_dies(self, target_ci: Optional[float] = None) -> int:
         """Dies a uniform fixed budget would need to reach ``target_ci``.
 
@@ -473,6 +534,36 @@ class QualityDistribution:
     def median_quality(self) -> float:
         """Median normalised quality across the die population."""
         return self.ecdf.quantile(0.5)
+
+
+@dataclass(frozen=True)
+class SweepRunStats:
+    """Bookkeeping of the most recent :meth:`SweepEngine.run`/``run_mse`` call.
+
+    Attributes
+    ----------
+    evaluation:
+        ``"quality"`` or ``"mse"``.
+    store_key:
+        Configuration hash used against the result store (``None`` when the
+        run had no store configured).
+    store_hit:
+        ``True`` when the results were served from the store without any
+        simulation.
+    evaluated_dies:
+        Monte-Carlo dies actually evaluated by *this* call -- ``0`` on a
+        store hit, and less than :attr:`total_dies` when a checkpoint
+        resumed part of the sweep.
+    total_dies:
+        Dies the full sweep comprises (fixed grid size, or the adaptive
+        controller's final total).
+    """
+
+    evaluation: str
+    store_key: Optional[str]
+    store_hit: bool
+    evaluated_dies: int
+    total_dies: int
 
 
 # --------------------------------------------------------------------------- #
@@ -719,31 +810,38 @@ def _share_context(
     """
     shared = dict(context)
     blocks: List[SharedNdarray] = []
-    raw_features = context.get("raw_features")
-    if isinstance(raw_features, np.ndarray):
-        handle = SharedNdarray.create(raw_features)
-        blocks.append(handle)
-        shared["raw_features"] = handle
-    benchmark = context.get("benchmark")
-    if isinstance(benchmark, BenchmarkDefinition):
-        arrays: Dict[str, SharedNdarray] = {}
-        for field_name in (
-            "train_features",
-            "train_targets",
-            "test_features",
-            "test_targets",
-        ):
-            handle = SharedNdarray.create(
-                np.asarray(getattr(benchmark, field_name))
-            )
+    try:
+        raw_features = context.get("raw_features")
+        if isinstance(raw_features, np.ndarray):
+            handle = SharedNdarray.create(raw_features)
             blocks.append(handle)
-            arrays[field_name] = handle
-        shared["benchmark"] = _SharedBenchmark(
-            name=benchmark.name,
-            metric_name=benchmark.metric_name,
-            evaluate=benchmark.evaluate,
-            arrays=arrays,
-        )
+            shared["raw_features"] = handle
+        benchmark = context.get("benchmark")
+        if isinstance(benchmark, BenchmarkDefinition):
+            arrays: Dict[str, SharedNdarray] = {}
+            for field_name in (
+                "train_features",
+                "train_targets",
+                "test_features",
+                "test_targets",
+            ):
+                handle = SharedNdarray.create(
+                    np.asarray(getattr(benchmark, field_name))
+                )
+                blocks.append(handle)
+                arrays[field_name] = handle
+            shared["benchmark"] = _SharedBenchmark(
+                name=benchmark.name,
+                metric_name=benchmark.metric_name,
+                evaluate=benchmark.evaluate,
+                arrays=arrays,
+            )
+    except BaseException:
+        # A failure after the first create must not leak the earlier blocks
+        # (e.g. /dev/shm exhaustion while sharing the third array).
+        for block in blocks:
+            block.unlink()
+        raise
     return shared, blocks
 
 
@@ -937,19 +1035,38 @@ def _read_checkpoint_payload(
     return data
 
 
+def _fsync_directory(path: str) -> None:
+    """fsync a directory so a rename inside it is durable, not just ordered."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
 def _write_checkpoint_payload(path: str, payload: Mapping[str, object]) -> None:
-    """Atomically write a checkpoint (temp file + rename)."""
+    """Durably and atomically write a checkpoint.
+
+    Temp file + ``os.replace`` alone is *atomic* but not *durable*: without
+    an fsync of the temp file a crash shortly after the rename can leave the
+    final name pointing at truncated (or empty) data, and without an fsync of
+    the directory the rename itself may not have reached disk.  Both syncs
+    run here, so once this function returns the checkpoint survives a crash.
+    """
     directory = os.path.dirname(os.path.abspath(path))
     os.makedirs(directory, exist_ok=True)
     fd, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
     try:
         with os.fdopen(fd, "w", encoding="utf-8") as handle:
             json.dump(payload, handle)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(temp_path, path)
     except BaseException:
         if os.path.exists(temp_path):
             os.unlink(temp_path)
         raise
+    _fsync_directory(directory)
 
 
 def _load_checkpoint(path: str, config_hash: str) -> Dict[int, List[float]]:
@@ -984,8 +1101,14 @@ class _ShardDispatcher:
     With more workers, the context's large arrays move into shared memory
     once (:func:`_share_context`) and a :class:`ProcessPoolExecutor` is kept
     alive for the dispatcher's lifetime -- the adaptive controller submits
-    many rounds of shards to the same pool.  :meth:`close` must run (the
-    engine uses ``try/finally``) so the shared blocks are unlinked.
+    many rounds of shards to the same pool.
+
+    The dispatcher is a context manager and the engine drives it with
+    ``with``, so the shared blocks are released on every exit path: a
+    construction failure (pool spawn error) releases the blocks before the
+    exception propagates, an exception mid-sweep releases them in
+    ``__exit__``, and a parent process that dies without unwinding is
+    covered by the :mod:`repro.sim.sharedmem` ``atexit`` guard.
     """
 
     def __init__(self, context: Dict[str, object], workers: int) -> None:
@@ -993,12 +1116,24 @@ class _ShardDispatcher:
         self._blocks: List[SharedNdarray] = []
         self._pool: Optional[ProcessPoolExecutor] = None
         if workers > 1:
-            shared, self._blocks = _share_context(context)
-            self._pool = ProcessPoolExecutor(
-                max_workers=workers,
-                initializer=_init_worker,
-                initargs=(shared,),
-            )
+            try:
+                shared, self._blocks = _share_context(context)
+                self._pool = ProcessPoolExecutor(
+                    max_workers=workers,
+                    initializer=_init_worker,
+                    initargs=(shared,),
+                )
+            except BaseException:
+                # A half-built dispatcher never reaches the caller, so close
+                # here or the blocks leak until process exit.
+                self.close()
+                raise
+
+    def __enter__(self) -> "_ShardDispatcher":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     def evaluate_unordered(self, shards, absorb) -> None:
         """Fixed path: feed each shard's per-die results to ``absorb`` as
@@ -1079,6 +1214,8 @@ class SweepEngine:
     ) -> None:
         self._config = config
         self._last_adaptive_report: Optional[AdaptiveBudgetReport] = None
+        self._last_run_stats: Optional[SweepRunStats] = None
+        self._dies_evaluated = 0
         # Built once: the same (picklable) pipeline object ships to every
         # worker, and building validates the scenario spec eagerly.
         self._scenario = config.build_scenario()
@@ -1115,6 +1252,13 @@ class SweepEngine:
         """Outcome of the most recent adaptive sweep run on this engine
         (``None`` before any adaptive run)."""
         return self._last_adaptive_report
+
+    @property
+    def last_run_stats(self) -> Optional[SweepRunStats]:
+        """Evaluation bookkeeping of the most recent :meth:`run`/:meth:`run_mse`
+        call (``None`` before any run).  ``evaluated_dies == 0`` with
+        ``store_hit=True`` is the store's zero-re-simulation guarantee."""
+        return self._last_run_stats
 
     # ------------------------------------------------------------------ #
     # Planning
@@ -1196,6 +1340,7 @@ class SweepEngine:
         shard_order: Optional[Sequence[int]] = None,
         fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]] = None,
         fixed_point: Optional[FixedPointFormat] = None,
+        store: Optional["ResultStore"] = None,
     ) -> Dict[str, QualityDistribution]:
         """Run the sweep and return one :class:`QualityDistribution` per scheme.
 
@@ -1228,16 +1373,28 @@ class SweepEngine:
         fixed_point:
             Override for the stored fixed-point format (defaults to the
             config's ``Q(word_width - frac_bits).frac_bits`` format).
+        store:
+            Optional :class:`~repro.store.ResultStore`.  An exact
+            configuration-hash hit is served from the store -- bit-identical,
+            with zero new die evaluations and no benchmark training -- and a
+            computed sweep is recorded into it.  Results are unchanged either
+            way; :attr:`last_run_stats` says which path ran.
         """
         config = self._config
+        if fixed_point is None:
+            fixed_point = FixedPointFormat(
+                total_bits=config.word_width, frac_bits=config.frac_bits
+            )
+        store_key: Optional[str] = None
+        if store is not None:
+            store_key = self.config_hash(benchmark, fault_maps, fixed_point)
+            record = store.get_record(store_key, kind="quality")
+            if record is not None:
+                return self._serve_stored_quality(record, store_key)
         clean_quality = benchmark.clean_quality()
         if clean_quality == 0.0:
             raise ValueError(
                 "the benchmark's fault-free quality is zero; cannot normalise"
-            )
-        if fixed_point is None:
-            fixed_point = FixedPointFormat(
-                total_bits=config.word_width, frac_bits=config.frac_bits
             )
         features = np.asarray(benchmark.train_features, dtype=np.float64)
         raw_features = fixed_point.quantize_array(features)
@@ -1267,22 +1424,101 @@ class SweepEngine:
                 checkpoint=checkpoint,
                 config_hash=config_hash,
             )
-            return self._merge_quality_adaptive(
+            results = self._merge_quality_adaptive(
                 benchmark, clean_quality, outcome
             )
-        config_hash = ""
-        if checkpoint is not None:
-            config_hash = self.config_hash(benchmark, fault_maps, fixed_point)
-        die_results = self._execute(
-            context,
-            workers=workers,
-            checkpoint=checkpoint,
-            config_hash=config_hash,
-            shard_size=shard_size,
-            shard_order=shard_order,
-            fault_maps=fault_maps,
+            total_dies = outcome.report.total_dies
+        else:
+            config_hash = ""
+            if checkpoint is not None:
+                config_hash = self.config_hash(
+                    benchmark, fault_maps, fixed_point
+                )
+            die_results = self._execute(
+                context,
+                workers=workers,
+                checkpoint=checkpoint,
+                config_hash=config_hash,
+                shard_size=shard_size,
+                shard_order=shard_order,
+                fault_maps=fault_maps,
+            )
+            results = self._merge_quality(benchmark, clean_quality, die_results)
+            total_dies = len(die_results)
+        self._last_run_stats = SweepRunStats(
+            evaluation="quality",
+            store_key=store_key,
+            store_hit=False,
+            evaluated_dies=self._dies_evaluated,
+            total_dies=total_dies,
         )
-        return self._merge_quality(benchmark, clean_quality, die_results)
+        if store is not None and store_key is not None:
+            self._record_results(store, store_key, "quality", results)
+        return results
+
+    def _serve_stored_quality(
+        self, record: Mapping[str, object], store_key: str
+    ) -> Dict[str, QualityDistribution]:
+        """Decode a stored quality record -- the zero-evaluation hit path."""
+        from repro.store.schema import (
+            adaptive_report_from_payload,
+            quality_results_from_payload,
+        )
+
+        payload = record["payload"]
+        results = quality_results_from_payload(payload)
+        report = adaptive_report_from_payload(payload.get("adaptive_report"))
+        if report is not None:
+            self._last_adaptive_report = report
+        meta = record.get("meta", {})
+        self._last_run_stats = SweepRunStats(
+            evaluation="quality",
+            store_key=store_key,
+            store_hit=True,
+            evaluated_dies=0,
+            total_dies=int(meta.get("total_dies", 0)),
+        )
+        return results
+
+    def _record_results(
+        self,
+        store: "ResultStore",
+        store_key: str,
+        kind: str,
+        results: Mapping[str, object],
+    ) -> None:
+        """Append a finished sweep's results to the store."""
+        from repro.store.schema import (
+            mse_results_to_payload,
+            quality_results_to_payload,
+        )
+
+        stats = self._last_run_stats
+        assert stats is not None
+        report = (
+            self._last_adaptive_report
+            if self._config.adaptive is not None
+            else None
+        )
+        if kind == "quality":
+            payload = quality_results_to_payload(results, report)
+            benchmark_name = next(iter(results.values())).benchmark
+        else:
+            payload = mse_results_to_payload(results, report)
+            benchmark_name = None
+        store.put_record(
+            store_key,
+            kind,
+            payload,
+            meta={
+                "benchmark": benchmark_name,
+                "evaluation": kind,
+                "schemes": [scheme.name for scheme in self._schemes],
+                "p_cell": self._config.p_cell,
+                "evaluated_dies": stats.evaluated_dies,
+                "total_dies": stats.total_dies,
+            },
+        )
 
     def run_mse(
         self,
@@ -1293,6 +1529,7 @@ class SweepEngine:
         shard_order: Optional[Sequence[int]] = None,
         fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]] = None,
         include_fault_free: bool = True,
+        store: Optional["ResultStore"] = None,
     ) -> Dict[str, "MseDistribution"]:
         """Run the sweep scoring each die by its local MSE (the Fig. 5 study).
 
@@ -1303,8 +1540,23 @@ class SweepEngine:
         :class:`~repro.faultmodel.yieldmodel.MseDistribution` per scheme.
         ``include_fault_free`` adds the ``Pr(N = 0)`` point mass at MSE = 0
         (pass ``False`` for the paper's Eq. 5 conditional view).
+        ``store`` behaves as in :meth:`run` (serve exact hash hits, record
+        computed sweeps).
         """
         config = self._config
+        store_key: Optional[str] = None
+        if store is not None:
+            store_key = self.config_hash(
+                None,
+                fault_maps,
+                extra={
+                    "evaluation": "mse",
+                    "include_fault_free": include_fault_free,
+                },
+            )
+            record = store.get_record(store_key, kind="mse")
+            if record is not None:
+                return self._serve_stored_mse(record, store_key)
         context: Dict[str, object] = {
             "evaluation": "mse",
             "organization": config.organization,
@@ -1333,27 +1585,64 @@ class SweepEngine:
                 checkpoint=checkpoint,
                 config_hash=config_hash,
             )
-            return self._merge_mse_adaptive(outcome, include_fault_free)
-        config_hash = ""
-        if checkpoint is not None:
-            config_hash = self.config_hash(
-                None,
-                fault_maps,
-                extra={
-                    "evaluation": "mse",
-                    "include_fault_free": include_fault_free,
-                },
+            results = self._merge_mse_adaptive(outcome, include_fault_free)
+            total_dies = outcome.report.total_dies
+        else:
+            config_hash = ""
+            if checkpoint is not None:
+                config_hash = self.config_hash(
+                    None,
+                    fault_maps,
+                    extra={
+                        "evaluation": "mse",
+                        "include_fault_free": include_fault_free,
+                    },
+                )
+            die_results = self._execute(
+                context,
+                workers=workers,
+                checkpoint=checkpoint,
+                config_hash=config_hash,
+                shard_size=shard_size,
+                shard_order=shard_order,
+                fault_maps=fault_maps,
             )
-        die_results = self._execute(
-            context,
-            workers=workers,
-            checkpoint=checkpoint,
-            config_hash=config_hash,
-            shard_size=shard_size,
-            shard_order=shard_order,
-            fault_maps=fault_maps,
+            results = self._merge_mse(die_results, include_fault_free)
+            total_dies = len(die_results)
+        self._last_run_stats = SweepRunStats(
+            evaluation="mse",
+            store_key=store_key,
+            store_hit=False,
+            evaluated_dies=self._dies_evaluated,
+            total_dies=total_dies,
         )
-        return self._merge_mse(die_results, include_fault_free)
+        if store is not None and store_key is not None:
+            self._record_results(store, store_key, "mse", results)
+        return results
+
+    def _serve_stored_mse(
+        self, record: Mapping[str, object], store_key: str
+    ) -> Dict[str, "MseDistribution"]:
+        """Decode a stored MSE record -- the zero-evaluation hit path."""
+        from repro.store.schema import (
+            adaptive_report_from_payload,
+            mse_results_from_payload,
+        )
+
+        payload = record["payload"]
+        results = mse_results_from_payload(payload)
+        report = adaptive_report_from_payload(payload.get("adaptive_report"))
+        if report is not None:
+            self._last_adaptive_report = report
+        meta = record.get("meta", {})
+        self._last_run_stats = SweepRunStats(
+            evaluation="mse",
+            store_key=store_key,
+            store_hit=True,
+            evaluated_dies=0,
+            total_dies=int(meta.get("total_dies", 0)),
+        )
+        return results
 
     def _execute(
         self,
@@ -1391,6 +1680,7 @@ class SweepEngine:
         if checkpoint is not None:
             die_results.update(_load_checkpoint(checkpoint, config_hash))
         pending = [e for e in entries if e[0] not in die_results]
+        self._dies_evaluated = len(pending)
 
         shards = self._make_shards(pending, workers, shard_size)
         if shard_order is not None:
@@ -1408,11 +1698,8 @@ class SweepEngine:
                 _save_checkpoint(checkpoint, config_hash, die_results)
 
         effective_workers = 1 if len(shards) <= 1 else min(workers, len(shards))
-        dispatcher = _ShardDispatcher(context, effective_workers)
-        try:
+        with _ShardDispatcher(context, effective_workers) as dispatcher:
             dispatcher.evaluate_unordered(shards, _absorb)
-        finally:
-            dispatcher.close()
         return die_results
 
     # ------------------------------------------------------------------ #
@@ -1494,6 +1781,7 @@ class SweepEngine:
         samples_done = {ci: 0 for ci in range(len(counts))}
         rounds_done = 0
         max_payload = 0
+        self._dies_evaluated = 0
 
         if checkpoint is not None:
             saved = _read_checkpoint_payload(checkpoint, config_hash, "adaptive")
@@ -1564,6 +1852,7 @@ class SweepEngine:
                 ]
                 if dispatcher is None:
                     dispatcher = _ShardDispatcher(context, workers)
+                self._dies_evaluated += len(entries)
                 # Canonical fold: shard-index order, then sorted cell keys
                 # inside each shard -- never completion order.
                 for summary in dispatcher.summarize_ordered(shards):

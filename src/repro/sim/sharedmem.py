@@ -13,20 +13,48 @@ the block and must call :meth:`unlink` when the consumers are done (the
 engine does so after its process pool has shut down).  Workers only ever
 attach and read; the attached views are marked read-only so a buggy scheme
 cannot corrupt the training data another worker is reading.
+
+A shared-memory block is kernel state, not process state -- a creator that
+exits without unlinking leaves the block consuming ``/dev/shm`` until reboot.
+Every created block is therefore tracked in a module-level registry until its
+``unlink``, and an ``atexit`` hook unlinks whatever is still registered when
+the interpreter shuts down.  The hook is a backstop for abnormal unwinds
+(KeyboardInterrupt mid-sweep, a crashing caller); the deterministic release
+paths in the engine remain the primary mechanism.
 """
 
 from __future__ import annotations
 
+import atexit
 from multiprocessing import shared_memory
 from typing import Dict, Tuple
 
 import numpy as np
 
-__all__ = ["SharedNdarray"]
+__all__ = ["SharedNdarray", "live_owned_blocks"]
 
 # Per-process cache of attached blocks: attaching is a syscall + mmap, and a
 # worker evaluates many shards against the same handful of arrays.
 _ATTACHED: Dict[str, Tuple[shared_memory.SharedMemory, np.ndarray]] = {}
+
+# Blocks this process created and has not yet unlinked (leak guard state).
+_LIVE_OWNED: Dict[str, "SharedNdarray"] = {}
+
+
+def live_owned_blocks() -> Tuple[str, ...]:
+    """Names of the blocks this process currently owns (tests, debugging).
+
+    A non-empty result after a sweep finished -- successfully or not --
+    means a release path was skipped.
+    """
+    return tuple(sorted(_LIVE_OWNED))
+
+
+@atexit.register
+def _unlink_leaked_blocks() -> None:  # pragma: no cover - exercised in subprocess tests
+    """Last-resort unlink of blocks still owned at interpreter exit."""
+    for handle in list(_LIVE_OWNED.values()):
+        handle.unlink()
 
 
 class SharedNdarray:
@@ -63,6 +91,7 @@ class SharedNdarray:
         view[...] = array
         handle = cls(block.name, array.shape, array.dtype.str)
         handle._owned = block
+        _LIVE_OWNED[handle.name] = handle
         return handle
 
     def unlink(self) -> None:
@@ -74,6 +103,7 @@ class SharedNdarray:
             except FileNotFoundError:  # pragma: no cover - already gone
                 pass
             self._owned = None
+            _LIVE_OWNED.pop(self.name, None)
 
     # ------------------------------------------------------------------ #
     # Attachment (worker side)

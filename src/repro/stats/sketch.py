@@ -67,7 +67,14 @@ class FixedGridEcdfSketch:
     # ------------------------------------------------------------------ #
     def update_batch(self, values: Any, weights: Any = None) -> None:
         """Absorb observations; ``weights`` is a scalar or per-value array
-        (default: unit weight per observation)."""
+        (default: unit weight per observation).
+
+        Weights must be non-negative: negative mass would make bin totals --
+        and every quantile built from them -- meaningless, so it is rejected
+        here rather than surfacing later as a garbled CDF.  Zero weights are
+        legal (the observation still advances :attr:`count` and the min/max
+        tracking, but contributes no mass).
+        """
         values = as_float_array(values)
         if values.size == 0:
             return
@@ -78,6 +85,8 @@ class FixedGridEcdfSketch:
             weights = np.broadcast_to(
                 np.asarray(weights, dtype=np.float64), values.shape
             )
+            if np.any(weights < 0):
+                raise ValueError("sketch weights must be non-negative")
             np.add.at(self.counts, indices, weights)
         self.count += int(values.size)
         self.minimum = min(self.minimum, float(values.min()))
@@ -116,7 +125,15 @@ class FixedGridEcdfSketch:
     # ------------------------------------------------------------------ #
     @property
     def total_weight(self) -> float:
-        """Sum of all absorbed weights."""
+        """Sum of all absorbed weights (the distribution's total mass).
+
+        Distinct from :attr:`count`, which is the *number of observations*
+        absorbed regardless of their weights: an ``update_batch`` of three
+        zero-weight values leaves ``count == 3`` but ``total_weight == 0``.
+        Mass-dependent queries (:meth:`quantile`,
+        :meth:`probability_at_most`) operate on ``total_weight``;
+        ``count`` answers "has this sketch seen any data at all".
+        """
         return float(self.counts.sum())
 
     def probability_at_most(self, threshold: float) -> float:
@@ -130,11 +147,25 @@ class FixedGridEcdfSketch:
         return float(self.counts[:idx].sum()) / total
 
     def quantile(self, q: float) -> float:
-        """Smallest support point whose cumulative mass reaches ``q``."""
+        """Smallest support point whose cumulative mass reaches ``q``.
+
+        Raises
+        ------
+        ValueError
+            If the sketch has absorbed no observations at all (empty
+            sketch), or -- the weighted edge case -- if it has observations
+            but their total mass is zero, in which case no quantile of the
+            distribution is defined.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError(f"quantile level must be in [0, 1], got {q}")
         support, weights = self.finalize()
         if support.size == 0:
+            if self.count > 0:
+                raise ValueError(
+                    f"cannot take the quantile of a sketch with zero total "
+                    f"mass ({self.count} observations, all with weight 0)"
+                )
             raise ValueError("cannot take the quantile of an empty sketch")
         cumulative = np.cumsum(weights) / weights.sum()
         idx = min(

@@ -1,0 +1,30 @@
+"""Persistent, append-only, schema-versioned result store.
+
+Every Monte-Carlo sweep result is addressable by the engine's configuration
+hash; :class:`ResultStore` makes those results durable across runs, so warm
+re-runs are served from disk without a single new die evaluation and
+downstream layers (figures, DSE, services) query one database instead of
+figure-shaped files.  See the README's "Result store" section.
+"""
+
+from repro.store.invalidate import (
+    GridPointStatus,
+    dirty_grid_points,
+    grid_point_statuses,
+)
+from repro.store.schema import (
+    SCHEMA_VERSION,
+    StoreError,
+    StoreSchemaError,
+)
+from repro.store.store import ResultStore
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "GridPointStatus",
+    "ResultStore",
+    "StoreError",
+    "StoreSchemaError",
+    "dirty_grid_points",
+    "grid_point_statuses",
+]

@@ -353,7 +353,7 @@ class TestDseCommands:
         captured = {}
 
         class _FakeExplorer:
-            def __init__(self, spec, workers=1, checkpoint_dir=None):
+            def __init__(self, spec, workers=1, checkpoint_dir=None, store=None):
                 captured["spec"] = spec
 
             def run(self):
@@ -376,7 +376,7 @@ class TestDseCommands:
         captured = {}
 
         class _FakeExplorer:
-            def __init__(self, spec, workers=1, checkpoint_dir=None):
+            def __init__(self, spec, workers=1, checkpoint_dir=None, store=None):
                 captured["spec"] = spec
 
             def run(self):
@@ -472,3 +472,158 @@ class TestDseCommands:
         capsys.readouterr()
         with pytest.raises(SystemExit, match="scenario"):
             main(["dse", "pareto", "--table", output, "--scenario", "aged"])
+
+
+class TestScenarioParseErrors:
+    """Exact diagnoses of malformed --scenario values (fail loudly, not
+
+    by silently mis-splitting on '=')."""
+
+    def _error(self, text):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError) as excinfo:
+            cli_module._parse_scenario(text)
+        return str(excinfo.value)
+
+    def test_parameter_without_separator(self):
+        assert self._error("aged,years") == (
+            "scenario parameter 'years' must have the form key=value"
+        )
+
+    def test_parameter_missing_key(self):
+        assert self._error("aged,=5") == (
+            "scenario parameter '=5' is missing a key before '='"
+        )
+
+    def test_parameter_value_containing_equals(self):
+        assert self._error("aged,years=5=6") == (
+            "scenario parameter 'years=5=6' has more than one '='; "
+            "values must not contain '='"
+        )
+
+    def test_parameter_missing_value(self):
+        assert self._error("aged,years=") == (
+            "scenario parameter 'years=' is missing a value after '='"
+        )
+
+    def test_name_containing_equals(self):
+        assert self._error("aged=5") == (
+            "scenario name 'aged=5' must not contain '='; parameters follow "
+            "the name after a comma (e.g. 'aged,years=5')"
+        )
+
+
+class TestStoreCli:
+    FIG5_SMOKE = ["fig5", "--samples", "2", "--p-cell", "1e-4"]
+
+    def test_fig5_store_warm_rerun_is_byte_identical(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "results")
+        args = self.FIG5_SMOKE + ["--store", store_dir]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "store: recorded" in cold.err
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert "store: served" in warm.err
+        assert "(0 dies evaluated)" in warm.err
+        assert warm.out == cold.out  # status goes to stderr only
+
+    def test_fig5_without_store_prints_no_status(self, capsys):
+        assert main(self.FIG5_SMOKE) == 0
+        assert "store:" not in capsys.readouterr().err
+
+    def test_store_query_counts_and_lists(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "results")
+        assert main(self.FIG5_SMOKE + ["--store", store_dir]) == 0
+        capsys.readouterr()
+        assert main(["store", "query", "--store", store_dir, "--count"]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+        assert main(["store", "query", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "1 live record(s)" in out
+        assert "mse" in out
+        assert main(
+            ["store", "query", "--store", store_dir, "--kind", "quality",
+             "--count"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "0"
+
+    def test_store_gc_reports_compaction(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "results")
+        args = self.FIG5_SMOKE + ["--store", store_dir]
+        assert main(args) == 0
+        assert main(args) == 0  # warm: no new record, no new segment
+        capsys.readouterr()
+        assert main(["store", "gc", "--store", store_dir]) == 0
+        out = capsys.readouterr().out
+        assert "store gc: kept 1 record(s), dropped 0 superseded" in out
+
+    def test_store_export_jsonl(self, capsys, tmp_path):
+        store_dir = str(tmp_path / "results")
+        output = str(tmp_path / "records.jsonl")
+        assert main(self.FIG5_SMOKE + ["--store", store_dir]) == 0
+        capsys.readouterr()
+        assert main(
+            ["store", "export", "--store", store_dir, "--output", output]
+        ) == 0
+        out = capsys.readouterr().out
+        assert f"store export: wrote 1 record(s) to {output} (jsonl)" in out
+        record = json.loads(open(output).readline())
+        assert record["kind"] == "mse"
+
+    def test_store_commands_refuse_missing_directory(self, tmp_path):
+        missing = str(tmp_path / "nowhere")
+        with pytest.raises(SystemExit, match="no result store"):
+            main(["store", "query", "--store", missing])
+        with pytest.raises(SystemExit, match="no result store"):
+            main(["store", "gc", "--store", missing])
+        assert not (tmp_path / "nowhere").exists()  # no store created by typo
+
+
+class TestDseStoreFlag:
+    @pytest.fixture
+    def spec_path(self, tmp_path):
+        spec = ExperimentSpec(
+            geometry=GeometrySpec(rows=128),
+            operating_grid=OperatingGridSpec(vdd_values=(0.70, 0.75)),
+            scheme_grid=SchemeGridSpec(specs=("no-protection", "p-ecc")),
+            budget=McBudgetSpec(
+                samples_per_count=2,
+                n_count_points=3,
+                coverage=0.9,
+                master_seed=7,
+            ),
+            benchmarks=BenchmarkGridSpec(names=("knn",), scale=0.2, seed=17),
+        )
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(spec.to_dict()))
+        return str(path)
+
+    def test_dse_run_store_warm_rerun_is_byte_identical(
+        self, capsys, spec_path, tmp_path
+    ):
+        store_dir = str(tmp_path / "results")
+        args = ["dse", "run", "--spec", spec_path, "--store", store_dir]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert "store: recorded" in cold.err
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert "store: served" in warm.err
+        assert "store: recorded" not in warm.err
+        assert warm.out == cold.out
+
+    def test_dse_store_flag_rejected_with_table(
+        self, capsys, spec_path, tmp_path
+    ):
+        output = str(tmp_path / "table.json")
+        assert main(
+            ["dse", "run", "--spec", spec_path, "--output", output]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit, match="--store cannot be applied"):
+            main(
+                ["dse", "pareto", "--table", output, "--store",
+                 str(tmp_path / "s")]
+            )

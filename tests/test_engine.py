@@ -10,6 +10,8 @@ plus the golden equivalence of the legacy runner front end.
 from __future__ import annotations
 
 import json
+import os
+import stat
 
 import numpy as np
 import pytest
@@ -340,6 +342,27 @@ class TestCheckpoint:
         assert _curves(resumed) == _curves(reference_results)
         final = json.loads((tmp_path / "interrupted.json").read_text())
         assert len(final["dies"]) == total_dies
+
+    def test_checkpoint_write_fsyncs_file_and_directory(
+        self, tmp_path, monkeypatch
+    ):
+        # Atomic-rename alone is not durable: the temp file must be fsynced
+        # before the rename and the directory after it, or a crash can leave
+        # the checkpoint name pointing at truncated data.
+        real_fsync = os.fsync
+        synced = []
+
+        def counting_fsync(fd):
+            synced.append(os.fstat(fd).st_mode)
+            real_fsync(fd)
+
+        monkeypatch.setattr(os, "fsync", counting_fsync)
+        path = tmp_path / "sweep.json"
+        payload = {"version": 1, "config_hash": "abc", "dies": {"0": [0.5]}}
+        engine_module._write_checkpoint_payload(str(path), payload)
+        assert sum(stat.S_ISREG(mode) for mode in synced) >= 1
+        assert sum(stat.S_ISDIR(mode) for mode in synced) >= 1
+        assert json.loads(path.read_text()) == payload
 
     def test_mismatched_config_hash_rejected(
         self, smoke_config, smoke_benchmark, tmp_path

@@ -244,6 +244,88 @@ class TestFixedGridEcdfSketch:
         with pytest.raises(ValueError):
             FixedGridEcdfSketch.log10(0.0, 1.0, 8)
 
+    def test_negative_weights_rejected(self):
+        sketch = FixedGridEcdfSketch.linear(0.0, 1.0, 8)
+        with pytest.raises(ValueError, match="non-negative"):
+            sketch.update_batch([0.25, 0.5], weights=[1.0, -0.5])
+        with pytest.raises(ValueError, match="non-negative"):
+            sketch.update_batch([0.25], weights=-1.0)
+        assert sketch.count == 0  # a rejected batch absorbs nothing
+
+    def test_empty_sketch_quantile_error(self):
+        sketch = FixedGridEcdfSketch.linear(0.0, 1.0, 8)
+        with pytest.raises(ValueError, match="empty sketch"):
+            sketch.quantile(0.5)
+
+    def test_zero_total_mass_quantile_error_names_the_cause(self):
+        # count distinguishes "never updated" from "updated with zero mass":
+        # the latter is a caller bug (e.g. all-zero stratum probabilities)
+        # and gets its own diagnosis instead of the empty-sketch message.
+        sketch = FixedGridEcdfSketch.linear(0.0, 1.0, 8)
+        sketch.update_batch([0.25, 0.5, 0.75], weights=0.0)
+        assert sketch.count == 3
+        assert sketch.total_weight == 0.0
+        with pytest.raises(ValueError, match="zero total mass"):
+            sketch.quantile(0.5)
+
+    def test_zero_weight_observations_still_track_extrema(self):
+        sketch = FixedGridEcdfSketch.linear(0.0, 1.0, 8)
+        sketch.update_batch([-2.0, 3.0], weights=0.0)
+        sketch.update_batch([0.5], weights=2.0)
+        assert (sketch.minimum, sketch.maximum) == (-2.0, 3.0)
+        assert sketch.total_weight == pytest.approx(2.0)
+        assert sketch.quantile(0.5) == pytest.approx(0.5)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(
+                    min_value=-1e3,
+                    max_value=1e3,
+                    allow_nan=False,
+                    allow_infinity=False,
+                ),
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_weighted_updates_merge_and_match_one_shot(self, pairs, n_chunks):
+        values = [v for v, _w in pairs]
+        weights = [w for _v, w in pairs]
+        edges = np.linspace(-1e3, 1e3, 33)
+        one_shot = FixedGridEcdfSketch(edges)
+        one_shot.update_batch(values, weights=weights)
+
+        merged = FixedGridEcdfSketch(edges)
+        for chunk in np.array_split(np.arange(len(values)), n_chunks):
+            part = FixedGridEcdfSketch(edges)
+            if chunk.size:
+                part.update_batch(
+                    [values[i] for i in chunk], [weights[i] for i in chunk]
+                )
+            merged.merge(part)
+
+        assert merged.count == one_shot.count
+        # Weighted tallies are float sums, so chunked accumulation matches
+        # one-shot only up to summation-order rounding (exact equality is
+        # the *unit-weight* contract tested above).
+        np.testing.assert_allclose(
+            merged.counts, one_shot.counts, rtol=1e-12, atol=1e-12
+        )
+        assert merged.total_weight == pytest.approx(one_shot.total_weight)
+        if one_shot.total_weight > 0:
+            for edge in (-1e3, 0.0, 1e3):
+                assert merged.probability_at_most(edge) == pytest.approx(
+                    one_shot.probability_at_most(edge)
+                )
+        else:
+            with pytest.raises(ValueError, match="zero total mass"):
+                one_shot.quantile(0.5)
+
 
 class TestStratumVarianceTracker:
     WEIGHTS = {1: 0.5, 2: 0.3, 3: 0.2}
