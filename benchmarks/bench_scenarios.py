@@ -156,3 +156,98 @@ def test_scenario_sweep_summary(table_printer):
     assert by_name["aged"][2] > by_name["iid-pcell"][2]
     # Tolerance: ECDF weight sums differ by a few ulps between scenarios.
     assert by_name["repaired"][3] >= by_name["iid-pcell"][3] - 1e-9
+
+
+# --------------------------------------------------------------------------- #
+# Transient tier (per-read effects run through the quality sweep: the
+# analytical MSE path rejects transient scenarios by design)
+# --------------------------------------------------------------------------- #
+TRANSIENT_SCENARIO = ScenarioSpec(
+    "transient",
+    (("ser", 1e-4), ("disturb", 5e-5), ("scrub_interval", 2)),
+)
+
+
+def _transient_config() -> ExperimentConfig:
+    return ExperimentConfig(
+        rows=256,
+        p_cell=2e-3,
+        coverage=0.9,
+        samples_per_count=2,
+        n_count_points=4,
+        master_seed=2015,
+        scheme_specs=("no-protection", "bit-shuffle-nfm2"),
+        discard_multi_fault_words=False,
+        benchmark="knn",
+        scenario=TRANSIENT_SCENARIO,
+        access_trace=4,
+    )
+
+
+@pytest.fixture(scope="module")
+def transient_benchmark():
+    from repro.sim.experiment import knn_benchmark
+
+    return knn_benchmark(n_samples=120, seed=3)
+
+
+def test_transient_sweep_bit_identical_across_workers(transient_benchmark):
+    """Per-read transient corruption replays from each die's seed-sequence
+    child, so the quality sweep stays bit-identical for any worker count."""
+    engine = SweepEngine(_transient_config())
+    serial = engine.run(transient_benchmark, workers=1)
+    parallel = engine.run(transient_benchmark, workers=WORKERS)
+    for name in serial:
+        xs, ys = serial[name].cdf_series()
+        xp, yp = parallel[name].cdf_series()
+        assert np.array_equal(xs, xp) and np.array_equal(ys, yp)
+
+
+def test_transient_tier_vectorized_vs_scalar_summary(
+    table_printer, json_summary
+):
+    """Timing of the batched tier sampler against its scalar reference.
+
+    Informational (no speedup gate: the tier is a small fraction of a
+    quality sweep); the bit-identity of the two paths is asserted.
+    """
+    from repro.scenarios import build_scenario
+
+    scenario = build_scenario(
+        "transient", ser=1e-3, disturb=5e-4, scrub_interval=2
+    )
+    tier = scenario.transient
+    n_values, passes = 4096, 8
+
+    def sample(vectorized: bool):
+        rng = np.random.default_rng(np.random.SeedSequence(7))
+        effects = tier.sample_read_effects(
+            ORG, n_values, passes, rng, vectorized=vectorized
+        )
+        value_rows = np.arange(n_values, dtype=np.int64) % ORG.rows
+        return effects.observed_masks(value_rows)
+
+    sample(True), sample(False)  # warm-up
+    vec_masks, vec_seconds = _best_time(lambda: sample(True))
+    ref_masks, ref_seconds = _best_time(lambda: sample(False))
+    assert np.array_equal(vec_masks, ref_masks)
+    speedup = ref_seconds / vec_seconds
+    table_printer(
+        "Transient tier: batched vs scalar reference "
+        f"({n_values} values x {passes} passes, 16kB memory)",
+        ["path", "seconds", "speedup"],
+        [
+            ["scalar reference", ref_seconds, 1.0],
+            ["batched", vec_seconds, speedup],
+        ],
+    )
+    json_summary(
+        "transient_tier_sampler",
+        {
+            "n_values": n_values,
+            "passes": passes,
+            "scalar_seconds": ref_seconds,
+            "batched_seconds": vec_seconds,
+            "speedup": speedup,
+        },
+    )

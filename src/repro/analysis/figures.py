@@ -111,6 +111,7 @@ def figure5_mse_cdf(
     report_out: Optional[List[AdaptiveBudgetReport]] = None,
     store: Optional["ResultStore"] = None,
     stats_out: Optional[List["SweepRunStats"]] = None,
+    access_trace: int = 1,
 ) -> Dict[str, MseDistribution]:
     """Fig. 5: CDF of the local MSE for every protection option.
 
@@ -128,7 +129,9 @@ def figure5_mse_cdf(
     optional JSON results cache for resumable sweeps.  ``scenario``
     optionally names a fault-scenario pipeline (aged / clustered / repaired
     dies) the population is drawn through; ``None`` is the default i.i.d.
-    population.  ``adaptive`` switches the sweep to the engine's
+    population, and scenarios with a transient tier are rejected by the
+    engine (the analytical MSE evaluation cannot model per-read faults; use
+    :func:`figure7_quality`).  ``adaptive`` switches the sweep to the engine's
     confidence-driven budget (requires seeded sampling;
     ``samples_per_count`` then caps the spend instead of fixing it), with
     the outcome report appended to ``report_out`` when given.  ``store``
@@ -165,6 +168,7 @@ def figure5_mse_cdf(
         discard_multi_fault_words=False,
         scenario=scenario,
         adaptive=adaptive,
+        access_trace=access_trace,
     )
     return evaluate_mse_point(
         config,
@@ -218,6 +222,7 @@ def figure7_quality(
     report_out: Optional[List[AdaptiveBudgetReport]] = None,
     store: Optional["ResultStore"] = None,
     stats_out: Optional[List["SweepRunStats"]] = None,
+    access_trace: int = 1,
 ) -> Dict[str, QualityDistribution]:
     """Fig. 7: CDF of the application quality metric under memory failures.
 
@@ -239,6 +244,9 @@ def figure7_quality(
     instead of fixing it), with the outcome report appended to
     ``report_out`` when given.  ``store`` / ``stats_out`` behave as in
     :func:`figure5_mse_cdf` (store-backed view with bit-identical hits).
+    ``access_trace`` sets the read passes replayed per load for scenarios
+    with a transient tier (which require ``master_seed`` -- the per-read
+    corruption replays from each die's seed-sequence child).
     """
     organization = (
         organization if organization is not None else MemoryOrganization.paper_16kb()
@@ -262,6 +270,7 @@ def figure7_quality(
         benchmark=benchmark.name,
         scenario=scenario,
         adaptive=adaptive,
+        access_trace=access_trace,
     )
     if master_seed is not None:
         return evaluate_quality_point(

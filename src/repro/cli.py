@@ -22,7 +22,9 @@ commands (``fig5``, ``fig7``) and ``dse run`` share one option set:
 ``--sampling legacy|seeded`` (shared-generator replay versus per-die seed
 children), ``--checkpoint`` (resumable JSON results cache),
 ``--scenario`` (fault-scenario pipeline: ``iid-pcell`` default, ``aged``,
-``clustered``, ``repaired``, with ``name,key=value`` parameters), and
+``clustered``, ``repaired``, ``transient``, with ``name,key=value``
+parameters), ``--access-trace`` (read passes replayed per load for
+transient-tier scenarios), and
 ``--adaptive`` / ``--target-ci`` / ``--max-samples`` (confidence-driven
 Monte-Carlo budget: stop sampling once the yield estimate's confidence
 half-width reaches the target, instead of burning the full fixed budget).
@@ -173,6 +175,17 @@ def _add_sweep_options(
         "spec file's scenario section)",
     )
     parser.add_argument(
+        "--access-trace",
+        type=_positive_int,
+        default=1,
+        metavar="PASSES",
+        help="read passes replayed per tensor load for scenarios with a "
+        "transient tier (e.g. 'transient,disturb=1e-6,scrub_interval=4'): "
+        "read-disturb accumulates across passes and scrubbing fires "
+        "periodically, while soft errors strike only the final observed "
+        "read; default 1, and values above 1 require a transient scenario",
+    )
+    parser.add_argument(
         "--adaptive",
         action="store_true",
         help="confidence-driven Monte-Carlo budget: sample in "
@@ -266,6 +279,25 @@ def _resolve_sampling(args: argparse.Namespace) -> str:
     return args.sampling
 
 
+def _scenario_has_transient(args: argparse.Namespace) -> bool:
+    """Whether ``--scenario`` names a pipeline with a per-read transient tier."""
+    return args.scenario is not None and args.scenario.build().transient is not None
+
+
+def _check_access_trace(args: argparse.Namespace) -> None:
+    """Fail fast when ``--access-trace`` is raised without a transient tier.
+
+    The engine would reject the configuration too, but with a traceback; the
+    CLI turns it into the usual one-line exit.
+    """
+    if args.access_trace != 1 and not _scenario_has_transient(args):
+        raise SystemExit(
+            "--access-trace requires a scenario with a transient tier "
+            "(e.g. --scenario transient,ser=1e-5): static faults do not "
+            "change between read passes"
+        )
+
+
 def _print_adaptive_summary(report: AdaptiveBudgetReport) -> None:
     """One deterministic summary line for adaptive runs (after the table)."""
     status = "reached" if report.reached else "NOT reached (die cap hit)"
@@ -321,6 +353,13 @@ def _cmd_fig4(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
+    if _scenario_has_transient(args):
+        raise SystemExit(
+            f"--scenario {args.scenario.name} is not supported by fig5: the "
+            "analytical MSE evaluation cannot model per-read transient "
+            "faults; run it through fig7 (the quality sweep) instead"
+        )
+    _check_access_trace(args)
     sampling = _resolve_sampling(args)
     adaptive = _resolve_adaptive(args)
     reports: List[AdaptiveBudgetReport] = []
@@ -338,6 +377,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
             adaptive=adaptive,
             report_out=reports,
             store=store,
+            access_trace=args.access_trace,
         )
     finally:
         if store is not None:
@@ -389,7 +429,15 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
         print(f"unknown benchmark {args.benchmark!r}", file=sys.stderr)
         return 2
     benchmark = benchmarks[args.benchmark]
+    _check_access_trace(args)
     sampling = _resolve_sampling(args)
+    if _scenario_has_transient(args) and sampling == "legacy":
+        raise SystemExit(
+            f"--scenario {args.scenario.name} requires --sampling seeded: "
+            "per-read corruption replays from each die's seed-sequence "
+            "child, which the legacy shared-generator population does not "
+            "carry"
+        )
     adaptive = _resolve_adaptive(args)
     reports: List[AdaptiveBudgetReport] = []
     store = _open_store(args)
@@ -407,6 +455,7 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
             adaptive=adaptive,
             report_out=reports,
             store=store,
+            access_trace=args.access_trace,
         )
     finally:
         if store is not None:
@@ -513,12 +562,24 @@ def _dse_result(args: argparse.Namespace) -> DseResult:
                 "(the table bypasses the sweep); re-run "
                 "'dse run --spec ... --store ...'"
             )
+        if args.access_trace != 1:
+            raise SystemExit(
+                "--access-trace cannot be applied to a previously written "
+                "--table; re-run 'dse run --spec ... --access-trace ...'"
+            )
         return DseResult.load(args.table)
     if args.spec is None:
         raise SystemExit("either --spec or --table is required")
     spec = ExperimentSpec.from_file(args.spec)
     if args.scenario is not None:
         spec = replace(spec, scenario=args.scenario)
+    if args.access_trace != 1:
+        # replace() re-runs __post_init__, so a spec whose scenario lacks a
+        # transient tier fails eagerly here rather than mid-sweep.
+        try:
+            spec = replace(spec, access_trace=args.access_trace)
+        except ValueError as error:
+            raise SystemExit(f"--access-trace: {error}") from error
     if args.adaptive or spec.budget.mode == "adaptive":
         # The flags overlay the spec's budget section; values the user did
         # not pass stay as the spec wrote them (a spec's target_ci must not

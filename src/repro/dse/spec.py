@@ -263,7 +263,10 @@ class ExperimentSpec:
     The ``scenario`` layer names the fault-generation pipeline (see
     :mod:`repro.scenarios`) every grid point's dies are drawn through; a spec
     without a ``scenario`` section runs the default ``iid-pcell`` pipeline,
-    which is bit-identical to the pre-scenario sweeps.
+    which is bit-identical to the pre-scenario sweeps.  ``access_trace``
+    sets the read passes replayed per load for scenarios with a transient
+    tier; the default single pass leaves non-transient specs -- and their
+    grid points' hashes -- untouched.
     """
 
     geometry: GeometrySpec
@@ -273,6 +276,7 @@ class ExperimentSpec:
     benchmarks: BenchmarkGridSpec = BenchmarkGridSpec()
     quality_yield_target: float = 0.99
     scenario: ScenarioSpec = ScenarioSpec()
+    access_trace: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 < self.quality_yield_target < 1.0:
@@ -283,6 +287,24 @@ class ExperimentSpec:
             raise ValueError(
                 f"scenario must be a ScenarioSpec, got "
                 f"{type(self.scenario).__name__}"
+            )
+        if not isinstance(self.access_trace, int) or isinstance(
+            self.access_trace, bool
+        ):
+            raise ValueError(
+                f"access_trace must be an integer, got {self.access_trace!r}"
+            )
+        if self.access_trace < 1:
+            raise ValueError(
+                f"access_trace must be >= 1, got {self.access_trace}"
+            )
+        if self.access_trace != 1 and self.scenario.build().transient is None:
+            # Same load-time rule the engine enforces per grid point: fail
+            # when the spec is assembled, not halfway through a sweep.
+            raise ValueError(
+                "access_trace > 1 requires a scenario with a transient tier "
+                "(e.g. 'transient'); static faults do not change between "
+                "read passes"
             )
 
     def build_scenario(self) -> FaultScenario:
@@ -337,6 +359,7 @@ class ExperimentSpec:
             # None in fixed mode, so fixed-budget grid points keep their
             # historical checkpoint hashes; an adaptive budget keys them.
             adaptive=self.budget.adaptive_budget(),
+            access_trace=self.access_trace,
         )
 
     # ------------------------------------------------------------------ #
@@ -357,6 +380,10 @@ class ExperimentSpec:
         data["scheme_grid"]["specs"] = list(self.scheme_grid.specs)
         data["benchmarks"]["names"] = list(self.benchmarks.names)
         data["scenario"] = self.scenario.to_dict()
+        if self.access_trace == 1:
+            # Keep default-spec JSON byte-identical to the pre-transient
+            # format (and round-trippable by older readers).
+            del data["access_trace"]
         return data
 
     def to_json(self, indent: int = 2) -> str:
@@ -410,6 +437,8 @@ class ExperimentSpec:
             )
         if "quality_yield_target" in data:
             kwargs["quality_yield_target"] = data["quality_yield_target"]
+        if "access_trace" in data:
+            kwargs["access_trace"] = data["access_trace"]
         if "scenario" in data:
             scenario = ScenarioSpec.from_dict(data["scenario"])
             # Resolve through the registry now: an unknown scenario name or

@@ -290,7 +290,12 @@ class FaultMapSampler:
         """Yield ``(failure_count, probability, fault_maps)`` per stratum.
 
         The probability is ``Pr(N = n)`` from Eq. 4 and should be used to
-        weight the stratum's results when assembling distributions.
+        weight the stratum's results when assembling distributions.  Each
+        stratum's maps are drawn through :meth:`sample_batch`, so a sampler
+        constructed with ``scenario=`` runs every stratum through the full
+        scenario pipeline (source -> transforms -> repair); the stratum is
+        then labelled by the *pre-repair* failure count, and a repair stage
+        may leave individual maps with fewer surviving faults.
 
         .. deprecated::
             This generator predates the sweep engine and duplicates its

@@ -13,9 +13,12 @@ decides *which* fault population every die of a sweep sees.
   clustering;
 * :mod:`repro.scenarios.repair` -- spare-row/column redundancy applied
   before protection encoding;
+* :mod:`repro.scenarios.transient` -- the access-sequence tier: per-read
+  soft errors, read-disturb accumulation, and periodic scrubbing;
 * :mod:`repro.scenarios.catalog` -- the named catalog (``iid-pcell``,
-  ``aged``, ``clustered``, ``repaired``) behind ``--scenario`` flags and the
-  ``scenario`` section of an :class:`~repro.dse.spec.ExperimentSpec`.
+  ``aged``, ``clustered``, ``repaired``, ``transient``) behind ``--scenario``
+  flags and the ``scenario`` section of an
+  :class:`~repro.dse.spec.ExperimentSpec`.
 
 The default ``iid-pcell`` scenario reproduces the historical sampling stream
 bit-for-bit; every other scenario flows through the same per-die seeding,
@@ -36,6 +39,14 @@ from repro.scenarios.catalog import (
 from repro.scenarios.repair import RepairStage
 from repro.scenarios.sources import AgedPcellSource, IidPcellSource
 from repro.scenarios.transforms import ClusterTransform
+from repro.scenarios.transient import (
+    ReadDisturbSource,
+    ScrubbingRepair,
+    SoftErrorSource,
+    TransientFaultSource,
+    TransientReadEffects,
+    TransientTier,
+)
 
 __all__ = [
     "AgedPcellSource",
@@ -44,9 +55,15 @@ __all__ = [
     "FaultSource",
     "FaultTransform",
     "IidPcellSource",
+    "ReadDisturbSource",
     "RepairStage",
     "SCENARIO_NAMES",
     "ScenarioSpec",
+    "ScrubbingRepair",
+    "SoftErrorSource",
+    "TransientFaultSource",
+    "TransientReadEffects",
+    "TransientTier",
     "build_scenario",
     "default_scenario",
 ]

@@ -38,12 +38,15 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
 from repro.memory.faults import FaultKind, FaultMap
 from repro.memory.organization import MemoryOrganization
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: transient imports base
+    from repro.scenarios.transient import TransientTier
 
 __all__ = [
     "FaultScenario",
@@ -132,12 +135,19 @@ class FaultScenario:
     repair:
         Optional spare-row/column repair stage applied last, before the maps
         reach protection encoding (see :class:`repro.scenarios.repair.RepairStage`).
+    transient:
+        Optional access-sequence tier (per-read soft errors, read-disturb,
+        scrubbing; see :mod:`repro.scenarios.transient`).  Unlike the static
+        stages it is not consumed during map sampling: the sweep engine
+        threads it into every die's :class:`~repro.sim.faulty_storage.FaultyTensorStore`,
+        which replays it per load from the die's own seed stream.
     """
 
     name: str
     source: FaultSource
     transforms: Tuple[FaultTransform, ...] = ()
     repair: Optional["RepairStageLike"] = None
+    transient: Optional["TransientTier"] = None
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "transforms", tuple(self.transforms))
@@ -243,17 +253,26 @@ class FaultScenario:
         return (
             not self.transforms
             and self.repair is None
+            and self.transient is None
             and self.source.to_dict() == {"kind": "iid-pcell"}
         )
 
     def to_dict(self) -> Dict[str, object]:
-        """JSON-serialisable description of the full pipeline."""
-        return {
+        """JSON-serialisable description of the full pipeline.
+
+        The ``transient`` key appears only when the tier is present, so
+        every static scenario's description -- and with it every existing
+        checkpoint and store hash -- stays byte-identical.
+        """
+        description: Dict[str, object] = {
             "name": self.name,
             "source": self.source.to_dict(),
             "transforms": [t.to_dict() for t in self.transforms],
             "repair": self.repair.to_dict() if self.repair is not None else None,
         }
+        if self.transient is not None:
+            description["transient"] = self.transient.to_dict()
+        return description
 
 
 class RepairStageLike(abc.ABC):

@@ -14,6 +14,10 @@ name            pipeline
                 (``cluster_size``, ``row_fraction``)
 ``repaired``    i.i.d. source + spare-row/column :class:`RepairStage`
                 (``spare_rows``, ``spare_columns``)
+``transient``   i.i.d. source + per-read :class:`TransientTier` (``ser``
+                bit-flip probability, ``ser_distribution`` bernoulli/poisson,
+                ``disturb`` read-disturb probability, ``scrub_interval``
+                passes between :class:`ScrubbingRepair` rewrites)
 ==============  ==============================================================
 
 Unknown names and unknown/invalid parameters raise :class:`ValueError` with
@@ -32,11 +36,19 @@ from repro.scenarios.base import FaultScenario
 from repro.scenarios.repair import RepairStage
 from repro.scenarios.sources import AgedPcellSource, IidPcellSource
 from repro.scenarios.transforms import ClusterTransform
+from repro.scenarios.transient import (
+    ReadDisturbSource,
+    ScrubbingRepair,
+    SoftErrorSource,
+    TransientTier,
+)
 
 __all__ = ["SCENARIO_NAMES", "build_scenario", "default_scenario"]
 
 #: Canonical catalog names (aliases excluded).
-SCENARIO_NAMES: Tuple[str, ...] = ("iid-pcell", "aged", "clustered", "repaired")
+SCENARIO_NAMES: Tuple[str, ...] = (
+    "iid-pcell", "aged", "clustered", "repaired", "transient",
+)
 
 _ALIASES = {"iid": "iid-pcell", "default": "iid-pcell"}
 
@@ -124,11 +136,53 @@ def _build_repaired(spare_rows: int = 4, spare_columns: int = 2) -> FaultScenari
     )
 
 
+def _build_transient(
+    ser: float = 1e-5,
+    disturb: float = 0.0,
+    scrub_interval: Optional[int] = None,
+    ser_distribution: str = "bernoulli",
+) -> FaultScenario:
+    # The static i.i.d. base stays: p_cell still governs manufacturing
+    # defects; the transient tier adds per-read effects on top of them.
+    sources = []
+    if float(ser) > 0.0:
+        sources.append(
+            SoftErrorSource(
+                flip_probability=float(ser),
+                distribution=str(ser_distribution),
+            )
+        )
+    if float(disturb) > 0.0:
+        sources.append(ReadDisturbSource(disturb_probability=float(disturb)))
+    if not sources:
+        raise ValueError(
+            "the transient scenario needs ser > 0 or disturb > 0; with both "
+            "zero it would silently run the plain i.i.d. scenario"
+        )
+    scrubbing = None
+    if scrub_interval is not None:
+        if float(disturb) <= 0.0:
+            raise ValueError(
+                "scrub_interval requires disturb > 0: scrubbing repairs "
+                "accumulated read-disturb state, and soft errors are not "
+                "persistent"
+            )
+        scrubbing = ScrubbingRepair(
+            period=_int_param("scrub_interval", scrub_interval)
+        )
+    return FaultScenario(
+        name="transient",
+        source=IidPcellSource(),
+        transient=TransientTier(sources=tuple(sources), scrubbing=scrubbing),
+    )
+
+
 _FACTORIES: Dict[str, Callable[..., FaultScenario]] = {
     "iid-pcell": _build_iid,
     "aged": _build_aged,
     "clustered": _build_clustered,
     "repaired": _build_repaired,
+    "transient": _build_transient,
 }
 
 

@@ -611,6 +611,11 @@ class ExperimentConfig:
         ``samples_per_count`` budget to confidence-driven sampling.  ``None``
         (fixed mode) keeps every historical result and checkpoint hash
         bit-identical; a budget keys the hash with its full parameter set.
+    access_trace:
+        Read passes replayed per load when the scenario carries a transient
+        tier (see :mod:`repro.scenarios.transient`).  The default single
+        pass keeps non-transient hashes unchanged; any other value requires
+        a transient scenario and keys the hash.
     """
 
     rows: int
@@ -626,6 +631,7 @@ class ExperimentConfig:
     benchmark: str = ""
     scenario: Optional[ScenarioSpec] = None
     adaptive: Optional[AdaptiveBudget] = None
+    access_trace: int = 1
 
     def __post_init__(self) -> None:
         if self.adaptive is not None and not isinstance(
@@ -651,6 +657,22 @@ class ExperimentConfig:
                 # Canonical form: the default pipeline is represented as
                 # None, so its hashes match the pre-scenario era exactly.
                 object.__setattr__(self, "scenario", None)
+        if not isinstance(self.access_trace, int) or isinstance(
+            self.access_trace, bool
+        ):
+            raise ValueError(
+                f"access_trace must be an integer, got {self.access_trace!r}"
+            )
+        if self.access_trace < 1:
+            raise ValueError(
+                f"access_trace must be >= 1, got {self.access_trace}"
+            )
+        if self.access_trace != 1 and self.build_scenario().transient is None:
+            raise ValueError(
+                "access_trace > 1 requires a scenario with a transient "
+                "tier: static faults do not change between read passes, so "
+                "a longer trace would silently run the single-read model"
+            )
 
     @property
     def organization(self) -> MemoryOrganization:
@@ -749,6 +771,11 @@ class ExperimentConfig:
             # a fixed-mode checkpoint must never resume an adaptive sweep
             # (or vice versa), and two different CI targets must not alias.
             data["adaptive"] = self.adaptive.to_dict()
+        if self.access_trace != 1:
+            # Same only-when-non-default rule as the scenario/adaptive keys:
+            # single-pass sweeps keep their historical hashes, and sweeps of
+            # different trace lengths never alias one cache entry.
+            data["access_trace"] = self.access_trace
         return data
 
     def max_adaptive_samples(self) -> int:
@@ -872,19 +899,17 @@ def _pool_summarize_shard(entries: List["_AdaptiveEntry"]):
     return _summarize_shard(entries, _WORKER_CONTEXT)
 
 
-def _die_fault_map(
-    context: Mapping[str, object], die_index: int, failure_count: int
+def _sample_die_map(
+    context: Mapping[str, object],
+    rng: np.random.Generator,
+    failure_count: int,
 ) -> FaultMap:
-    """Draw die ``die_index``'s fault map from its own seed-sequence child.
+    """Draw one die's fault map through the sweep's scenario pipeline.
 
-    The draw runs through the sweep's fault-scenario pipeline; the default
-    ``iid-pcell`` scenario issues exactly the historical generator calls, so
-    seeded results are bit-identical to the pre-scenario engine.
+    The default ``iid-pcell`` scenario issues exactly the historical
+    generator calls, so seeded results are bit-identical to the pre-scenario
+    engine.
     """
-    child = np.random.SeedSequence(
-        context["master_seed"], spawn_key=(die_index,)
-    )
-    rng = np.random.default_rng(child)
     max_per_word = 1 if context["discard_multi_fault_words"] else None
     scenario: FaultScenario = context["scenario"]
     return scenario.sample_die(
@@ -896,8 +921,36 @@ def _die_fault_map(
     )
 
 
+def _die_transient_seed(
+    context: Mapping[str, object], rng: np.random.Generator
+) -> Optional[int]:
+    """The die's transient replay seed, drawn after its fault map.
+
+    Only transient sweeps take this extra draw from the die's child stream,
+    so every non-transient scenario's sampling stream -- and with it every
+    existing seeded result -- stays bit-identical.  Transient events are
+    scheme-independent (they corrupt stored data columns, whatever guards
+    them), so one seed per die serves every scheme's store identically.
+    """
+    if context.get("transient") is None:
+        return None
+    return int(rng.integers(np.iinfo(np.int64).max, dtype=np.int64))
+
+
+def _die_fault_map(
+    context: Mapping[str, object], die_index: int, failure_count: int
+) -> FaultMap:
+    """Draw die ``die_index``'s fault map from its own seed-sequence child."""
+    child = np.random.SeedSequence(
+        context["master_seed"], spawn_key=(die_index,)
+    )
+    return _sample_die_map(context, np.random.default_rng(child), failure_count)
+
+
 def _evaluate_die(
-    context: Mapping[str, object], fault_map: FaultMap
+    context: Mapping[str, object],
+    fault_map: FaultMap,
+    transient_seed: Optional[int] = None,
 ) -> List[float]:
     """Per-scheme score of one die: normalised quality, or local MSE."""
     if context.get("evaluation", "quality") == "mse":
@@ -908,7 +961,13 @@ def _evaluate_die(
     qualities = []
     for scheme in context["schemes"]:
         store = FaultyTensorStore(
-            context["organization"], scheme, fault_map, context["fixed_point"]
+            context["organization"],
+            scheme,
+            fault_map,
+            context["fixed_point"],
+            transient=context.get("transient"),
+            transient_seed=transient_seed,
+            access_trace=int(context.get("access_trace", 1)),
         )
         corrupted = store.load_quantized(context["raw_features"])
         quality = context["benchmark"].quality_with_corrupted_features(corrupted)
@@ -922,9 +981,17 @@ def _evaluate_shard(
     """Evaluate one shard of dies; returns ``(die_index, qualities)`` pairs."""
     results = []
     for die_index, _count_index, _sample_index, failure_count, fault_map in entries:
+        transient_seed = None
         if fault_map is None:
-            fault_map = _die_fault_map(context, die_index, failure_count)
-        results.append((die_index, _evaluate_die(context, fault_map)))
+            child = np.random.SeedSequence(
+                context["master_seed"], spawn_key=(die_index,)
+            )
+            rng = np.random.default_rng(child)
+            fault_map = _sample_die_map(context, rng, failure_count)
+            transient_seed = _die_transient_seed(context, rng)
+        results.append(
+            (die_index, _evaluate_die(context, fault_map, transient_seed))
+        )
     return results
 
 
@@ -952,16 +1019,7 @@ def _adaptive_die_fault_map(
     child = np.random.SeedSequence(
         context["master_seed"], spawn_key=(count_index, sample_index)
     )
-    rng = np.random.default_rng(child)
-    max_per_word = 1 if context["discard_multi_fault_words"] else None
-    scenario: FaultScenario = context["scenario"]
-    return scenario.sample_die(
-        context["organization"],
-        failure_count,
-        rng,
-        max_faults_per_word=max_per_word,
-        max_rounds=_REJECTION_MAX_ATTEMPTS,
-    )
+    return _sample_die_map(context, np.random.default_rng(child), failure_count)
 
 
 def _summarize_shard(
@@ -981,10 +1039,13 @@ def _summarize_shard(
     edges = adaptive["edges"]
     cells: Dict[Tuple[int, int], Tuple[StreamingMoments, FixedGridEcdfSketch]] = {}
     for count_index, sample_index, failure_count in entries:
-        fault_map = _adaptive_die_fault_map(
-            context, count_index, sample_index, failure_count
+        child = np.random.SeedSequence(
+            context["master_seed"], spawn_key=(count_index, sample_index)
         )
-        scores = _evaluate_die(context, fault_map)
+        rng = np.random.default_rng(child)
+        fault_map = _sample_die_map(context, rng, failure_count)
+        transient_seed = _die_transient_seed(context, rng)
+        scores = _evaluate_die(context, fault_map, transient_seed)
         for scheme_index, score in enumerate(scores):
             key = (scheme_index, count_index)
             cell = cells.get(key)
@@ -1381,6 +1442,14 @@ class SweepEngine:
             way; :attr:`last_run_stats` says which path ran.
         """
         config = self._config
+        if self._scenario.transient is not None:
+            if config.master_seed is None or fault_maps is not None:
+                raise ValueError(
+                    "transient scenarios require seeded per-die sampling "
+                    "(a master_seed, no pre-drawn fault_maps): per-read "
+                    "corruption replays from each die's seed-sequence "
+                    "child, which pre-drawn maps do not carry"
+                )
         if fixed_point is None:
             fixed_point = FixedPointFormat(
                 total_bits=config.word_width, frac_bits=config.frac_bits
@@ -1410,6 +1479,8 @@ class SweepEngine:
             "discard_multi_fault_words": config.discard_multi_fault_words,
             "master_seed": config.master_seed,
             "scenario": self._scenario,
+            "transient": self._scenario.transient,
+            "access_trace": config.access_trace,
         }
         if config.adaptive is not None:
             self._check_adaptive_call(fault_maps, shard_size, shard_order)
@@ -1544,6 +1615,12 @@ class SweepEngine:
         computed sweeps).
         """
         config = self._config
+        if self._scenario.transient is not None:
+            raise ValueError(
+                "the analytical MSE evaluation cannot model per-read "
+                "transient faults; run transient scenarios through the "
+                "quality sweep (SweepEngine.run / fig7) instead"
+            )
         store_key: Optional[str] = None
         if store is not None:
             store_key = self.config_hash(

@@ -30,6 +30,17 @@ programming its die-specific state (``attach_rows`` / ``program``), so the
 caller's scheme instance is never mutated and any number of stores may be
 built from one shared scheme object without corrupting each other's FM-LUT
 state.  The programmed copy is available as :attr:`FaultyTensorStore.scheme`.
+
+Access-trace mode: when a :class:`~repro.scenarios.transient.TransientTier`
+is attached, every load additionally replays ``access_trace`` read passes of
+per-read corruption (soft errors, read-disturb, scrubbing) drawn from a
+dedicated ``transient_seed``.  The seed is expanded through a fresh
+``SeedSequence`` on every load, so repeated loads of one store observe the
+*same* transient events -- a die is one sample of the population, and the
+sweep engine derives the seed from the die's own seed-sequence child to keep
+worker-count/shard-order bit-identity.  Transient masks cover only the data
+columns (like the static fault map), and the batched application has a scalar
+reference path (``transient_vectorized=False``) that is bit-identical.
 """
 
 from __future__ import annotations
@@ -43,10 +54,13 @@ from repro.core.base import ProtectionScheme
 from repro.memory.faults import FaultMap
 from repro.memory.organization import MemoryOrganization
 from repro.memory.words import (
+    from_twos_complement,
     from_twos_complement_array,
+    to_twos_complement,
     to_twos_complement_array,
 )
 from repro.quantize.fixedpoint import FixedPointFormat
+from repro.scenarios.transient import TransientTier
 
 __all__ = ["FaultyTensorStore"]
 
@@ -66,6 +80,15 @@ class FaultyTensorStore:
         Persistent fault map of the die's data columns.
     fixed_point:
         Quantisation format used for the stored values (Q15.16 by default).
+    transient:
+        Optional per-read fault tier (see the module docstring).
+    transient_seed:
+        Seed the tier's events are replayed from; required with ``transient``.
+    access_trace:
+        Number of read passes the tier replays per load (>= 1).
+    transient_vectorized:
+        Apply transient masks through the batched NumPy path (default) or
+        the scalar reference loop; both are bit-identical by contract.
     """
 
     def __init__(
@@ -74,6 +97,11 @@ class FaultyTensorStore:
         scheme: ProtectionScheme,
         fault_map: FaultMap,
         fixed_point: Optional[FixedPointFormat] = None,
+        *,
+        transient: Optional["TransientTier"] = None,
+        transient_seed: Optional[int] = None,
+        access_trace: int = 1,
+        transient_vectorized: bool = True,
     ) -> None:
         if scheme.word_width != organization.word_width:
             raise ValueError("scheme word width does not match the memory")
@@ -90,9 +118,32 @@ class FaultyTensorStore:
             raise ValueError(
                 "fixed-point word width must match the memory word width"
             )
+        access_trace = int(access_trace)
+        if access_trace < 1:
+            raise ValueError(
+                f"access_trace must be >= 1, got {access_trace}"
+            )
+        if transient is None and access_trace != 1:
+            raise ValueError(
+                "access_trace > 1 requires a transient tier: static faults "
+                "do not change between read passes, so a longer trace would "
+                "silently run the single-read model"
+            )
+        if transient is not None and transient_seed is None:
+            raise ValueError(
+                "a transient tier requires a transient_seed: per-read "
+                "corruption must replay deterministically from the die's "
+                "seed stream"
+            )
         self._organization = organization
         self._fault_map = fault_map
         self._fixed_point = fixed_point
+        self._transient = transient
+        self._transient_seed = (
+            None if transient_seed is None else int(transient_seed)
+        )
+        self._access_trace = access_trace
+        self._transient_vectorized = bool(transient_vectorized)
         self._faulty_rows = fault_map.faulty_columns_by_row()
         self._faulty_row_array = np.array(
             sorted(self._faulty_rows), dtype=np.int64
@@ -165,6 +216,8 @@ class FaultyTensorStore:
 
     def _roundtrip_raw(self, raw: np.ndarray) -> np.ndarray:
         """Push flat signed codes through the batched encode/corrupt/decode path."""
+        if self._transient is not None:
+            return self._roundtrip_transient(raw)
         corrupted_raw = raw.copy()
         if self._faulty_row_array.size == 0:
             return corrupted_raw
@@ -177,6 +230,70 @@ class FaultyTensorStore:
         observed = self._corrupt_words(rows, stored)
         recovered = self._scheme.decode_words(rows, observed)
         corrupted_raw[indices] = from_twos_complement_array(recovered, width)
+        return corrupted_raw
+
+    def _roundtrip_transient(self, raw: np.ndarray) -> np.ndarray:
+        """The access-trace datapath: static masks plus replayed per-read flips.
+
+        Every load rebuilds the generator from ``transient_seed`` (seed
+        sequences are pure functions of their entropy), so the transient
+        events of this die are identical across loads, schemes, worker
+        counts, and shard orders.  Values whose transient mask is zero and
+        whose row is healthy skip the datapath entirely, exactly like the
+        static-only fast path.
+        """
+        corrupted_raw = raw.copy()
+        n_values = int(raw.size)
+        if n_values == 0:
+            return corrupted_raw
+        rng = np.random.default_rng(
+            np.random.SeedSequence(self._transient_seed)
+        )
+        effects = self._transient.sample_read_effects(
+            self._organization,
+            n_values,
+            self._access_trace,
+            rng,
+            vectorized=self._transient_vectorized,
+        )
+        total_rows = self._organization.rows
+        value_rows = np.arange(n_values, dtype=np.int64) % total_rows
+        transient_masks = effects.observed_masks(value_rows)
+        statically_affected = np.zeros(n_values, dtype=bool)
+        _static_rows, static_indices = self._affected(n_values)
+        statically_affected[static_indices] = True
+        affected = np.nonzero(
+            statically_affected | (transient_masks != np.uint64(0))
+        )[0]
+        if affected.size == 0:
+            return corrupted_raw
+        width = self._organization.word_width
+        if self._transient_vectorized:
+            rows = value_rows[affected]
+            patterns = to_twos_complement_array(raw[affected], width)
+            stored = self._scheme.encode_words(rows, patterns)
+            # Static masks first (identity on healthy rows), then the
+            # transient XOR; both touch only the data columns.
+            observed = self._corrupt_words(rows, stored)
+            observed = observed ^ transient_masks[affected]
+            recovered = self._scheme.decode_words(rows, observed)
+            corrupted_raw[affected] = from_twos_complement_array(
+                recovered, width
+            )
+            return corrupted_raw
+        data_mask = (1 << width) - 1
+        for value_index in affected.tolist():
+            row = int(value_rows[value_index])
+            pattern = to_twos_complement(int(raw[value_index]), width)
+            stored = int(self._scheme.encode_word(row, pattern))
+            observed = (
+                self._fault_map.corrupt_word(row, stored & data_mask)
+                | (stored & ~data_mask)
+            )
+            observed ^= int(transient_masks[value_index])
+            corrupted_raw[value_index] = from_twos_complement(
+                int(self._scheme.decode_word(row, observed)), width
+            )
         return corrupted_raw
 
     def _affected(self, n_values: int) -> Tuple[np.ndarray, np.ndarray]:

@@ -627,3 +627,248 @@ class TestDseStoreFlag:
                 ["dse", "pareto", "--table", output, "--store",
                  str(tmp_path / "s")]
             )
+
+
+# --------------------------------------------------------------------------- #
+# Error paths: every misuse must fail loudly with its exact message
+# --------------------------------------------------------------------------- #
+class TestScenarioParseErrors:
+    """Malformed ``--scenario`` strings and their exact diagnostics."""
+
+    @pytest.mark.parametrize(
+        ("text", "message"),
+        [
+            (
+                "aged=5",
+                "scenario name 'aged=5' must not contain '='; parameters "
+                "follow the name after a comma (e.g. 'aged,years=5')",
+            ),
+            (
+                "aged,years",
+                "scenario parameter 'years' must have the form key=value",
+            ),
+            (
+                "aged,=5",
+                "scenario parameter '=5' is missing a key before '='",
+            ),
+            (
+                "aged,years=1=2",
+                "scenario parameter 'years=1=2' has more than one '='; "
+                "values must not contain '='",
+            ),
+            (
+                "aged,years=",
+                "scenario parameter 'years=' is missing a value after '='",
+            ),
+            (
+                "meteor",
+                "unknown scenario 'meteor'; expected one of iid-pcell, "
+                "aged, clustered, repaired, transient",
+            ),
+            (
+                "transient,ser=0,disturb=0",
+                "the transient scenario needs ser > 0 or disturb > 0",
+            ),
+            (
+                "transient,ser=1e-4,scrub_interval=2",
+                "scrub_interval requires disturb > 0",
+            ),
+        ],
+    )
+    def test_exact_message(self, capsys, text, message):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--scenario", text])
+        assert message in capsys.readouterr().err
+
+
+class TestStoreCorruptionErrors:
+    """``--store`` pointed at a damaged store names the broken segment."""
+
+    @pytest.fixture
+    def store_root(self, tmp_path):
+        from repro.store import ResultStore
+
+        root = str(tmp_path / "damaged")
+        with ResultStore(root) as store:
+            store.put_record("ab" * 32, "mse", {"x": 1})
+        return root
+
+    def _segment(self, root):
+        import glob
+        import os
+
+        (path,) = glob.glob(os.path.join(root, "segments", "*.jsonl"))
+        return path
+
+    def test_corrupt_record_named_exactly(self, store_root):
+        import os
+
+        path = self._segment(store_root)
+        with open(path, "a") as handle:
+            handle.write("{not json}\n")
+        name = os.path.basename(path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "query", "--store", store_root])
+        assert f"segment {name!r} holds a corrupt record at byte" in str(
+            excinfo.value.code
+        )
+
+    def test_torn_record_named_exactly(self, store_root):
+        import os
+
+        path = self._segment(store_root)
+        with open(path, "rb") as handle:
+            data = handle.read()
+        with open(path, "wb") as handle:
+            handle.write(data[:-5])
+        name = os.path.basename(path)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["store", "gc", "--store", store_root])
+        message = str(excinfo.value.code)
+        assert f"segment {name!r} ends with a torn record at byte" in message
+        assert "truncate or delete the segment to recover" in message
+
+    def test_fig7_store_surfaces_the_same_error(self, store_root):
+        from repro.store import StoreError
+
+        path = self._segment(store_root)
+        with open(path, "a") as handle:
+            handle.write("{not json}\n")
+        with pytest.raises(StoreError, match="holds a corrupt record"):
+            main(
+                ["fig7", "--samples", "1", "--count-points", "2",
+                 "--scale", "0.2", "--store", store_root]
+            )
+
+
+class TestAdaptiveFlagErrors:
+    def test_adaptive_with_legacy_sampling(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig7", "--adaptive", "--sampling", "legacy"])
+        assert str(excinfo.value.code) == (
+            "--adaptive requires --sampling seeded: the adaptive controller "
+            "decides the die count as it runs, so the population cannot be "
+            "pre-drawn from the legacy shared generator"
+        )
+
+    @pytest.mark.parametrize(
+        ("flags", "message"),
+        [
+            (["--target-ci", "0.01"], "--target-ci requires --adaptive"),
+            (["--max-samples", "10"], "--max-samples requires --adaptive"),
+        ],
+    )
+    def test_adaptive_satellites_require_adaptive(self, flags, message):
+        for command in (["fig5"], ["fig7"]):
+            with pytest.raises(SystemExit) as excinfo:
+                main(command + flags)
+            assert str(excinfo.value.code) == message
+
+
+class TestTransientCliGuards:
+    FIG7_TRANSIENT = [
+        "fig7",
+        "--benchmark",
+        "knn",
+        "--p-cell",
+        "2e-4",
+        "--samples",
+        "1",
+        "--count-points",
+        "2",
+        "--scale",
+        "0.2",
+        "--sampling",
+        "seeded",
+        "--scenario",
+        "transient,ser=5e-3,disturb=2e-3,scrub_interval=2",
+        "--access-trace",
+        "3",
+    ]
+
+    def test_fig5_rejects_transient(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig5", "--scenario", "transient,ser=1e-4"])
+        assert str(excinfo.value.code) == (
+            "--scenario transient is not supported by fig5: the analytical "
+            "MSE evaluation cannot model per-read transient faults; run it "
+            "through fig7 (the quality sweep) instead"
+        )
+
+    def test_fig7_transient_requires_seeded_sampling(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["fig7", "--scenario", "transient,ser=1e-4",
+                 "--sampling", "legacy"]
+            )
+        assert str(excinfo.value.code) == (
+            "--scenario transient requires --sampling seeded: per-read "
+            "corruption replays from each die's seed-sequence child, which "
+            "the legacy shared-generator population does not carry"
+        )
+
+    def test_access_trace_requires_transient_scenario(self):
+        expected = (
+            "--access-trace requires a scenario with a transient tier "
+            "(e.g. --scenario transient,ser=1e-5): static faults do not "
+            "change between read passes"
+        )
+        for command in (
+            ["fig5", "--access-trace", "2"],
+            ["fig7", "--access-trace", "2", "--scenario", "aged"],
+        ):
+            with pytest.raises(SystemExit) as excinfo:
+                main(command)
+            assert str(excinfo.value.code) == expected
+
+    def test_access_trace_rejects_non_positive(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7", "--access-trace", "0"])
+        assert "must be a positive integer" in capsys.readouterr().err
+
+    def test_dse_access_trace_rejected_with_table(self, tmp_path, capsys):
+        spec = ExperimentSpec(
+            geometry=GeometrySpec(rows=128),
+            operating_grid=OperatingGridSpec(vdd_values=(0.70,)),
+            scheme_grid=SchemeGridSpec(specs=("no-protection",)),
+            budget=McBudgetSpec(
+                samples_per_count=1,
+                n_count_points=2,
+                coverage=0.9,
+                master_seed=7,
+            ),
+            benchmarks=BenchmarkGridSpec(names=("knn",), scale=0.2, seed=17),
+        )
+        spec_path = str(tmp_path / "spec.json")
+        spec.save(spec_path)
+        output = str(tmp_path / "table.json")
+        assert main(
+            ["dse", "run", "--spec", spec_path, "--output", output]
+        ) == 0
+        capsys.readouterr()
+        with pytest.raises(SystemExit) as excinfo:
+            main(["dse", "pareto", "--table", output, "--access-trace", "4"])
+        assert str(excinfo.value.code) == (
+            "--access-trace cannot be applied to a previously written "
+            "--table; re-run 'dse run --spec ... --access-trace ...'"
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            main(
+                ["dse", "run", "--spec", spec_path, "--access-trace", "4"]
+            )
+        assert str(excinfo.value.code).startswith("--access-trace: ")
+
+    def test_fig7_transient_stdout_identical_for_worker_counts(self, capsys):
+        assert main(self.FIG7_TRANSIENT + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(self.FIG7_TRANSIENT + ["--workers", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert "scenario transient" in serial
+        assert parallel == serial
+
+    def test_fig7_access_trace_changes_the_output(self, capsys):
+        assert main(self.FIG7_TRANSIENT) == 0
+        three_passes = capsys.readouterr().out
+        assert main(self.FIG7_TRANSIENT[:-2] + ["--access-trace", "1"]) == 0
+        one_pass = capsys.readouterr().out
+        assert one_pass != three_passes

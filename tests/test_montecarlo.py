@@ -146,6 +146,25 @@ class TestFaultMapSampler:
             )
             assert all(m.fault_count == n for m in maps)
 
+    def test_iter_stratified_warns_and_runs_scenario_pipeline(self, rng):
+        # The deprecation warning must also fire on the scenario= path, and
+        # the strata must flow through the configured pipeline: a repaired
+        # scenario's spare rows can leave maps with fewer surviving faults
+        # than the stratum's pre-repair label.
+        from repro.scenarios import build_scenario
+
+        org = MemoryOrganization(rows=64, word_width=32)
+        sampler = FaultMapSampler(
+            org, rng, scenario=build_scenario("repaired", spare_rows=4)
+        )
+        with pytest.warns(DeprecationWarning, match="iter_stratified"):
+            strata = list(
+                sampler.iter_stratified(1e-3, total_runs=20, max_failures=3)
+            )
+        assert [n for n, _, _ in strata] == [1, 2, 3]
+        for n, _, maps in strata:
+            assert all(m.fault_count <= n for m in maps)
+
     def test_iter_stratified_warns_deprecation_once_per_call(self, rng):
         # PR 4 deprecated the generator in documentation only; it now warns
         # for real -- exactly once at call time, not once per stratum, and

@@ -669,3 +669,102 @@ class TestDseEndToEnd:
             names[key] = {p.name for p in cache.iterdir()}
         # Each scenario added its own cache files on top of the previous ones.
         assert names["iid"] < names["aged"] < names["clustered"]
+
+
+# --------------------------------------------------------------------------- #
+# Statistical harness retrofit: the pre-transient sources under the same
+# goodness-of-fit and mass-conservation checks as the transient tier
+# --------------------------------------------------------------------------- #
+import statharness  # noqa: E402
+
+
+class TestSourceDistributions:
+    @pytest.mark.parametrize("seed", statharness.gof_seeds(3, start=500))
+    def test_iid_single_fault_column_is_uniform(self, seed):
+        """The i.i.d. source places a lone fault uniformly over bit columns."""
+        org = MemoryOrganization(rows=64, word_width=32)
+        source = IidPcellSource()
+        rng = np.random.default_rng(np.random.SeedSequence(seed))
+        maps = source.sample_batch(org, 1, 4000, rng)
+        columns = np.array(
+            [fault.column for m in maps for fault in m]
+        )
+        observed = np.bincount(columns, minlength=org.word_width)
+        expected = np.full(org.word_width, columns.size / org.word_width)
+        statharness.assert_chi_square_gof(
+            observed,
+            expected,
+            label=f"iid fault columns (seed {seed})",
+        )
+
+    @pytest.mark.parametrize("seed", statharness.gof_seeds(3, start=600))
+    def test_aged_source_keeps_uniform_placement(self, seed):
+        """Aging shifts the operating point, not the placement law."""
+        org = MemoryOrganization(rows=64, word_width=32)
+        scenario = build_scenario("aged", years=8)
+        rng = np.random.default_rng(np.random.SeedSequence(seed))
+        maps = scenario.sample_batch(org, 1, 4000, rng)
+        columns = np.array(
+            [fault.column for m in maps for fault in m]
+        )
+        observed = np.bincount(columns, minlength=org.word_width)
+        expected = np.full(org.word_width, columns.size / org.word_width)
+        statharness.assert_chi_square_gof(
+            observed,
+            expected,
+            label=f"aged fault columns (seed {seed})",
+        )
+
+    @pytest.mark.parametrize("name", ["aged", "clustered"])
+    def test_transform_conserves_fault_mass(self, name, org):
+        """Aging and clustering relabel faults; they must not create or
+        destroy any (repair stages are the only mass sinks)."""
+        scenario = build_scenario(name)
+        rng = np.random.default_rng(7)
+        fault_count = 6
+        maps = scenario.sample_batch(org, fault_count, 50, rng)
+        statharness.assert_mass_conserved(
+            np.full(len(maps), fault_count),
+            np.array([m.fault_count for m in maps]),
+            label=f"{name} fault mass",
+        )
+
+    def test_repair_only_removes_mass(self, org):
+        scenario = build_scenario("repaired", spare_rows=4)
+        rng = np.random.default_rng(11)
+        fault_count = 6
+        maps = scenario.sample_batch(org, fault_count, 50, rng)
+        statharness.assert_mass_conserved(
+            np.full(len(maps), fault_count),
+            np.array([m.fault_count for m in maps]),
+            label="repaired fault mass",
+            direction="non-increasing",
+        )
+
+    def test_iid_batch_identical_to_sequential_draws(self, org):
+        """Differential check: one batched draw equals the per-map loop."""
+        source = IidPcellSource()
+
+        def batched(rng):
+            maps = source.sample_batch(org, 3, 20, rng)
+            return np.array(
+                sorted(
+                    (i, f.row, f.column)
+                    for i, m in enumerate(maps)
+                    for f in m
+                )
+            )
+
+        def sequential(rng):
+            cells = []
+            for i in range(20):
+                (m,) = source.sample_batch(org, 3, 1, rng)
+                cells.extend((i, f.row, f.column) for f in m)
+            return np.array(sorted(cells))
+
+        statharness.assert_batched_matches_scalar(
+            batched,
+            sequential,
+            seeds=statharness.gof_seeds(3, start=700),
+            label="iid batch vs sequential draws",
+        )

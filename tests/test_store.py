@@ -265,6 +265,14 @@ def _append_records(root: str, writer_id: int, n: int) -> int:
     return writer_id
 
 
+def _append_after_barrier(root: str, writer_id: int, n: int, barrier) -> None:
+    with ResultStore(root) as store:
+        barrier.wait(timeout=60)
+        for i in range(n):
+            key = f"{writer_id:02d}{i:02d}" + "11" * 30
+            store.put_record(key, "mse", {"writer": writer_id, "i": i})
+
+
 class TestConcurrentWriters:
     def test_parallel_appends_all_survive(self, tmp_path):
         root = str(tmp_path / "s")
@@ -287,6 +295,51 @@ class TestConcurrentWriters:
                     key = f"{writer_id:02d}{i:02d}" + "00" * 30
                     record = store.get_record(key)
                     assert record["payload"] == {"writer": writer_id, "i": i}
+
+    def test_simultaneous_appends_rebuild_without_loss_or_duplication(
+        self, tmp_path
+    ):
+        # Two *synchronised* writers: a barrier releases both processes into
+        # their append loops at the same instant, so the index snapshots they
+        # save genuinely race (each handle's snapshot only stamps its own
+        # segment).  The reopen must rebuild from the segment listing and
+        # account for every record exactly once.
+        import multiprocessing
+
+        root = str(tmp_path / "s")
+        ResultStore(root).close()
+        per_writer = 25
+        context = multiprocessing.get_context("spawn")
+        barrier = context.Barrier(2)
+        processes = [
+            context.Process(
+                target=_append_after_barrier,
+                args=(root, writer_id, per_writer, barrier),
+            )
+            for writer_id in range(2)
+        ]
+        for process in processes:
+            process.start()
+        for process in processes:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        with ResultStore(root, create=False) as store:
+            expected_keys = {
+                f"{writer_id:02d}{i:02d}" + "11" * 30
+                for writer_id in range(2)
+                for i in range(per_writer)
+            }
+            # No lost records: every key readable with its own payload.
+            assert set(store.keys()) == expected_keys
+            assert store.record_count() == 2 * per_writer
+            # No duplicated records: the segment scan holds each key once.
+            all_keys = [r["key"] for r in store.iter_all_records()]
+            assert len(all_keys) == 2 * per_writer
+            assert len(set(all_keys)) == 2 * per_writer
+            assert store.total_records() == 2 * per_writer
+            for key in expected_keys:
+                record = store.get_record(key)
+                assert record["payload"]["i"] == int(key[2:4])
 
     def test_writers_use_exclusive_segments(self, tmp_path):
         segments_dir = str(tmp_path)
