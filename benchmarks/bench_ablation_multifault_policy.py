@@ -40,7 +40,7 @@ def _compare_policies():
     return results
 
 
-def test_multifault_policy_ablation(benchmark, table_printer):
+def test_multifault_policy_ablation(benchmark, table_printer, json_summary):
     results = benchmark.pedantic(_compare_policies, rounds=1, iterations=1)
 
     rows = []
@@ -52,6 +52,15 @@ def test_multifault_policy_ablation(benchmark, table_printer):
                 float(dist.mse_at_yield(0.99)),
                 float(dist.mse_at_yield(0.999)),
             ]
+        )
+        json_summary(
+            "multifault_policy_ablation",
+            {
+                "policy": policy,
+                "n_fm": n_fm,
+                "mse_at_yield_99": rows[-1][2],
+                "mse_at_yield_999": rows[-1][3],
+            },
         )
     table_printer(
         "FM-LUT programming policy ablation (fault-dense 1 kB memory)",

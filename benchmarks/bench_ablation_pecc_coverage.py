@@ -43,13 +43,22 @@ def _coverage_sweep():
     }
 
 
-def test_pecc_coverage_ablation(benchmark, table_printer):
+def test_pecc_coverage_ablation(benchmark, table_printer, json_summary):
     results = benchmark.pedantic(_coverage_sweep, rounds=1, iterations=1)
 
     rows = []
     for name, (columns, dist) in results.items():
         rows.append(
             [name, columns, float(dist.mse_at_yield(0.999)), float(dist.mse_at_yield(0.9999))]
+        )
+        json_summary(
+            "pecc_coverage_ablation",
+            {
+                "scheme": name,
+                "extra_columns": columns,
+                "mse_at_yield_999": rows[-1][2],
+                "mse_at_yield_9999": rows[-1][3],
+            },
         )
     table_printer(
         f"P-ECC coverage ablation at Pcell = {P_CELL:g} (16 kB memory)",

@@ -56,8 +56,19 @@ def _tradeoff_curve():
     return results
 
 
-def test_voltage_energy_quality_tradeoff(benchmark, table_printer):
+def test_voltage_energy_quality_tradeoff(benchmark, table_printer, json_summary):
     results = benchmark.pedantic(_tradeoff_curve, rounds=1, iterations=1)
+    for r in results:
+        json_summary(
+            "voltage_energy_tradeoff",
+            {
+                "vdd": r["vdd"],
+                "energy_saving": float(r["energy_saving"]),
+                "p_cell": float(r["p_cell"]),
+                "mse_unprotected": float(r["mse_unprotected"]),
+                "mse_shuffled": float(r["mse_shuffled"]),
+            },
+        )
 
     table_printer(
         "Voltage scaling: energy saving vs required MSE tolerance (99.9% yield)",

@@ -72,23 +72,37 @@ def _batch_roundtrip(scheme, rows, words):
 
 
 @pytest.mark.parametrize("scheme_factory", SCHEME_FACTORIES)
-def test_encode_decode_throughput(benchmark, scheme_factory):
+def test_encode_decode_throughput(benchmark, scheme_factory, request, json_summary):
     """Scalar encode+decode throughput of each scheme (256 words per round)."""
     scheme = _make_scheme(scheme_factory)
     result = benchmark(
         _scalar_roundtrip, scheme, BATCH_ROW_INDICES[: WORDS.size], WORDS
     )
     assert result > 0
+    json_summary(
+        "datapath_scalar_throughput",
+        {
+            "scheme": request.node.callspec.id,
+            "words_per_second": WORDS.size / benchmark.stats.stats.min,
+        },
+    )
 
 
 @pytest.mark.parametrize("scheme_factory", SCHEME_FACTORIES)
-def test_batch_encode_decode_throughput(benchmark, scheme_factory):
+def test_batch_encode_decode_throughput(benchmark, scheme_factory, request, json_summary):
     """Batch encode_words+decode_words throughput (64k words per round)."""
     scheme = _make_scheme(scheme_factory)
     result = benchmark(
         _batch_roundtrip, scheme, BATCH_ROW_INDICES, BATCH_WORDS
     )
     assert result > 0
+    json_summary(
+        "datapath_batch_throughput",
+        {
+            "scheme": request.node.callspec.id,
+            "words_per_second": BATCH_WORDS.size / benchmark.stats.stats.min,
+        },
+    )
 
 
 @pytest.mark.parametrize("scheme_factory", SCHEME_FACTORIES)
@@ -101,7 +115,7 @@ def test_batch_matches_scalar(scheme_factory):
     ) == _scalar_roundtrip(scheme, BATCH_ROW_INDICES[:n], BATCH_WORDS[:n])
 
 
-def test_bit_shuffle_batch_speedup():
+def test_bit_shuffle_batch_speedup(json_summary):
     """Batch datapath must be >= 10x faster than the scalar seed path."""
     scheme = _make_scheme(lambda: BitShuffleScheme(32, 2, rows=BATCH_ROWS))
     n = 65536
@@ -122,10 +136,19 @@ def test_bit_shuffle_batch_speedup():
         f"(scalar {n / scalar_seconds:,.0f} words/s, "
         f"batch {n / batch_seconds:,.0f} words/s)"
     )
+    json_summary(
+        "datapath_batch_speedup",
+        {
+            "scheme": "bit-shuffle-nfm2",
+            "speedup_vs_scalar": speedup,
+            "scalar_words_per_second": n / scalar_seconds,
+            "batch_words_per_second": n / batch_seconds,
+        },
+    )
     assert speedup >= 10.0
 
 
-def test_mse_evaluation_throughput(benchmark):
+def test_mse_evaluation_throughput(benchmark, json_summary):
     """Analytical MSE evaluation rate over random 16 kB fault maps."""
     org = MemoryOrganization.paper_16kb()
     sampler = FaultMapSampler(org, np.random.default_rng(5))
@@ -137,3 +160,7 @@ def test_mse_evaluation_throughput(benchmark):
 
     total = benchmark(evaluate)
     assert total >= 0.0
+    json_summary(
+        "mse_evaluation_throughput",
+        {"maps_per_second": len(fault_maps) / benchmark.stats.stats.min},
+    )

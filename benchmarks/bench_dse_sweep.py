@@ -58,7 +58,7 @@ def serial_result():
 
 
 def test_dse_grid_bit_identical_across_worker_counts(
-    benchmark, table_printer, serial_result
+    benchmark, table_printer, json_summary, serial_result
 ):
     parallel = benchmark.pedantic(
         DesignSpaceExplorer(SPEC, workers=WORKERS).run, rounds=1, iterations=1
@@ -67,6 +67,15 @@ def test_dse_grid_bit_identical_across_worker_counts(
     assert len(parallel.rows) == SPEC.grid_size()
     frontier = parallel.pareto()
     assert frontier, "the 3x3 grid must produce a non-empty Pareto frontier"
+    json_summary(
+        "dse_grid",
+        {
+            "grid_size": SPEC.grid_size(),
+            "workers": WORKERS,
+            "frontier_size": len(frontier),
+            "bit_identical_across_workers": True,
+        },
+    )
     table_printer(
         f"DSE grid ({SPEC.grid_size()} cells), workers 1 vs {WORKERS}",
         ["scheme", "VDD [V]", "E total [fJ]", "Q@yield", "on frontier"],
@@ -83,7 +92,7 @@ def test_dse_grid_bit_identical_across_worker_counts(
     )
 
 
-def test_dse_checkpoint_cache_replays_fast(tmp_path, table_printer):
+def test_dse_checkpoint_cache_replays_fast(tmp_path, table_printer, json_summary):
     directory = str(tmp_path / "grid-cache")
 
     start = time.perf_counter()
@@ -105,6 +114,14 @@ def test_dse_checkpoint_cache_replays_fast(tmp_path, table_printer):
             ["cold sweep", cold_seconds, 1.0],
             ["cached replay", replay_seconds, speedup],
         ],
+    )
+    json_summary(
+        "dse_checkpoint_replay",
+        {
+            "cold_seconds": cold_seconds,
+            "replay_seconds": replay_seconds,
+            "speedup": speedup,
+        },
     )
     assert speedup >= REPLAY_SPEEDUP_GATE, (
         f"expected >= {REPLAY_SPEEDUP_GATE}x checkpoint replay speedup, "

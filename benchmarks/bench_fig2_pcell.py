@@ -16,11 +16,19 @@ from repro.faultmodel.pcell import PcellModel
 from repro.memory.organization import MemoryOrganization
 
 
-def test_fig2_pcell_vs_vdd(benchmark, table_printer):
+def test_fig2_pcell_vs_vdd(benchmark, table_printer, json_summary):
     """Regenerate the Fig. 2 curve and check its paper-anchored shape."""
     vdd = np.linspace(0.60, 1.00, 21)
 
     data = benchmark(figure2_pcell_vs_vdd, vdd_values=vdd)
+    json_summary(
+        "fig2_pcell_vs_vdd",
+        {
+            "vdd": [float(v) for v in data["vdd"]],
+            "p_cell": [float(p) for p in data["p_cell"]],
+            "classical_yield": [float(y) for y in data["classical_yield"]],
+        },
+    )
 
     table_printer(
         "Figure 2: Pcell and zero-failure yield vs VDD (28 nm model, 16 kB array)",
@@ -46,12 +54,16 @@ def test_fig2_pcell_vs_vdd(benchmark, table_printer):
     assert memory_yield[-1] > 0.999
 
 
-def test_fig2_operating_points(benchmark, table_printer):
+def test_fig2_operating_points(benchmark, table_printer, json_summary):
     """Map the Fig. 5 / Fig. 7 operating Pcell values back to supply voltages."""
     model = PcellModel.calibrated_28nm()
 
     points = benchmark(
         lambda: {p: model.vdd_for_p_cell(p) for p in (1e-9, 5e-6, 1e-3, 1e-2)}
+    )
+    json_summary(
+        "fig2_operating_points",
+        {"vdd_for_p_cell": {f"{p:g}": float(v) for p, v in points.items()}},
     )
 
     table_printer(

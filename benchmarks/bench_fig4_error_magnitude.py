@@ -14,9 +14,17 @@ from repro.analysis.figures import figure4_error_magnitude
 from repro.core.segments import worst_case_error_magnitude
 
 
-def test_fig4_error_magnitude_profiles(benchmark, table_printer):
+def test_fig4_error_magnitude_profiles(benchmark, table_printer, json_summary):
     """Regenerate every Fig. 4 series and verify the bounds."""
     series = benchmark(figure4_error_magnitude, word_width=32)
+    json_summary(
+        "fig4_error_magnitude",
+        {
+            "worst_case": {
+                name: float(values.max()) for name, values in series.items()
+            }
+        },
+    )
 
     headers = ["bit"] + list(series.keys())
     rows = [

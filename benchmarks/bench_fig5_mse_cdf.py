@@ -59,7 +59,7 @@ def test_fig5_mse_cdf(benchmark, table_printer):
     )
 
 
-def test_fig5_yield_table(benchmark, fig5_results, table_printer):
+def test_fig5_yield_table(benchmark, fig5_results, table_printer, json_summary):
     mse_targets = [1e0, 1e2, 1e4, 1e6, 1e8]
 
     def build_rows():
@@ -78,6 +78,18 @@ def test_fig5_yield_table(benchmark, fig5_results, table_printer):
         + ["MSE @ 99.9999% yield"],
         rows,
     )
+    for row in rows:
+        json_summary(
+            "fig5_yield_table",
+            {
+                "scheme": row[0],
+                "p_cell": P_CELL,
+                "yield_at_mse": {
+                    f"{t:g}": row[1 + i] for i, t in enumerate(mse_targets)
+                },
+                "mse_at_yield_999999": row[-1],
+            },
+        )
 
     unprotected = fig5_results["no-protection"]
     pecc = fig5_results["p-ecc-H(22,16)"]
@@ -103,7 +115,7 @@ def test_fig5_yield_table(benchmark, fig5_results, table_printer):
         assert dist.mse_at_yield(target_yield) <= pecc.mse_at_yield(target_yield)
 
 
-def test_fig5_mse_reduction_factor(benchmark, fig5_results, table_printer):
+def test_fig5_mse_reduction_factor(benchmark, fig5_results, table_printer, json_summary):
     """Minimum MSE-reduction factor of nFM=1 over the unprotected memory."""
     unprotected = fig5_results["no-protection"]
     nfm1 = fig5_results["bit-shuffle-nfm1"]
@@ -123,5 +135,9 @@ def test_fig5_mse_reduction_factor(benchmark, fig5_results, table_printer):
         "Figure 5 summary: MSE tolerance required (unprotected vs nFM=1)",
         ["yield target", "unprotected MSE", "nFM=1 MSE", "reduction factor"],
         rows,
+    )
+    json_summary(
+        "fig5_mse_reduction",
+        {"min_reduction_factor": min(factors), "p_cell": P_CELL},
     )
     assert min(factors) >= 30.0

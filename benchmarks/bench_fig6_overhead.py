@@ -27,12 +27,22 @@ def fig6_report():
     return figure6_overhead()
 
 
-def test_fig6_overhead_comparison(benchmark, table_printer, fig6_report):
+def test_fig6_overhead_comparison(benchmark, table_printer, fig6_report, json_summary):
     """Time the overhead model and verify the Fig. 6 ordering and bands."""
     model = OverheadModel(MemoryOrganization.paper_16kb(), Technology.fdsoi_28nm())
     benchmark(model.compare)
 
     relative = fig6_report.relative_to_baseline()
+    for name, rel in relative.items():
+        json_summary(
+            "fig6_overhead",
+            {
+                "scheme": name,
+                "read_power": float(rel["read_power"]),
+                "read_delay": float(rel["read_delay"]),
+                "area": float(rel["area"]),
+            },
+        )
     table_printer(
         "Figure 6: overhead relative to H(39,32) SECDED (column-LUT realisation)",
         ["scheme", "read power", "read delay", "area"],
@@ -73,10 +83,22 @@ def test_fig6_overhead_comparison(benchmark, table_printer, fig6_report):
     assert all(value > 40.0 for value in vs_pecc.values())
 
 
-def test_fig6_register_lut_ablation(benchmark, table_printer):
+def test_fig6_register_lut_ablation(benchmark, table_printer, json_summary):
     """Ablation: FM-LUT realised as a register file instead of array columns."""
     report = benchmark(figure6_overhead, lut_realisation="register")
     column_report = figure6_overhead(lut_realisation="column")
+    json_summary(
+        "fig6_lut_realisation",
+        {
+            "area_um2": {
+                f"bit-shuffle-nfm{n}": {
+                    "column": float(column_report.overheads[f"bit-shuffle-nfm{n}"].area_um2),
+                    "register": float(report.overheads[f"bit-shuffle-nfm{n}"].area_um2),
+                }
+                for n in range(1, 6)
+            }
+        },
+    )
 
     rows = []
     for n_fm in range(1, 6):

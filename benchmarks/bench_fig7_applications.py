@@ -54,7 +54,12 @@ def _run(benchmark_def, seed: int) -> Dict[str, QualityDistribution]:
     )
 
 
-def _tabulate(table_printer, name: str, results: Dict[str, QualityDistribution]) -> None:
+def _tabulate(
+    table_printer,
+    json_summary,
+    name: str,
+    results: Dict[str, QualityDistribution],
+) -> None:
     quality_targets = [0.5, 0.8, 0.9, 0.95, 0.99]
     rows = []
     for scheme, dist in results.items():
@@ -68,6 +73,19 @@ def _tabulate(table_printer, name: str, results: Dict[str, QualityDistribution])
         ["scheme"] + [f"yield@Q>={q}" for q in quality_targets] + ["median Q"],
         rows,
     )
+    for row in rows:
+        json_summary(
+            "fig7_quality",
+            {
+                "application": name,
+                "scheme": row[0],
+                "p_cell": P_CELL,
+                "yield_at_quality": {
+                    str(q): row[1 + i] for i, q in enumerate(quality_targets)
+                },
+                "median_quality": row[-1],
+            },
+        )
 
 
 def _check_ordering(results: Dict[str, QualityDistribution]) -> None:
@@ -84,11 +102,11 @@ def _check_ordering(results: Dict[str, QualityDistribution]) -> None:
     assert results["bit-shuffle-nfm2"].median_quality() > 0.95
 
 
-def test_fig7a_elasticnet(benchmark, table_printer, benchmarks):
+def test_fig7a_elasticnet(benchmark, table_printer, json_summary, benchmarks):
     results = benchmark.pedantic(
         _run, args=(benchmarks["elasticnet"], 52), rounds=1, iterations=1
     )
-    _tabulate(table_printer, "Elasticnet / R^2", results)
+    _tabulate(table_printer, json_summary, "Elasticnet / R^2", results)
     _check_ordering(results)
     # Paper: without correction the R^2 is extremely low for virtually all
     # faulty dies, while even nFM=1 rescues it.
@@ -96,17 +114,17 @@ def test_fig7a_elasticnet(benchmark, table_printer, benchmarks):
     assert results["bit-shuffle-nfm1"].median_quality() > 0.9
 
 
-def test_fig7b_pca(benchmark, table_printer, benchmarks):
+def test_fig7b_pca(benchmark, table_printer, json_summary, benchmarks):
     results = benchmark.pedantic(
         _run, args=(benchmarks["pca"], 53), rounds=1, iterations=1
     )
-    _tabulate(table_printer, "PCA / explained variance", results)
+    _tabulate(table_printer, json_summary, "PCA / explained variance", results)
     _check_ordering(results)
 
 
-def test_fig7c_knn(benchmark, table_printer, benchmarks):
+def test_fig7c_knn(benchmark, table_printer, json_summary, benchmarks):
     results = benchmark.pedantic(
         _run, args=(benchmarks["knn"], 54), rounds=1, iterations=1
     )
-    _tabulate(table_printer, "KNN / classification score", results)
+    _tabulate(table_printer, json_summary, "KNN / classification score", results)
     _check_ordering(results)

@@ -27,8 +27,12 @@ def _spares_curve():
     }
 
 
-def test_redundancy_cost_vs_pcell(benchmark, table_printer):
+def test_redundancy_cost_vs_pcell(benchmark, table_printer, json_summary):
     curve = benchmark.pedantic(_spares_curve, rounds=1, iterations=1)
+    json_summary(
+        "section2_redundancy",
+        {"spares_for_99pct_yield": {f"{p:g}": s for p, s in curve.items()}},
+    )
 
     model = PcellModel.calibrated_28nm()
     rows = []

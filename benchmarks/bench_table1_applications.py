@@ -13,11 +13,22 @@ import pytest
 from repro.analysis.tables import table1_applications
 
 
-def test_table1_applications(benchmark, table_printer):
+def test_table1_applications(benchmark, table_printer, json_summary):
     """Regenerate Table 1 (with the synthetic dataset analogues) and check it."""
     rows = benchmark.pedantic(
         table1_applications, kwargs={"scale": 0.5}, rounds=1, iterations=1
     )
+    for r in rows:
+        json_summary(
+            "table1_applications",
+            {
+                "algorithm": r["algorithm"],
+                "metric": r["metric"],
+                "train_samples": r["train_samples"],
+                "test_samples": r["test_samples"],
+                "clean_quality": float(r["clean_quality"]),
+            },
+        )
 
     table_printer(
         "Table 1: evaluation applications and datasets",

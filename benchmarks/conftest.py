@@ -26,15 +26,33 @@ def emit_json_summary(record_name: str, record: Mapping[str, object]) -> None:
 
     No-op when the variable is unset, so local runs leave no files behind.
     Records are JSON lines (append-only): several tests -- or several
-    benchmark modules pointed at the same file -- can contribute to one
-    artifact without coordination.
+    benchmark modules, or parallel CI jobs, pointed at the same file -- can
+    contribute to one artifact without coordination.  Each line is written
+    with a single ``os.write`` on an ``O_APPEND`` descriptor: POSIX appends
+    are atomic per write call, so concurrent writers can interleave *lines*
+    but never fragments of a line.  (Write-temp-then-rename cannot do this --
+    a rename replaces the file, clobbering whatever other writers appended.)
+
+    Every record carries the active kernel backend, so perf artifacts from
+    jobs pinned to different ``REPRO_KERNEL_BACKEND`` values stay tellable
+    apart after they are merged.
     """
     path = os.environ.get("REPRO_BENCH_JSON")
     if not path:
         return
-    payload = {"record": record_name, **record}
-    with open(path, "a", encoding="utf-8") as handle:
-        handle.write(json.dumps(payload, sort_keys=True) + "\n")
+    from repro.kernels import active_backend
+
+    payload = {
+        "record": record_name,
+        "kernel_backend": active_backend().name,
+        **record,
+    }
+    line = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
 
 
 @pytest.fixture

@@ -63,6 +63,18 @@ class ProtectionScheme(ABC):
         """Total stored bits per row: data plus any scheme overhead."""
         return self._word_width + self.extra_columns
 
+    @property
+    def has_die_state(self) -> bool:
+        """Whether :meth:`program` mutates per-die state inside the scheme.
+
+        Stateless schemes (plain ECC, no protection) can safely be shared
+        between simulation containers; stateful ones (an FM-LUT programmed per
+        die) must be copied per container.  The default is conservative: any
+        scheme that overrides :meth:`program` is assumed stateful unless it
+        overrides this property too.
+        """
+        return type(self).program is not ProtectionScheme.program
+
     # ------------------------------------------------------------------ #
     # Die-specific programming
     # ------------------------------------------------------------------ #

@@ -47,6 +47,11 @@ class FaultMapLut:
         self._word_width = word_width
         self._n_fm = n_fm
         self._entries = np.zeros(rows, dtype=np.int64)
+        # Cached read-only views for the batch datapath; recomputing the
+        # rotation vector on every encode/decode call was measurable per-call
+        # setup, so it is invalidated on mutation instead (see _invalidate).
+        self._rotations_cache: np.ndarray | None = None
+        self._entries_view: np.ndarray | None = None
 
     # ------------------------------------------------------------------ #
     # Parameters
@@ -97,6 +102,7 @@ class FaultMapLut:
                 f"xFM {x_fm} out of range [0, {self.segment_count}) for nFM={self._n_fm}"
             )
         self._entries[row] = x_fm
+        self._invalidate()
 
     def rotation(self, row: int) -> int:
         """Right-rotation amount ``T(row)`` for the programmed entry (Eq. 2)."""
@@ -112,12 +118,40 @@ class FaultMapLut:
         segments = self.segment_count
         return ((segments - self._entries) * s) % self._word_width
 
+    def entries_view(self) -> np.ndarray:
+        """Cached read-only view of all entries for the batch datapath."""
+        if self._entries_view is None:
+            view = self._entries.view()
+            view.flags.writeable = False
+            self._entries_view = view
+        return self._entries_view
+
+    def rotations_view(self) -> np.ndarray:
+        """Cached read-only rotation vector (recomputed only after mutation)."""
+        if self._rotations_cache is None:
+            rotations = self.rotations()
+            rotations.flags.writeable = False
+            self._rotations_cache = rotations
+        return self._rotations_cache
+
+    def _invalidate(self) -> None:
+        self._rotations_cache = None
+
+    def __getstate__(self) -> dict:
+        # Copies (deepcopy/pickle) must not carry the cached views: a copied
+        # view would otherwise alias the *original* entry array.
+        state = self.__dict__.copy()
+        state["_rotations_cache"] = None
+        state["_entries_view"] = None
+        return state
+
     # ------------------------------------------------------------------ #
     # Programming from BIST results
     # ------------------------------------------------------------------ #
     def reset(self) -> None:
         """Clear every entry to ``xFM = 0`` (the no-rotation state)."""
         self._entries[:] = 0
+        self._invalidate()
 
     def program_row(self, row: int, fault_columns: Sequence[int]) -> None:
         """Program ``xFM(row)`` from the faulty bit positions BIST found in the row.
@@ -131,6 +165,7 @@ class FaultMapLut:
         self._check_row(row)
         if not fault_columns:
             self._entries[row] = 0
+            self._invalidate()
             return
         for column in fault_columns:
             if not 0 <= column < self._word_width:
@@ -141,10 +176,12 @@ class FaultMapLut:
         self._entries[row] = segment_index(
             most_significant, self._word_width, self._n_fm
         )
+        self._invalidate()
 
     def program(self, fault_columns_by_row: Mapping[int, Sequence[int]]) -> None:
         """Program the whole LUT from a BIST fault report (row -> fault columns)."""
         self._entries[:] = 0
+        self._invalidate()
         for row, columns in fault_columns_by_row.items():
             self.program_row(row, columns)
 

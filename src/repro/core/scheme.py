@@ -180,30 +180,37 @@ class BitShuffleScheme(ProtectionScheme):
     # ------------------------------------------------------------------ #
     # Operational (batch) view
     # ------------------------------------------------------------------ #
-    def _gather_lut(self, rows: np.ndarray):
-        """Per-word LUT entries and rotation amounts gathered from the FM-LUT."""
+    def _check_rows(self, rows: np.ndarray) -> None:
         lut = self.lut
         if rows.size and (rows.min() < 0 or rows.max() >= lut.rows):
             raise IndexError(f"row index out of range [0, {lut.rows})")
-        entries = lut.entries()
-        rotations = lut.rotations()
-        return entries[rows], rotations[rows]
 
     def encode_words(self, rows: np.ndarray, data: np.ndarray) -> np.ndarray:
-        """Vectorised write path: gather per-row rotations, rotate, append entries."""
+        """Vectorised write path: gather per-row rotations, rotate, append entries.
+
+        Runs on the active kernel backend; the LUT tables are cached read-only
+        views, so no per-call table rebuild happens on the hot path.
+        """
         rows, data = self._check_batch(rows, data, self.word_width, "data")
-        entries, rotations = self._gather_lut(rows)
-        shuffled = self._shuffler.shuffle_array(data, rotations)
-        return shuffled | (entries.astype(np.uint64) << np.uint64(self.word_width))
+        self._check_rows(rows)
+        lut = self.lut
+        from repro.kernels import active_backend
+
+        return active_backend().fmlut_encode(
+            data, rows, lut.entries_view(), lut.rotations_view(), self.word_width
+        )
 
     def decode_words(self, rows: np.ndarray, stored: np.ndarray) -> np.ndarray:
         """Vectorised read path: strip the LUT columns and undo the rotations."""
         rows, stored = self._check_batch(
             rows, stored, self.storage_width, "stored pattern"
         )
-        _entries, rotations = self._gather_lut(rows)
-        data_part = stored & np.uint64((1 << self.word_width) - 1)
-        return self._shuffler.unshuffle_array(data_part, rotations)
+        self._check_rows(rows)
+        from repro.kernels import active_backend
+
+        return active_backend().fmlut_decode(
+            stored, rows, self.lut.rotations_view(), self.word_width
+        )
 
     # ------------------------------------------------------------------ #
     # Analytical view

@@ -51,7 +51,12 @@ class SecdedScheme(ProtectionScheme):
         return self._code.decode(stored).data
 
     def encode_words(self, rows: np.ndarray, data: np.ndarray) -> np.ndarray:
-        """Vectorised encode: the parity-check matrix applied to whole arrays."""
+        """Vectorised encode: the parity-check matrix applied to whole arrays.
+
+        Runs on the active :mod:`repro.kernels` backend via the code's batch
+        methods; the codeword layout is hoisted into the code's construction-
+        time kernel spec, so no per-call setup remains.
+        """
         _rows, data = self._check_batch(rows, data, self.word_width, "data")
         return self._code.encode_array(data)
 

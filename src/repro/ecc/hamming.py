@@ -39,7 +39,14 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.memory.words import bit_mask, parity_array, popcount
+from repro.kernels.api import SecdedKernelSpec
+from repro.memory.words import bit_mask, popcount
+
+
+def _active_backend():
+    from repro.kernels import active_backend
+
+    return active_backend()
 
 __all__ = ["DecodeStatus", "DecodeResult", "SecdedCode", "secded_code_for_data_bits"]
 
@@ -113,6 +120,16 @@ class SecdedCode:
                 for ppos in self._parity_positions
             ],
             dtype=np.uint64,
+        )
+        # Construction-time kernel descriptor: the batch methods hand this to
+        # whichever kernel backend is active, so no per-call setup remains.
+        self._kernel_spec = SecdedKernelSpec(
+            data_bits=self._k,
+            parity_bits=self._r,
+            codeword_bits=self._n,
+            data_positions=np.array(self._data_positions, dtype=np.int64),
+            parity_positions=np.array(self._parity_positions, dtype=np.int64),
+            check_masks=self._check_masks,
         )
 
     # ------------------------------------------------------------------ #
@@ -219,17 +236,17 @@ class SecdedCode:
     # ------------------------------------------------------------------ #
     # Batch encoding / decoding (vectorised parity-check matrix)
     # ------------------------------------------------------------------ #
+    @property
+    def kernel_spec(self) -> SecdedKernelSpec:
+        """Construction-time kernel descriptor of this code's layout."""
+        return self._kernel_spec
+
     def encode_array(self, data: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`encode` over a ``uint64`` array of data words."""
         data = np.asarray(data, dtype=np.uint64)
         if data.size and np.any(data > np.uint64(bit_mask(self._k))):
             raise ValueError(f"data does not fit in {self._k} bits")
-        inner = np.zeros_like(data)
-        for i, pos in enumerate(self._data_positions):
-            inner |= ((data >> np.uint64(i)) & np.uint64(1)) << np.uint64(pos)
-        for j, ppos in enumerate(self._parity_positions):
-            inner |= parity_array(inner & self._check_masks[j]) << np.uint64(ppos)
-        return inner | parity_array(inner)
+        return _active_backend().secded_encode(data, self._kernel_spec)
 
     def extract_data_array(self, codewords: np.ndarray) -> np.ndarray:
         """Vectorised :meth:`extract_data` (no checking beyond the width)."""
@@ -242,10 +259,7 @@ class SecdedCode:
     def syndrome_array(self, codewords: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Vectorised :meth:`syndrome`: ``(hamming_syndromes, overall_parity_errors)``."""
         codewords = self._check_codeword_array(codewords)
-        syndromes = np.zeros_like(codewords)
-        for j, ppos in enumerate(self._parity_positions):
-            syndromes |= parity_array(codewords & self._check_masks[j]) << np.uint64(j)
-        return syndromes, parity_array(codewords)
+        return _active_backend().secded_syndrome(codewords, self._kernel_spec)
 
     def decode_data_array(self, codewords: np.ndarray) -> np.ndarray:
         """Vectorised single-error correction: the ``data`` field of :meth:`decode`.
@@ -255,13 +269,7 @@ class SecdedCode:
         more errors) raises :class:`ValueError` just as the scalar path does.
         """
         codewords = self._check_codeword_array(codewords)
-        syndromes, overall_errors = self.syndrome_array(codewords)
-        corrected = np.where(
-            overall_errors == np.uint64(1),
-            codewords ^ (np.uint64(1) << syndromes),
-            codewords,
-        )
-        return self.extract_data_array(corrected)
+        return _active_backend().secded_decode(codewords, self._kernel_spec)
 
     def _check_codeword_array(self, codewords: np.ndarray) -> np.ndarray:
         codewords = np.asarray(codewords, dtype=np.uint64)

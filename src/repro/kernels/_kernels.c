@@ -1,0 +1,262 @@
+/* Compiled kernels of the hot Monte-Carlo datapath.
+ *
+ * Built at runtime by repro/kernels/c_backend.py with the system C compiler
+ * (no network, no setuptools) and loaded through ctypes.  Every function is
+ * a straight transcription of the NumPy reference in numpy_backend.py and
+ * must stay bit-for-bit identical to it; the capability probe self-tests
+ * each kernel against the reference before the backend is ever selected.
+ *
+ * Conventions:
+ *   - all arrays are 1-D contiguous, lengths passed as int64_t;
+ *   - structural validation (dtype, bounds, widths) happens in the Python
+ *     wrappers, exactly where it always happened;
+ *   - non-zero return codes signal the data-dependent error cases that the
+ *     NumPy path reports via ValueError (out-of-range codes, 3+-error
+ *     SECDED codewords); the wrapper re-raises the matching exception.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define POPCOUNT64(x) __builtin_popcountll(x)
+#else
+static int popcount64_sw(uint64_t x)
+{
+    int count = 0;
+    while (x) {
+        x &= x - 1;
+        ++count;
+    }
+    return count;
+}
+#define POPCOUNT64(x) popcount64_sw(x)
+#endif
+
+static uint64_t width_mask(int64_t width)
+{
+    return (width >= 64) ? ~(uint64_t)0 : (((uint64_t)1 << width) - 1);
+}
+
+/* ------------------------------------------------------------------ */
+/* XOR-popcount SECDED                                                 */
+/* ------------------------------------------------------------------ */
+
+/* Data bits occupy contiguous position runs between the power-of-two
+ * parity positions (at most r + 1 runs), so the per-bit gather/scatter
+ * loops collapse into a handful of shift/mask operations per word.  The
+ * run table is rebuilt per call from data_pos -- O(k), off the hot loop. */
+typedef struct {
+    int64_t pos;   /* first codeword position of the run */
+    int64_t bit;   /* first data-bit index of the run */
+    uint64_t mask; /* (1 << run_length) - 1 */
+} rk_run;
+
+static int64_t rk_build_runs(const int64_t *data_pos, int64_t k, rk_run *runs)
+{
+    int64_t n_runs = 0;
+    int64_t b = 0;
+    while (b < k) {
+        int64_t start = b;
+        while (b + 1 < k && data_pos[b + 1] == data_pos[b] + 1)
+            ++b;
+        ++b;
+        runs[n_runs].pos = data_pos[start];
+        runs[n_runs].bit = start;
+        runs[n_runs].mask = width_mask(b - start);
+        ++n_runs;
+    }
+    return n_runs;
+}
+
+int rk_secded_encode(const uint64_t *data, uint64_t *out, int64_t n,
+                     int64_t k, int64_t r,
+                     const int64_t *data_pos, const int64_t *parity_pos,
+                     const uint64_t *check_masks)
+{
+    rk_run runs[64];
+    int64_t n_runs = rk_build_runs(data_pos, k, runs);
+    for (int64_t i = 0; i < n; ++i) {
+        uint64_t d = data[i];
+        uint64_t inner = 0;
+        for (int64_t s = 0; s < n_runs; ++s)
+            inner |= ((d >> runs[s].bit) & runs[s].mask) << runs[s].pos;
+        for (int64_t j = 0; j < r; ++j)
+            inner |= (uint64_t)(POPCOUNT64(inner & check_masks[j]) & 1)
+                     << parity_pos[j];
+        out[i] = inner | (uint64_t)(POPCOUNT64(inner) & 1);
+    }
+    return 0;
+}
+
+int rk_secded_syndrome(const uint64_t *codewords, uint64_t *syndromes,
+                       uint64_t *overall, int64_t n, int64_t r,
+                       const uint64_t *check_masks)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        uint64_t c = codewords[i];
+        uint64_t syn = 0;
+        for (int64_t j = 0; j < r; ++j)
+            syn |= (uint64_t)(POPCOUNT64(c & check_masks[j]) & 1) << j;
+        syndromes[i] = syn;
+        overall[i] = (uint64_t)(POPCOUNT64(c) & 1);
+    }
+    return 0;
+}
+
+/* Returns 1 when a corrected codeword leaves the n_bits range (only possible
+ * with three or more errors); the wrapper raises the scalar decoder's
+ * ValueError.  n_bits <= 64 is guaranteed by SecdedKernelSpec, so the
+ * syndrome (< 2**r, r <= 6) is always a valid shift amount. */
+int rk_secded_decode(const uint64_t *codewords, uint64_t *out, int64_t n,
+                     int64_t k, int64_t r, int64_t n_bits,
+                     const int64_t *data_pos, const uint64_t *check_masks)
+{
+    uint64_t limit = width_mask(n_bits);
+    rk_run runs[64];
+    int64_t n_runs = rk_build_runs(data_pos, k, runs);
+    for (int64_t i = 0; i < n; ++i) {
+        uint64_t c = codewords[i];
+        uint64_t syn = 0;
+        for (int64_t j = 0; j < r; ++j)
+            syn |= (uint64_t)(POPCOUNT64(c & check_masks[j]) & 1) << j;
+        uint64_t corrected =
+            (POPCOUNT64(c) & 1) ? (c ^ ((uint64_t)1 << syn)) : c;
+        if (corrected > limit)
+            return 1;
+        uint64_t d = 0;
+        for (int64_t s = 0; s < n_runs; ++s)
+            d |= ((corrected >> runs[s].pos) & runs[s].mask) << runs[s].bit;
+        out[i] = d;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* FM-LUT rotation apply (width <= 63, enforced by the wrapper)        */
+/* ------------------------------------------------------------------ */
+
+int rk_fmlut_encode(const uint64_t *data, const int64_t *rows, uint64_t *out,
+                    int64_t n, const int64_t *entries, const int64_t *rotations,
+                    int64_t width)
+{
+    uint64_t mask = width_mask(width);
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t row = rows[i];
+        uint64_t amount = (uint64_t)rotations[row] % (uint64_t)width;
+        uint64_t p = data[i];
+        uint64_t rotated =
+            amount ? (((p >> amount) | (p << (width - amount))) & mask) : p;
+        out[i] = rotated | ((uint64_t)entries[row] << width);
+    }
+    return 0;
+}
+
+int rk_fmlut_decode(const uint64_t *stored, const int64_t *rows, uint64_t *out,
+                    int64_t n, const int64_t *rotations, int64_t width)
+{
+    uint64_t mask = width_mask(width);
+    for (int64_t i = 0; i < n; ++i) {
+        uint64_t p = stored[i] & mask;
+        uint64_t amount = (uint64_t)rotations[rows[i]] % (uint64_t)width;
+        out[i] = amount ? (((p << amount) | (p >> (width - amount))) & mask) : p;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Stuck-at corruption masks                                           */
+/* ------------------------------------------------------------------ */
+
+int rk_apply_masks(const uint64_t *patterns, const int64_t *rows, uint64_t *out,
+                   int64_t n, const uint64_t *and_masks, const uint64_t *or_masks,
+                   const uint64_t *xor_masks)
+{
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t row = rows[i];
+        out[i] = ((patterns[i] & and_masks[row]) | or_masks[row]) ^ xor_masks[row];
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* 2's-complement array codecs (width <= 63, enforced by the wrapper)  */
+/* ------------------------------------------------------------------ */
+
+int rk_to_twos(const int64_t *values, uint64_t *out, int64_t n, int64_t width)
+{
+    int64_t lo = -((int64_t)1 << (width - 1));
+    int64_t hi = ((int64_t)1 << (width - 1)) - 1;
+    uint64_t mask = width_mask(width);
+    for (int64_t i = 0; i < n; ++i) {
+        int64_t v = values[i];
+        if (v < lo || v > hi)
+            return 1;
+        out[i] = (uint64_t)v & mask;
+    }
+    return 0;
+}
+
+int rk_from_twos(const uint64_t *patterns, int64_t *out, int64_t n, int64_t width)
+{
+    uint64_t mask = width_mask(width);
+    uint64_t sign = (uint64_t)1 << (width - 1);
+    for (int64_t i = 0; i < n; ++i) {
+        uint64_t p = patterns[i];
+        if (p > mask)
+            return 1;
+        /* (x ^ sign) - sign sign-extends; x ^ sign stays below 2**63. */
+        out[i] = (int64_t)(p ^ sign) - (int64_t)sign;
+    }
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Rejection-sampler validity check                                    */
+/* ------------------------------------------------------------------ */
+
+static int compare_int64(const void *a, const void *b)
+{
+    int64_t lhs = *(const int64_t *)a;
+    int64_t rhs = *(const int64_t *)b;
+    return (lhs > rhs) - (lhs < rhs);
+}
+
+/* draws is (n_maps x fault_count) row-major; scratch holds fault_count
+ * entries; max_fpw == 0 means "no per-word limit".  bad[m] mirrors the
+ * NumPy reference: a duplicate cell, or a run of more than max_fpw faults
+ * in one word row, invalidates the map. */
+int rk_invalid_map_mask(const int64_t *draws, int64_t n_maps, int64_t fault_count,
+                        int64_t width, int64_t max_fpw, uint8_t *bad,
+                        int64_t *scratch)
+{
+    for (int64_t m = 0; m < n_maps; ++m) {
+        const int64_t *row = draws + m * fault_count;
+        memcpy(scratch, row, (size_t)fault_count * sizeof(int64_t));
+        qsort(scratch, (size_t)fault_count, sizeof(int64_t), compare_int64);
+        int invalid = 0;
+        for (int64_t j = 1; j < fault_count; ++j) {
+            if (scratch[j] == scratch[j - 1]) {
+                invalid = 1;
+                break;
+            }
+        }
+        if (!invalid && max_fpw > 0) {
+            /* Sorted cells sharing a word form runs of equal cell/width. */
+            int64_t run = 1;
+            for (int64_t j = 1; j < fault_count; ++j) {
+                if (scratch[j] / width == scratch[j - 1] / width) {
+                    if (++run > max_fpw) {
+                        invalid = 1;
+                        break;
+                    }
+                } else {
+                    run = 1;
+                }
+            }
+        }
+        bad[m] = (uint8_t)invalid;
+    }
+    return 0;
+}

@@ -1,0 +1,185 @@
+"""Kernel-backend interface of the hot Monte-Carlo datapath.
+
+Every die evaluation funnels through a handful of tight array loops: the
+XOR-popcount SECDED syndrome machinery, the FM-LUT gather/rotate apply of the
+bit-shuffling scheme, the stuck-at AND/OR/XOR corruption-mask application,
+the 2's-complement array codecs, and the validity check of the batched
+fault-placement rejection sampler.  :class:`KernelBackend` names exactly
+those loops so they can be swapped between a NumPy reference implementation
+and compiled implementations (C via ctypes, optionally Numba) without any
+caller noticing anything but speed.
+
+The contract every backend must honour:
+
+* **Bit identity.**  For identical inputs, every method returns arrays that
+  are bit-for-bit equal to the ``numpy`` reference backend — including the
+  data-dependent :class:`ValueError` cases (out-of-range codes, 3+-error
+  SECDED codewords).  Backend choice may change throughput, never results.
+* **Validated inputs.**  Callers (the scheme/fault-map wrappers) perform the
+  structural validation they always performed — dtypes, shapes, row bounds,
+  width limits.  Kernels only re-check what is data-dependent and therefore
+  only discoverable mid-loop.
+* **No hidden state.**  Kernels are pure functions of their arguments; all
+  per-die state (LUT tables, parity-check masks, corruption masks) is hoisted
+  into construction-time arrays by the callers and passed in explicitly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = ["KernelBackend", "KernelUnavailableError", "SecdedKernelSpec"]
+
+
+class KernelUnavailableError(RuntimeError):
+    """A backend cannot be used here (no compiler, missing import, failed self-test)."""
+
+
+@dataclass(frozen=True)
+class SecdedKernelSpec:
+    """Construction-time description of one SECDED code for the kernels.
+
+    Mirrors the layout of :class:`repro.ecc.hamming.SecdedCode`: bit 0 of the
+    codeword is the overall parity, parity bits sit at power-of-two positions
+    ``1, 2, 4, ...``, data bits fill the remaining positions in increasing
+    order.  All arrays are precomputed once per code (the codes themselves are
+    cached per data width), so no per-call setup survives in the hot loop.
+    """
+
+    data_bits: int
+    parity_bits: int  # Hamming parity bits r (the overall bit is extra)
+    codeword_bits: int
+    data_positions: np.ndarray = field(repr=False)  # int64[data_bits]
+    parity_positions: np.ndarray = field(repr=False)  # int64[parity_bits]
+    check_masks: np.ndarray = field(repr=False)  # uint64[parity_bits]
+
+    def __post_init__(self) -> None:
+        if self.codeword_bits > 64:
+            raise ValueError(
+                "kernel-backed SECDED supports codewords up to 64 bits, got "
+                f"{self.codeword_bits}"
+            )
+        object.__setattr__(
+            self,
+            "data_positions",
+            np.ascontiguousarray(self.data_positions, dtype=np.int64),
+        )
+        object.__setattr__(
+            self,
+            "parity_positions",
+            np.ascontiguousarray(self.parity_positions, dtype=np.int64),
+        )
+        object.__setattr__(
+            self,
+            "check_masks",
+            np.ascontiguousarray(self.check_masks, dtype=np.uint64),
+        )
+
+
+class KernelBackend(ABC):
+    """One implementation of the hot datapath loops (see module docstring)."""
+
+    #: Registry name; also what ``REPRO_KERNEL_BACKEND`` selects.
+    name: str = "abstract"
+
+    # ------------------------------------------------------------------ #
+    # XOR-popcount SECDED (parity-check matrix over uint64 arrays)
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def secded_encode(self, data: np.ndarray, spec: SecdedKernelSpec) -> np.ndarray:
+        """Encode ``uint64`` data words (< 2**k, validated by caller) into codewords."""
+
+    @abstractmethod
+    def secded_syndrome(
+        self, codewords: np.ndarray, spec: SecdedKernelSpec
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(hamming_syndromes, overall_parity_errors)`` for uint64 codewords."""
+
+    @abstractmethod
+    def secded_decode(self, codewords: np.ndarray, spec: SecdedKernelSpec) -> np.ndarray:
+        """Single-error-corrected data words.
+
+        Must raise ``ValueError(f"codeword does not fit in {n} bits")`` when a
+        corrected codeword leaves the code's range (only possible with three
+        or more errors), exactly like the scalar decoder.
+        """
+
+    # ------------------------------------------------------------------ #
+    # FM-LUT rotation apply (bit-shuffling scheme)
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def fmlut_encode(
+        self,
+        data: np.ndarray,
+        rows: np.ndarray,
+        entries: np.ndarray,
+        rotations: np.ndarray,
+        width: int,
+    ) -> np.ndarray:
+        """Write path: gather each row's rotation, right-rotate, append the entry.
+
+        ``entries``/``rotations`` are the full per-row LUT tables (int64,
+        indexed by ``rows``); ``width`` is the data word width (<= 63).
+        """
+
+    @abstractmethod
+    def fmlut_decode(
+        self,
+        stored: np.ndarray,
+        rows: np.ndarray,
+        rotations: np.ndarray,
+        width: int,
+    ) -> np.ndarray:
+        """Read path: strip the LUT columns and left-rotate each data part back."""
+
+    # ------------------------------------------------------------------ #
+    # Stuck-at corruption masks
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def apply_corruption_masks(
+        self,
+        patterns: np.ndarray,
+        rows: np.ndarray,
+        and_masks: np.ndarray,
+        or_masks: np.ndarray,
+        xor_masks: np.ndarray,
+    ) -> np.ndarray:
+        """``((patterns & and[rows]) | or[rows]) ^ xor[rows]`` over uint64 arrays."""
+
+    # ------------------------------------------------------------------ #
+    # 2's-complement array codecs
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def to_twos_complement(self, values: np.ndarray, width: int) -> np.ndarray:
+        """Signed int64 codes -> uint64 patterns; ValueError on out-of-range values."""
+
+    @abstractmethod
+    def from_twos_complement(self, patterns: np.ndarray, width: int) -> np.ndarray:
+        """uint64 patterns -> signed int64 codes; ValueError on oversized patterns."""
+
+    # ------------------------------------------------------------------ #
+    # Batched fault-placement rejection sampler (inner redraw loop)
+    # ------------------------------------------------------------------ #
+    @abstractmethod
+    def invalid_map_mask(
+        self,
+        draws: np.ndarray,
+        width: int,
+        max_faults_per_word: Optional[int],
+    ) -> np.ndarray:
+        """Validity check of one redraw round: which candidate maps must be redrawn.
+
+        ``draws`` is the ``(maps, fault_count)`` int64 matrix of flat cell
+        indices drawn with replacement; a map is invalid when it repeats a
+        cell or (with ``max_faults_per_word``) packs more faults into one
+        ``width``-bit word than allowed.  Returns a bool array per map.  The
+        random draws themselves stay in NumPy so the rng stream — and with it
+        every seeded result — is identical across backends.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<KernelBackend {self.name!r}>"

@@ -1,0 +1,274 @@
+"""Optional Numba kernel backend.
+
+Numba is *not* a dependency of this project; when it is absent (the normal
+case in the offline container) importing this module still succeeds and the
+backend constructor raises :class:`KernelUnavailableError`, which the
+capability probe treats as "candidate unavailable" and moves on.  When Numba
+is installed, the JIT-compiled loops mirror ``_kernels.c`` statement for
+statement so the bit-identity contract holds through the same self-test.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.kernels.api import KernelBackend, KernelUnavailableError, SecdedKernelSpec
+from repro.kernels.numpy_backend import NumpyKernelBackend
+
+__all__ = ["NumbaKernelBackend"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba as _numba
+except ImportError:  # pragma: no cover - the offline default
+    _numba = None
+
+
+def _build_jitted():  # pragma: no cover - requires numba
+    """Compile the jitted loops once; returns a dict of kernels."""
+    njit = _numba.njit(cache=True, nogil=True)
+
+    @njit
+    def secded_encode(data, out, k, r, data_pos, parity_pos, check_masks):
+        for i in range(data.size):
+            d = data[i]
+            inner = np.uint64(0)
+            for b in range(k):
+                inner |= ((d >> np.uint64(b)) & np.uint64(1)) << np.uint64(data_pos[b])
+            for j in range(r):
+                parity = np.uint64(0)
+                masked = inner & check_masks[j]
+                while masked:
+                    parity ^= np.uint64(1)
+                    masked &= masked - np.uint64(1)
+                inner |= parity << np.uint64(parity_pos[j])
+            overall = np.uint64(0)
+            masked = inner
+            while masked:
+                overall ^= np.uint64(1)
+                masked &= masked - np.uint64(1)
+            out[i] = inner | overall
+
+    @njit
+    def secded_syndrome(codewords, syndromes, overall, r, check_masks):
+        for i in range(codewords.size):
+            c = codewords[i]
+            syn = np.uint64(0)
+            for j in range(r):
+                parity = np.uint64(0)
+                masked = c & check_masks[j]
+                while masked:
+                    parity ^= np.uint64(1)
+                    masked &= masked - np.uint64(1)
+                syn |= parity << np.uint64(j)
+            syndromes[i] = syn
+            par = np.uint64(0)
+            masked = c
+            while masked:
+                par ^= np.uint64(1)
+                masked &= masked - np.uint64(1)
+            overall[i] = par
+
+    @njit
+    def secded_decode(codewords, out, k, limit, r, data_pos, check_masks):
+        for i in range(codewords.size):
+            c = codewords[i]
+            syn = np.uint64(0)
+            for j in range(r):
+                parity = np.uint64(0)
+                masked = c & check_masks[j]
+                while masked:
+                    parity ^= np.uint64(1)
+                    masked &= masked - np.uint64(1)
+                syn |= parity << np.uint64(j)
+            par = np.uint64(0)
+            masked = c
+            while masked:
+                par ^= np.uint64(1)
+                masked &= masked - np.uint64(1)
+            corrected = c ^ (np.uint64(1) << syn) if par else c
+            if corrected > limit:
+                return 1
+            d = np.uint64(0)
+            for b in range(k):
+                d |= ((corrected >> np.uint64(data_pos[b])) & np.uint64(1)) << np.uint64(b)
+            out[i] = d
+        return 0
+
+    @njit
+    def fmlut_encode(data, rows, out, entries, rotations, width, mask):
+        for i in range(data.size):
+            row = rows[i]
+            amount = np.uint64(rotations[row] % width)
+            p = data[i]
+            if amount:
+                p = ((p >> amount) | (p << (np.uint64(width) - amount))) & mask
+            out[i] = p | (np.uint64(entries[row]) << np.uint64(width))
+
+    @njit
+    def fmlut_decode(stored, rows, out, rotations, width, mask):
+        for i in range(stored.size):
+            p = stored[i] & mask
+            amount = np.uint64(rotations[rows[i]] % width)
+            if amount:
+                p = ((p << amount) | (p >> (np.uint64(width) - amount))) & mask
+            out[i] = p
+
+    @njit
+    def apply_masks(patterns, rows, out, and_masks, or_masks, xor_masks):
+        for i in range(patterns.size):
+            row = rows[i]
+            out[i] = ((patterns[i] & and_masks[row]) | or_masks[row]) ^ xor_masks[row]
+
+    @njit
+    def invalid_map_mask(draws, width, max_fpw, bad):
+        n_maps, fault_count = draws.shape
+        for m in range(n_maps):
+            row = np.sort(draws[m])
+            invalid = False
+            for j in range(1, fault_count):
+                if row[j] == row[j - 1]:
+                    invalid = True
+                    break
+            if not invalid and max_fpw > 0:
+                run = 1
+                for j in range(1, fault_count):
+                    if row[j] // width == row[j - 1] // width:
+                        run += 1
+                        if run > max_fpw:
+                            invalid = True
+                            break
+                    else:
+                        run = 1
+            bad[m] = invalid
+
+    return {
+        "secded_encode": secded_encode,
+        "secded_syndrome": secded_syndrome,
+        "secded_decode": secded_decode,
+        "fmlut_encode": fmlut_encode,
+        "fmlut_decode": fmlut_decode,
+        "apply_masks": apply_masks,
+        "invalid_map_mask": invalid_map_mask,
+    }
+
+
+class NumbaKernelBackend(KernelBackend):
+    """JIT-compiled loops behind the same interface (requires numba)."""
+
+    name = "numba"
+
+    def __init__(self) -> None:
+        if _numba is None:
+            raise KernelUnavailableError("numba is not installed")
+        try:  # pragma: no cover - requires numba
+            self._jit = _build_jitted()
+        except Exception as exc:  # pragma: no cover - jit failure
+            raise KernelUnavailableError(f"numba jit compile failed: {exc}")
+        # The 2's-complement codecs are already single vector expressions in
+        # NumPy; a jitted loop buys nothing, so reuse the reference.
+        self._reference = NumpyKernelBackend()
+
+    # Everything below runs only where numba is installed.
+    # pragma: no cover start
+    def secded_encode(self, data: np.ndarray, spec: SecdedKernelSpec) -> np.ndarray:
+        data = np.ascontiguousarray(data, dtype=np.uint64)
+        out = np.empty_like(data)
+        self._jit["secded_encode"](
+            data, out, spec.data_bits, spec.parity_bits,
+            spec.data_positions, spec.parity_positions, spec.check_masks,
+        )
+        return out
+
+    def secded_syndrome(
+        self, codewords: np.ndarray, spec: SecdedKernelSpec
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        codewords = np.ascontiguousarray(codewords, dtype=np.uint64)
+        syndromes = np.empty_like(codewords)
+        overall = np.empty_like(codewords)
+        self._jit["secded_syndrome"](
+            codewords, syndromes, overall, spec.parity_bits, spec.check_masks
+        )
+        return syndromes, overall
+
+    def secded_decode(self, codewords: np.ndarray, spec: SecdedKernelSpec) -> np.ndarray:
+        from repro.memory.words import bit_mask
+
+        codewords = np.ascontiguousarray(codewords, dtype=np.uint64)
+        out = np.empty_like(codewords)
+        status = self._jit["secded_decode"](
+            codewords, out, spec.data_bits,
+            np.uint64(bit_mask(spec.codeword_bits)),
+            spec.parity_bits, spec.data_positions, spec.check_masks,
+        )
+        if status != 0:
+            raise ValueError(f"codeword does not fit in {spec.codeword_bits} bits")
+        return out
+
+    def fmlut_encode(self, data, rows, entries, rotations, width):
+        from repro.kernels.c_backend import CKernelBackend
+        from repro.memory.words import bit_mask
+
+        CKernelBackend._check_rotation_width(width)
+        data = np.ascontiguousarray(data, dtype=np.uint64)
+        CKernelBackend._check_patterns(data, width)
+        out = np.empty_like(data)
+        self._jit["fmlut_encode"](
+            data,
+            np.ascontiguousarray(rows, dtype=np.int64),
+            out,
+            np.ascontiguousarray(entries, dtype=np.int64),
+            np.ascontiguousarray(rotations, dtype=np.int64),
+            width,
+            np.uint64(bit_mask(width)),
+        )
+        return out
+
+    def fmlut_decode(self, stored, rows, rotations, width):
+        from repro.kernels.c_backend import CKernelBackend
+        from repro.memory.words import bit_mask
+
+        CKernelBackend._check_rotation_width(width)
+        stored = np.ascontiguousarray(stored, dtype=np.uint64)
+        out = np.empty_like(stored)
+        self._jit["fmlut_decode"](
+            stored,
+            np.ascontiguousarray(rows, dtype=np.int64),
+            out,
+            np.ascontiguousarray(rotations, dtype=np.int64),
+            width,
+            np.uint64(bit_mask(width)),
+        )
+        return out
+
+    def apply_corruption_masks(self, patterns, rows, and_masks, or_masks, xor_masks):
+        patterns = np.ascontiguousarray(patterns, dtype=np.uint64)
+        out = np.empty_like(patterns)
+        self._jit["apply_masks"](
+            patterns,
+            np.ascontiguousarray(rows, dtype=np.int64),
+            out,
+            np.ascontiguousarray(and_masks, dtype=np.uint64),
+            np.ascontiguousarray(or_masks, dtype=np.uint64),
+            np.ascontiguousarray(xor_masks, dtype=np.uint64),
+        )
+        return out
+
+    def to_twos_complement(self, values: np.ndarray, width: int) -> np.ndarray:
+        return self._reference.to_twos_complement(values, width)
+
+    def from_twos_complement(self, patterns: np.ndarray, width: int) -> np.ndarray:
+        return self._reference.from_twos_complement(patterns, width)
+
+    def invalid_map_mask(
+        self,
+        draws: np.ndarray,
+        width: int,
+        max_faults_per_word: Optional[int],
+    ) -> np.ndarray:
+        draws = np.ascontiguousarray(draws, dtype=np.int64)
+        bad = np.empty(draws.shape[0], dtype=np.bool_)
+        self._jit["invalid_map_mask"](draws, width, max_faults_per_word or 0, bad)
+        return bad
+    # pragma: no cover end

@@ -232,7 +232,11 @@ class FaultMap:
                 f"row index out of range [0, {self._organization.rows})"
             )
         and_masks, or_masks, xor_masks = self.corruption_masks()
-        return ((patterns & and_masks[rows]) | or_masks[rows]) ^ xor_masks[rows]
+        from repro.kernels import active_backend
+
+        return active_backend().apply_corruption_masks(
+            patterns, rows, and_masks, or_masks, xor_masks
+        )
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -385,33 +389,22 @@ class FaultMap:
             )
         if fault_count == 0:
             return [cls.empty(organization) for _ in range(batch_size)]
+        from repro.kernels import active_backend
+
         accepted = np.empty((batch_size, fault_count), dtype=np.int64)
         pending = np.arange(batch_size)
         for _ in range(max_rounds):
             if pending.size == 0:
                 break
+            # Only the validity check is kernelised; the draws themselves
+            # stay in NumPy so the rng stream -- and with it every seeded
+            # result -- is identical across backends.
             draws = rng.integers(0, total, size=(pending.size, fault_count))
-            draws_sorted = np.sort(draws, axis=1)
-            bad = np.zeros(pending.size, dtype=bool)
-            # Repeated cell within a map -> invalid (uniformity requires
-            # exactly fault_count distinct cells).
-            bad |= np.any(draws_sorted[:, 1:] == draws_sorted[:, :-1], axis=1)
-            if max_faults_per_word is not None:
-                rows_sorted = np.sort(draws // width, axis=1)
-                # After sorting, faults sharing a word form runs of equal row
-                # indices; the longest run is the per-word maximum.
-                equal_neighbours = rows_sorted[:, 1:] == rows_sorted[:, :-1]
-                if max_faults_per_word == 1:
-                    bad |= np.any(equal_neighbours, axis=1)
-                else:
-                    run_len = np.ones(
-                        (pending.size, fault_count), dtype=np.int64
-                    )
-                    for j in range(1, fault_count):
-                        run_len[:, j] = np.where(
-                            equal_neighbours[:, j - 1], run_len[:, j - 1] + 1, 1
-                        )
-                    bad |= run_len.max(axis=1) > max_faults_per_word
+            bad = active_backend().invalid_map_mask(
+                np.ascontiguousarray(draws, dtype=np.int64),
+                width,
+                max_faults_per_word,
+            )
             good = ~bad
             accepted[pending[good]] = draws[good]
             pending = pending[bad]

@@ -197,11 +197,9 @@ def to_twos_complement_array(values: np.ndarray, width: int) -> np.ndarray:
     if width > 63:
         raise ValueError("vectorised 2's complement supports widths up to 63 bits")
     values = np.asarray(values, dtype=np.int64)
-    lo = -(1 << (width - 1))
-    hi = (1 << (width - 1)) - 1
-    if np.any(values < lo) or np.any(values > hi):
-        raise ValueError(f"values out of range for {width}-bit 2's complement")
-    return values.astype(np.uint64) & np.uint64(bit_mask(width))
+    from repro.kernels import active_backend
+
+    return active_backend().to_twos_complement(values, width)
 
 
 def from_twos_complement_array(patterns: np.ndarray, width: int) -> np.ndarray:
@@ -210,11 +208,9 @@ def from_twos_complement_array(patterns: np.ndarray, width: int) -> np.ndarray:
     if width > 63:
         raise ValueError("vectorised 2's complement supports widths up to 63 bits")
     patterns = np.asarray(patterns, dtype=np.uint64)
-    if np.any(patterns > np.uint64(bit_mask(width))):
-        raise ValueError(f"pattern exceeds {width}-bit range")
-    sign = np.uint64(1 << (width - 1))
-    # (x ^ m) - m sign-extends an m-bit pattern; x ^ sign stays below 2**63.
-    return (patterns ^ sign).astype(np.int64) - np.int64(sign)
+    from repro.kernels import active_backend
+
+    return active_backend().from_twos_complement(patterns, width)
 
 
 def parity_array(patterns: np.ndarray) -> np.ndarray:

@@ -25,11 +25,15 @@ corrupts all words at once with the fault map's per-row stuck-at/flip masks.
 This is what makes Monte-Carlo sweeps over thousands of fault maps tractable
 while remaining bit-exact with the scalar word-at-a-time model.
 
-Ownership contract: the constructor deep-copies the supplied scheme before
-programming its die-specific state (``attach_rows`` / ``program``), so the
+Ownership contract: when the supplied scheme carries die-specific state
+(``ProtectionScheme.has_die_state``, e.g. an FM-LUT), the constructor
+deep-copies it before programming (``attach_rows`` / ``program``), so the
 caller's scheme instance is never mutated and any number of stores may be
 built from one shared scheme object without corrupting each other's FM-LUT
-state.  The programmed copy is available as :attr:`FaultyTensorStore.scheme`.
+state.  Stateless schemes (plain ECC, no protection) are shared as-is --
+programming them is a no-op, so there is nothing a copy would protect.  The
+store's (possibly copied) scheme is available as
+:attr:`FaultyTensorStore.scheme`.
 
 Access-trace mode: when a :class:`~repro.scenarios.transient.TransientTier`
 is attached, every load additionally replays ``access_trace`` read passes of
@@ -73,9 +77,10 @@ class FaultyTensorStore:
     organization:
         Geometry of the data memory (16 kB / 32-bit words in the paper).
     scheme:
-        Protection scheme guarding the memory.  The store programs a private
-        deep copy from the supplied fault map (mirroring the BIST flow); the
-        caller's instance is left untouched.
+        Protection scheme guarding the memory.  When the scheme carries
+        die-specific state the store programs a private deep copy from the
+        supplied fault map (mirroring the BIST flow); the caller's instance
+        is left untouched.  Stateless schemes are shared without copying.
     fault_map:
         Persistent fault map of the die's data columns.
     fixed_point:
@@ -150,10 +155,14 @@ class FaultyTensorStore:
         )
         # Program a private copy so the caller's scheme is never mutated and
         # stores sharing one scheme object cannot corrupt each other's LUTs.
-        scheme = copy.deepcopy(scheme)
-        if hasattr(scheme, "attach_rows"):
-            scheme.attach_rows(organization.rows)
-        scheme.program(self._faulty_rows)
+        # Stateless schemes (program() is a no-op) need no copy: sharing them
+        # is safe and skipping the deepcopy keeps store construction cheap in
+        # Monte-Carlo sweeps that build one store per die.
+        if scheme.has_die_state or hasattr(scheme, "attach_rows"):
+            scheme = copy.deepcopy(scheme)
+            if hasattr(scheme, "attach_rows"):
+                scheme.attach_rows(organization.rows)
+            scheme.program(self._faulty_rows)
         self._scheme = scheme
 
     # ------------------------------------------------------------------ #

@@ -144,6 +144,19 @@ class TestSchemeOwnership:
         assert np.max(np.abs(loaded_a - values)) <= (2**7 + 1) * store_a.fixed_point.scale
         assert np.max(np.abs(loaded_b - values)) <= store_b.fixed_point.scale
 
+    def test_stateless_scheme_is_shared_not_copied(self, org):
+        # program() is a no-op for stateless schemes, so the constructor may
+        # (and now does) skip the deep copy entirely.
+        for scheme in (NoProtection(32), SecdedScheme(32)):
+            store = FaultyTensorStore(
+                org, scheme, FaultMap.from_cells(org, [(0, 31)])
+            )
+            assert not scheme.has_die_state
+            assert store.scheme is scheme
+
+    def test_stateful_scheme_reports_die_state(self):
+        assert BitShuffleScheme(32, 2).has_die_state
+
 
 class TestValidation:
     def test_rejects_mismatched_scheme_width(self, org):
