@@ -10,20 +10,30 @@ benchmark, 16 kB memory, Pcell = 1e-3, 48 dies x 4 schemes) serially and with
   four CPUs to offer (the gate is informational on smaller runners, where a
   process pool cannot beat the serial path).
 
-Run with ``pytest -s`` to see the timing table; the CI smoke job runs this
-file with ``REPRO_BENCH_WORKERS=2`` and archives the output.
+``test_executor_scaling`` extends the same sweep across the executor tiers
+(inline, local process pool, tcp coordinator + localhost workers) and gates
+the tcp tier against the inline baseline: localhost sockets plus pickle
+framing must still deliver >= 1.5x at 4 workers on a 4-CPU machine, or the
+distributed tier's overhead has regressed past the point of usefulness.
+
+Run with ``pytest -s`` to see the timing tables; the CI smoke jobs run this
+file with ``REPRO_BENCH_WORKERS=2`` and archive the output.
 """
 
 from __future__ import annotations
 
 import os
+import socket
+import subprocess
 import time
 
 import numpy as np
 import pytest
 
 from repro.sim.engine import ExperimentConfig, SweepEngine
+from repro.sim.executor import ExecutorSpec
 from repro.sim.experiment import standard_benchmarks
+from repro.sim.worker import spawn_local_workers
 
 WORKERS = int(os.environ.get("REPRO_BENCH_WORKERS", "4"))
 SPEEDUP_GATE = 2.0
@@ -110,6 +120,94 @@ def test_parallel_sweep_bit_identity_and_speedup(
         assert speedup >= SPEEDUP_GATE, (
             f"expected >= {SPEEDUP_GATE}x speedup with {WORKERS} workers on "
             f"{cpus} CPUs, measured {speedup:.2f}x"
+        )
+
+
+TCP_SPEEDUP_GATE = 1.5
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def test_executor_scaling(table_printer, json_summary, knn):
+    """Inline vs pool vs tcp-localhost wall clock on the Fig. 7 smoke config.
+
+    Every tier must reproduce the inline run bit-identically; the tcp tier
+    must additionally stay within striking distance of the plain pool --
+    >= 1.5x over inline at 4 workers (4-CPU machines), i.e. the socket hop
+    and per-worker context transfer may cost at most a modest slice of the
+    pool's >= 2x.
+    """
+    engine = SweepEngine(CONFIG)
+    counts = [2, 4] if WORKERS >= 4 else [2]
+    cpus = os.cpu_count() or 1
+    results = {}
+
+    def timed(label, **kwargs):
+        start = time.perf_counter()
+        results[label] = engine.run(knn, **kwargs)
+        return time.perf_counter() - start
+
+    inline_seconds = timed("inline", workers=1)
+    rows = [["inline", 1, inline_seconds, 1.0]]
+    record = {"cpus": cpus, "inline_seconds": inline_seconds}
+
+    for n in counts:
+        seconds = timed(f"local-{n}", workers=n)
+        rows.append(["local", n, seconds, inline_seconds / seconds])
+        record[f"local_{n}_seconds"] = seconds
+
+    tcp_seconds = {}
+    for n in counts:
+        port = _free_port()
+        workers = spawn_local_workers(
+            ("127.0.0.1", port), n, retry=8, stderr=subprocess.DEVNULL
+        )
+        try:
+            seconds = timed(
+                f"tcp-{n}",
+                workers=n,
+                executor=ExecutorSpec(kind="tcp", host="127.0.0.1", port=port),
+            )
+        finally:
+            for proc in workers:
+                proc.terminate()
+            for proc in workers:
+                proc.wait(timeout=30)
+        tcp_seconds[n] = seconds
+        rows.append(["tcp (localhost)", n, seconds, inline_seconds / seconds])
+        record[f"tcp_{n}_seconds"] = seconds
+
+    # Hard gate everywhere: every tier reproduces the inline run exactly.
+    inline = results.pop("inline")
+    for label, run in results.items():
+        assert set(run) == set(inline), label
+        for name in inline:
+            x_inline, y_inline = inline[name].cdf_series()
+            x_run, y_run = run[name].cdf_series()
+            assert np.array_equal(x_inline, x_run), (label, name)
+            assert np.array_equal(y_inline, y_run), (label, name)
+
+    stats = engine.last_run_stats
+    assert stats is not None and stats.executor == "tcp"
+
+    table_printer(
+        f"Executor tiers, Fig. 7 smoke config ({cpus} CPUs)",
+        ["executor", "workers", "wall clock [s]", "speedup vs inline"],
+        rows,
+    )
+    record["bit_identical"] = True
+    json_summary("executor_scaling", record)
+
+    # The distributed gate binds only where the hardware can deliver it.
+    if cpus >= 4 and 4 in tcp_seconds:
+        speedup = inline_seconds / tcp_seconds[4]
+        assert speedup >= TCP_SPEEDUP_GATE, (
+            f"expected >= {TCP_SPEEDUP_GATE}x speedup from the tcp executor "
+            f"with 4 localhost workers on {cpus} CPUs, measured {speedup:.2f}x"
         )
 
 

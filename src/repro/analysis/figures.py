@@ -112,6 +112,7 @@ def figure5_mse_cdf(
     store: Optional["ResultStore"] = None,
     stats_out: Optional[List["SweepRunStats"]] = None,
     access_trace: int = 1,
+    executor: Optional[object] = None,
 ) -> Dict[str, MseDistribution]:
     """Fig. 5: CDF of the local MSE for every protection option.
 
@@ -140,6 +141,9 @@ def figure5_mse_cdf(
     with zero new die evaluations, and a computed sweep is recorded into
     it; ``stats_out`` collects the run's
     :class:`~repro.sim.engine.SweepRunStats` (which path ran, die counts).
+    ``executor`` selects the shard executor tier (``None``/``"local"``,
+    ``"inline"``, or an :class:`~repro.sim.executor.ExecutorSpec` for
+    distributed TCP sweeps); results are bit-identical across tiers.
     """
     organization = (
         organization if organization is not None else MemoryOrganization.paper_16kb()
@@ -179,6 +183,7 @@ def figure5_mse_cdf(
         report_out=report_out,
         store=store,
         stats_out=stats_out,
+        executor=executor,
     )
 
 
@@ -223,6 +228,7 @@ def figure7_quality(
     store: Optional["ResultStore"] = None,
     stats_out: Optional[List["SweepRunStats"]] = None,
     access_trace: int = 1,
+    executor: Optional[object] = None,
 ) -> Dict[str, QualityDistribution]:
     """Fig. 7: CDF of the application quality metric under memory failures.
 
@@ -246,7 +252,8 @@ def figure7_quality(
     :func:`figure5_mse_cdf` (store-backed view with bit-identical hits).
     ``access_trace`` sets the read passes replayed per load for scenarios
     with a transient tier (which require ``master_seed`` -- the per-read
-    corruption replays from each die's seed-sequence child).
+    corruption replays from each die's seed-sequence child).  ``executor``
+    behaves as in :func:`figure5_mse_cdf`.
     """
     organization = (
         organization if organization is not None else MemoryOrganization.paper_16kb()
@@ -282,6 +289,7 @@ def figure7_quality(
             report_out=report_out,
             store=store,
             stats_out=stats_out,
+            executor=executor,
         )
     rng = rng if rng is not None else np.random.default_rng(52)
     return evaluate_quality_point(
@@ -295,4 +303,5 @@ def figure7_quality(
         report_out=report_out,
         store=store,
         stats_out=stats_out,
+        executor=executor,
     )

@@ -35,6 +35,13 @@ The sweep commands also share ``--store`` (persistent result store: warm
 re-runs are served from disk bit-identically with zero new die evaluations;
 ``store:`` status lines go to stderr so stdout never changes), and the
 ``store`` command group inspects and maintains such a store.
+
+``--executor tcp --connect HOST:PORT`` turns any sweep command into a
+distributed coordinator: it binds the address and serves shards to workers
+started (on any trusted host) with ``python -m repro.sim.worker --connect
+HOST:PORT``.  Executor status lines go to stderr too, so stdout stays
+byte-identical across inline, process-pool, and TCP execution -- see the
+README's "Distributed sweeps" section.
 """
 
 from __future__ import annotations
@@ -220,6 +227,31 @@ def _add_sweep_options(
         "computed sweeps are recorded into it; status lines go to stderr, "
         "so stdout stays byte-identical with and without a warm store",
     )
+    parser.add_argument(
+        "--executor",
+        choices=["local", "tcp"],
+        default="local",
+        help="shard executor tier: 'local' evaluates shards in a process "
+        "pool of --workers (in-process when --workers 1); 'tcp' binds the "
+        "--connect address and serves shards to remote workers started "
+        "with 'python -m repro.sim.worker --connect HOST:PORT'.  Results "
+        "are bit-identical across executors and worker counts",
+    )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="rendezvous address of the tcp executor (the coordinator "
+        "binds it; workers dial it; requires --executor tcp)",
+    )
+    parser.add_argument(
+        "--token",
+        default=None,
+        metavar="SECRET",
+        help="shared secret for the tcp handshake; workers must pass the "
+        "same --token (guards against accidental connections, not "
+        "adversaries; requires --executor tcp)",
+    )
 
 
 def _open_store(args: argparse.Namespace):
@@ -250,6 +282,43 @@ def _print_store_events(store) -> None:
                 f"store: served {key} from cache (0 dies evaluated)",
                 file=sys.stderr,
             )
+
+
+def _resolve_executor(args: argparse.Namespace):
+    """The ExecutorSpec requested by ``--executor``/``--connect``.
+
+    Returns ``None`` for the default local tier (the engine's own default),
+    so fixed-budget output stays byte-identical to earlier releases.  The
+    tcp note goes to stderr: stdout must not depend on the executor.
+    """
+    executor = getattr(args, "executor", "local")
+    connect = getattr(args, "connect", None)
+    token = getattr(args, "token", None)
+    if executor != "tcp":
+        if connect is not None:
+            raise SystemExit("--connect requires --executor tcp")
+        if token is not None:
+            raise SystemExit("--token requires --executor tcp")
+        return None
+    if connect is None:
+        raise SystemExit(
+            "--executor tcp needs a rendezvous address: pass --connect "
+            "HOST:PORT and start workers with "
+            "'python -m repro.sim.worker --connect HOST:PORT'"
+        )
+    from repro.sim.executor import ExecutorSpec
+    from repro.sim.wire import parse_address
+
+    try:
+        host, port = parse_address(connect)
+    except ValueError as error:
+        raise SystemExit(f"--connect: {error}") from error
+    print(
+        f"executor: tcp coordinator on {host}:{port} "
+        f"(waiting for workers)",
+        file=sys.stderr,
+    )
+    return ExecutorSpec(kind="tcp", host=host, port=port, token=token)
 
 
 def _resolve_adaptive(args: argparse.Namespace) -> Optional[AdaptiveBudget]:
@@ -362,6 +431,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     _check_access_trace(args)
     sampling = _resolve_sampling(args)
     adaptive = _resolve_adaptive(args)
+    executor = _resolve_executor(args)
     reports: List[AdaptiveBudgetReport] = []
     store = _open_store(args)
     try:
@@ -378,6 +448,7 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
             report_out=reports,
             store=store,
             access_trace=args.access_trace,
+            executor=executor,
         )
     finally:
         if store is not None:
@@ -439,6 +510,7 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
             "carry"
         )
     adaptive = _resolve_adaptive(args)
+    executor = _resolve_executor(args)
     reports: List[AdaptiveBudgetReport] = []
     store = _open_store(args)
     try:
@@ -456,6 +528,7 @@ def _cmd_fig7(args: argparse.Namespace) -> int:
             report_out=reports,
             store=store,
             access_trace=args.access_trace,
+            executor=executor,
         )
     finally:
         if store is not None:
@@ -567,6 +640,16 @@ def _dse_result(args: argparse.Namespace) -> DseResult:
                 "--access-trace cannot be applied to a previously written "
                 "--table; re-run 'dse run --spec ... --access-trace ...'"
             )
+        if (
+            args.executor != "local"
+            or args.connect is not None
+            or args.token is not None
+        ):
+            raise SystemExit(
+                "--executor/--connect cannot be applied to a previously "
+                "written --table (the table bypasses the sweep); re-run "
+                "'dse run --spec ... --executor tcp --connect ...'"
+            )
         return DseResult.load(args.table)
     if args.spec is None:
         raise SystemExit("either --spec or --table is required")
@@ -602,6 +685,7 @@ def _dse_result(args: argparse.Namespace) -> DseResult:
             workers=args.workers,
             checkpoint_dir=args.checkpoint,
             store=store,
+            executor=_resolve_executor(args),
         )
         return explorer.run()
     finally:

@@ -167,6 +167,7 @@ def evaluate_quality_point(
     report_out: Optional[List["AdaptiveBudgetReport"]] = None,
     store: Optional["ResultStore"] = None,
     stats_out: Optional[List[SweepRunStats]] = None,
+    executor: Optional[object] = None,
 ) -> Dict[str, QualityDistribution]:
     """Application-quality distributions of one grid point (a Fig. 7 slice).
 
@@ -176,7 +177,9 @@ def evaluate_quality_point(
     :class:`~repro.sim.engine.AdaptiveBudgetReport` of an adaptive-budget
     config; ``store`` serves exact configuration-hash hits and records
     computed sweeps; ``stats_out`` collects the run's
-    :class:`~repro.sim.engine.SweepRunStats`; everything else is delegated
+    :class:`~repro.sim.engine.SweepRunStats`; ``executor`` selects the shard
+    executor tier (``None``/``"local"``, ``"inline"``, or an
+    :class:`~repro.sim.executor.ExecutorSpec`); everything else is delegated
     to :meth:`SweepEngine.run`.
     """
     engine = SweepEngine(config, schemes=schemes)
@@ -187,6 +190,7 @@ def evaluate_quality_point(
         fault_maps=_resolve_fault_maps(config, sampling, rng, fault_maps),
         fixed_point=fixed_point,
         store=store,
+        executor=executor,
     )
     _record_adaptive_report(engine, report_out)
     _record_run_stats(engine, stats_out)
@@ -207,12 +211,15 @@ def evaluate_mse_point(
     report_out: Optional[List["AdaptiveBudgetReport"]] = None,
     store: Optional["ResultStore"] = None,
     stats_out: Optional[List[SweepRunStats]] = None,
+    executor: Optional[object] = None,
 ) -> Dict[str, MseDistribution]:
     """Local-MSE distributions of one grid point (a Fig. 5 slice).
 
     ``fault_maps_by_count`` accepts the historical ``{failure_count: [maps]}``
     shape of :meth:`YieldAnalyzer.shared_fault_maps`; it is translated onto
     the engine's canonical ``(count_index, sample_index)`` keys.
+    ``executor`` selects the shard executor tier as in
+    :func:`evaluate_quality_point`.
     """
     if fault_maps_by_count is not None:
         if fault_maps is not None:
@@ -232,6 +239,7 @@ def evaluate_mse_point(
         fault_maps=_resolve_fault_maps(config, sampling, rng, fault_maps),
         include_fault_free=include_fault_free,
         store=store,
+        executor=executor,
     )
     _record_adaptive_report(engine, report_out)
     _record_run_stats(engine, stats_out)

@@ -232,6 +232,11 @@ class DesignSpaceExplorer:
         are recorded into it, making the explorer a store-backed view: a
         re-run against a warm store recomputes only the points a spec or
         code change dirtied (see :meth:`dirty_points`).
+    executor:
+        Optional shard-executor selection forwarded to every grid point's
+        sweep: ``None``/``"local"`` (process pool), ``"inline"``, or an
+        :class:`~repro.sim.executor.ExecutorSpec` (e.g. a ``tcp``
+        coordinator serving remote workers).
     """
 
     def __init__(
@@ -240,6 +245,7 @@ class DesignSpaceExplorer:
         workers: int = 1,
         checkpoint_dir: Optional[str] = None,
         store: Optional["ResultStore"] = None,
+        executor: Optional[object] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -247,6 +253,7 @@ class DesignSpaceExplorer:
         self._workers = workers
         self._checkpoint_dir = checkpoint_dir
         self._store = store
+        self._executor = executor
         self._adaptive_reports: Dict[
             Tuple[str, float, float], AdaptiveBudgetReport
         ] = {}
@@ -373,6 +380,7 @@ class DesignSpaceExplorer:
                     workers=self._workers,
                     checkpoint=checkpoint,
                     store=self._store,
+                    executor=self._executor,
                 )
                 if engine.last_adaptive_report is not None:
                     self._adaptive_reports[

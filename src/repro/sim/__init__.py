@@ -12,8 +12,17 @@ corrupted data, and the output quality is measured on clean test data.
 * :mod:`repro.sim.experiment` -- benchmark definitions binding a dataset, a
   learning algorithm and a quality metric (the rows of Table 1).
 * :mod:`repro.sim.engine` -- the parallel sharded Monte-Carlo sweep engine:
-  deterministic per-die seeding, process-pool fan-out, and shard-level
+  deterministic per-die seeding, pluggable shard executors, and shard-level
   checkpoint/resume.
+* :mod:`repro.sim.executor` -- the shard executor tiers (inline, local
+  process pool, distributed TCP coordinator) and the work-stealing
+  scheduler with heartbeat/deadline fault tolerance they share.
+* :mod:`repro.sim.shardeval` -- the worker-side shard evaluation shared by
+  every executor (the pure function that makes re-dispatch bit-identical).
+* :mod:`repro.sim.worker` -- the remote worker entry point
+  (``python -m repro.sim.worker --connect HOST:PORT``).
+* :mod:`repro.sim.wire` -- the framed socket protocol between coordinator
+  and workers.
 * :mod:`repro.sim.runner` -- the legacy generator-seeded front end that sweeps
   failure counts and assembles the quality CDFs of Fig. 7 (a thin wrapper
   over the engine).
@@ -24,6 +33,7 @@ from repro.sim.engine import (
     SweepEngine,
     build_scheme,
 )
+from repro.sim.executor import ExecutorSpec, make_executor
 from repro.sim.experiment import (
     BenchmarkDefinition,
     elasticnet_benchmark,
@@ -36,6 +46,7 @@ from repro.sim.runner import QualityDistribution, QualityExperimentRunner
 
 __all__ = [
     "BenchmarkDefinition",
+    "ExecutorSpec",
     "ExperimentConfig",
     "FaultyTensorStore",
     "QualityDistribution",
@@ -44,6 +55,7 @@ __all__ = [
     "build_scheme",
     "elasticnet_benchmark",
     "knn_benchmark",
+    "make_executor",
     "pca_benchmark",
     "standard_benchmarks",
 ]

@@ -99,7 +99,6 @@ import math
 import os
 import re
 import tempfile
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -118,7 +117,6 @@ from repro.faultmodel.montecarlo import (
 from repro.memory.faults import FaultMap
 from repro.memory.organization import MemoryOrganization
 from repro.quality.cdf import WeightedEcdf
-from repro.quality.mse import mse_of_fault_map
 from repro.quantize.fixedpoint import FixedPointFormat
 from repro.scenarios.base import (
     FaultScenario,
@@ -126,9 +124,9 @@ from repro.scenarios.base import (
     validated_effective_p_cell,
 )
 from repro.scenarios.catalog import default_scenario
+from repro.sim import shardeval as _shardeval
+from repro.sim.executor import ExecutorSpec, ShardExecutor, make_executor
 from repro.sim.experiment import BenchmarkDefinition
-from repro.sim.faulty_storage import FaultyTensorStore
-from repro.sim.sharedmem import SharedNdarray
 from repro.stats import (
     FixedGridEcdfSketch,
     StratumVarianceTracker,
@@ -557,6 +555,16 @@ class SweepRunStats:
     total_dies:
         Dies the full sweep comprises (fixed grid size, or the adaptive
         controller's final total).
+    executor:
+        Shard executor that ran the sweep: ``"inline"``, ``"local"``
+        (process pool), ``"tcp"`` (distributed coordinator), or ``"store"``
+        when the results were served from the result store without any
+        execution.
+    redispatched_shards:
+        Shards re-dispatched after a worker died or a shard deadline
+        expired.  Re-dispatch never changes results (die evaluation is a
+        pure function of the entry list, folded canonically), so a nonzero
+        count documents recovered faults, not divergence.
     """
 
     evaluation: str
@@ -564,6 +572,8 @@ class SweepRunStats:
     store_hit: bool
     evaluated_dies: int
     total_dies: int
+    executor: str = "inline"
+    redispatched_shards: int = 0
 
 
 # --------------------------------------------------------------------------- #
@@ -789,276 +799,38 @@ class ExperimentConfig:
 
 
 # --------------------------------------------------------------------------- #
-# Worker-side evaluation
+# Worker-side evaluation (lives in repro.sim.shardeval; re-exported here)
 # --------------------------------------------------------------------------- #
-# Each die travels as (die_index, count_index, sample_index, failure_count,
-# fault_map | None); a None map means "draw from the die's seed child".
-_DieEntry = Tuple[int, int, int, int, Optional[FaultMap]]
-
-# Set once per worker process by the pool initializer so the (potentially
-# large) training tensor and scheme objects ship once, not once per shard.
-_WORKER_CONTEXT: Optional[Dict[str, object]] = None
-
-_REJECTION_MAX_ATTEMPTS = 1000
-
-
-@dataclass
-class _SharedBenchmark:
-    """Picklable stand-in for a :class:`BenchmarkDefinition` whose data
-    arrays live in shared memory (workers rebuild the real object once)."""
-
-    name: str
-    metric_name: str
-    evaluate: object
-    arrays: Dict[str, SharedNdarray]
-
-    def materialize(self) -> BenchmarkDefinition:
-        return BenchmarkDefinition(
-            name=self.name,
-            metric_name=self.metric_name,
-            train_features=self.arrays["train_features"].asarray(),
-            train_targets=self.arrays["train_targets"].asarray(),
-            test_features=self.arrays["test_features"].asarray(),
-            test_targets=self.arrays["test_targets"].asarray(),
-            evaluate=self.evaluate,
-        )
+# The evaluation functions are shared by every executor backend -- the
+# process pool and the TCP workers import them from repro.sim.shardeval
+# directly.  The engine re-exports them under their historical private names
+# because tests monkeypatch ``engine._evaluate_shard``/``_summarize_shard``
+# to steer the inline path, and ``_inline_run_shard`` dispatches through
+# *this module's* globals so those patches keep working.
+_DieEntry = _shardeval.DieEntry
+_AdaptiveEntry = _shardeval.AdaptiveEntry
+_ShardSummary = _shardeval.ShardSummary
+_REJECTION_MAX_ATTEMPTS = _shardeval.REJECTION_MAX_ATTEMPTS
+_SharedBenchmark = _shardeval._SharedBenchmark
+_share_context = _shardeval.share_context
+_materialize_context = _shardeval.materialize_context
+_init_worker = _shardeval.init_worker
+_sample_die_map = _shardeval._sample_die_map
+_die_transient_seed = _shardeval._die_transient_seed
+_evaluate_die = _shardeval._evaluate_die
+_evaluate_shard = _shardeval.evaluate_shard
+_summarize_shard = _shardeval.summarize_shard
 
 
-def _share_context(
-    context: Dict[str, object],
-) -> Tuple[Dict[str, object], List[SharedNdarray]]:
-    """Move the context's big arrays into shared-memory blocks.
-
-    Returns the picklable context (array fields replaced by
-    :class:`SharedNdarray` handles) plus the blocks the caller must
-    ``unlink`` once the worker pool is done.  Workers attach each block at
-    most once per process, so shard fan-out no longer scales the training
-    set's memory footprint with the worker count.
-    """
-    shared = dict(context)
-    blocks: List[SharedNdarray] = []
-    try:
-        raw_features = context.get("raw_features")
-        if isinstance(raw_features, np.ndarray):
-            handle = SharedNdarray.create(raw_features)
-            blocks.append(handle)
-            shared["raw_features"] = handle
-        benchmark = context.get("benchmark")
-        if isinstance(benchmark, BenchmarkDefinition):
-            arrays: Dict[str, SharedNdarray] = {}
-            for field_name in (
-                "train_features",
-                "train_targets",
-                "test_features",
-                "test_targets",
-            ):
-                handle = SharedNdarray.create(
-                    np.asarray(getattr(benchmark, field_name))
-                )
-                blocks.append(handle)
-                arrays[field_name] = handle
-            shared["benchmark"] = _SharedBenchmark(
-                name=benchmark.name,
-                metric_name=benchmark.metric_name,
-                evaluate=benchmark.evaluate,
-                arrays=arrays,
-            )
-    except BaseException:
-        # A failure after the first create must not leak the earlier blocks
-        # (e.g. /dev/shm exhaustion while sharing the third array).
-        for block in blocks:
-            block.unlink()
-        raise
-    return shared, blocks
-
-
-def _materialize_context(context: Dict[str, object]) -> Dict[str, object]:
-    """Resolve shared-memory handles back into arrays (worker side)."""
-    context = dict(context)
-    raw_features = context.get("raw_features")
-    if isinstance(raw_features, SharedNdarray):
-        context["raw_features"] = raw_features.asarray()
-    benchmark = context.get("benchmark")
-    if isinstance(benchmark, _SharedBenchmark):
-        context["benchmark"] = benchmark.materialize()
-    return context
-
-
-def _init_worker(context: Dict[str, object]) -> None:
-    global _WORKER_CONTEXT
-    _WORKER_CONTEXT = _materialize_context(context)
-
-
-def _pool_evaluate_shard(entries: List[_DieEntry]) -> List[Tuple[int, List[float]]]:
-    assert _WORKER_CONTEXT is not None, "worker used before initialisation"
-    return _evaluate_shard(entries, _WORKER_CONTEXT)
-
-
-def _pool_summarize_shard(entries: List["_AdaptiveEntry"]):
-    assert _WORKER_CONTEXT is not None, "worker used before initialisation"
-    return _summarize_shard(entries, _WORKER_CONTEXT)
-
-
-def _sample_die_map(
-    context: Mapping[str, object],
-    rng: np.random.Generator,
-    failure_count: int,
-) -> FaultMap:
-    """Draw one die's fault map through the sweep's scenario pipeline.
-
-    The default ``iid-pcell`` scenario issues exactly the historical
-    generator calls, so seeded results are bit-identical to the pre-scenario
-    engine.
-    """
-    max_per_word = 1 if context["discard_multi_fault_words"] else None
-    scenario: FaultScenario = context["scenario"]
-    return scenario.sample_die(
-        context["organization"],
-        failure_count,
-        rng,
-        max_faults_per_word=max_per_word,
-        max_rounds=_REJECTION_MAX_ATTEMPTS,
-    )
-
-
-def _die_transient_seed(
-    context: Mapping[str, object], rng: np.random.Generator
-) -> Optional[int]:
-    """The die's transient replay seed, drawn after its fault map.
-
-    Only transient sweeps take this extra draw from the die's child stream,
-    so every non-transient scenario's sampling stream -- and with it every
-    existing seeded result -- stays bit-identical.  Transient events are
-    scheme-independent (they corrupt stored data columns, whatever guards
-    them), so one seed per die serves every scheme's store identically.
-    """
-    if context.get("transient") is None:
-        return None
-    return int(rng.integers(np.iinfo(np.int64).max, dtype=np.int64))
-
-
-def _die_fault_map(
-    context: Mapping[str, object], die_index: int, failure_count: int
-) -> FaultMap:
-    """Draw die ``die_index``'s fault map from its own seed-sequence child."""
-    child = np.random.SeedSequence(
-        context["master_seed"], spawn_key=(die_index,)
-    )
-    return _sample_die_map(context, np.random.default_rng(child), failure_count)
-
-
-def _evaluate_die(
-    context: Mapping[str, object],
-    fault_map: FaultMap,
-    transient_seed: Optional[int] = None,
-) -> List[float]:
-    """Per-scheme score of one die: normalised quality, or local MSE."""
-    if context.get("evaluation", "quality") == "mse":
-        return [
-            float(mse_of_fault_map(fault_map, scheme))
-            for scheme in context["schemes"]
-        ]
-    qualities = []
-    for scheme in context["schemes"]:
-        store = FaultyTensorStore(
-            context["organization"],
-            scheme,
-            fault_map,
-            context["fixed_point"],
-            transient=context.get("transient"),
-            transient_seed=transient_seed,
-            access_trace=int(context.get("access_trace", 1)),
-        )
-        corrupted = store.load_quantized(context["raw_features"])
-        quality = context["benchmark"].quality_with_corrupted_features(corrupted)
-        qualities.append(quality / context["clean_quality"])
-    return qualities
-
-
-def _evaluate_shard(
-    entries: List[_DieEntry], context: Mapping[str, object]
-) -> List[Tuple[int, List[float]]]:
-    """Evaluate one shard of dies; returns ``(die_index, qualities)`` pairs."""
-    results = []
-    for die_index, _count_index, _sample_index, failure_count, fault_map in entries:
-        transient_seed = None
-        if fault_map is None:
-            child = np.random.SeedSequence(
-                context["master_seed"], spawn_key=(die_index,)
-            )
-            rng = np.random.default_rng(child)
-            fault_map = _sample_die_map(context, rng, failure_count)
-            transient_seed = _die_transient_seed(context, rng)
-        results.append(
-            (die_index, _evaluate_die(context, fault_map, transient_seed))
-        )
-    return results
-
-
-# Adaptive dies travel as (count_index, sample_index, failure_count); the
-# sample index is the die's position within its stratum across all rounds.
-_AdaptiveEntry = Tuple[int, int, int]
-
-# One (scheme, stratum) cell of a shard summary.
-_ShardSummary = List[Tuple[Tuple[int, int], StreamingMoments, FixedGridEcdfSketch]]
-
-
-def _adaptive_die_fault_map(
-    context: Mapping[str, object],
-    count_index: int,
-    sample_index: int,
-    failure_count: int,
-) -> FaultMap:
-    """Draw an adaptive die from its own seed-sequence child.
-
-    Adaptive dies are keyed by ``spawn_key=(count_index, sample_index)``
-    rather than a flat die index: the key depends only on the die's position
-    within its stratum, never on the allocation path that scheduled it, so
-    resumed and re-allocated sweeps draw identical dies.
-    """
-    child = np.random.SeedSequence(
-        context["master_seed"], spawn_key=(count_index, sample_index)
-    )
-    return _sample_die_map(context, np.random.default_rng(child), failure_count)
-
-
-def _summarize_shard(
-    entries: List[_AdaptiveEntry], context: Mapping[str, object]
-) -> _ShardSummary:
-    """Evaluate one adaptive shard and reduce it to streaming summaries.
-
-    The returned payload is O(bins): one indicator-moments accumulator and
-    one fixed-grid ECDF sketch per (scheme, stratum) touched by the shard,
-    regardless of how many dies the shard evaluated.  Dies are evaluated in
-    entry order and folded value-by-value, so the summary is a deterministic
-    function of the entry list alone.
-    """
-    adaptive: Mapping[str, object] = context["adaptive"]
-    threshold = float(adaptive["threshold"])
-    larger_is_better = adaptive["direction"] == "ge"
-    edges = adaptive["edges"]
-    cells: Dict[Tuple[int, int], Tuple[StreamingMoments, FixedGridEcdfSketch]] = {}
-    for count_index, sample_index, failure_count in entries:
-        child = np.random.SeedSequence(
-            context["master_seed"], spawn_key=(count_index, sample_index)
-        )
-        rng = np.random.default_rng(child)
-        fault_map = _sample_die_map(context, rng, failure_count)
-        transient_seed = _die_transient_seed(context, rng)
-        scores = _evaluate_die(context, fault_map, transient_seed)
-        for scheme_index, score in enumerate(scores):
-            key = (scheme_index, count_index)
-            cell = cells.get(key)
-            if cell is None:
-                cell = (StreamingMoments(), FixedGridEcdfSketch(edges))
-                cells[key] = cell
-            moments, sketch = cell
-            passed = score >= threshold if larger_is_better else score <= threshold
-            moments.update_batch([1.0 if passed else 0.0])
-            sketch.update_batch([score])
-    return [
-        (key, cells[key][0], cells[key][1]) for key in sorted(cells)
-    ]
+def _inline_run_shard(
+    kind: str, entries: List[object], context: Mapping[str, object]
+) -> object:
+    """In-process shard runner handed to the inline executor."""
+    if kind == "evaluate":
+        return _evaluate_shard(entries, context)
+    if kind == "summarize":
+        return _summarize_shard(entries, context)
+    raise ValueError(f"unknown shard kind {kind!r}")
 
 
 # --------------------------------------------------------------------------- #
@@ -1155,82 +927,24 @@ def _save_checkpoint(
 # --------------------------------------------------------------------------- #
 # Shard dispatch (shared by the fixed and adaptive paths)
 # --------------------------------------------------------------------------- #
-class _ShardDispatcher:
-    """Owns the optional process pool and shared-memory blocks of one sweep.
+def _ShardDispatcher(
+    context: Dict[str, object],
+    workers: int,
+    spec: Optional[ExecutorSpec] = None,
+) -> ShardExecutor:
+    """Build the shard executor of one sweep (back-compat factory).
 
-    ``workers == 1`` evaluates inline (fully debuggable, no copies at all).
-    With more workers, the context's large arrays move into shared memory
-    once (:func:`_share_context`) and a :class:`ProcessPoolExecutor` is kept
-    alive for the dispatcher's lifetime -- the adaptive controller submits
-    many rounds of shards to the same pool.
-
-    The dispatcher is a context manager and the engine drives it with
-    ``with``, so the shared blocks are released on every exit path: a
-    construction failure (pool spawn error) releases the blocks before the
-    exception propagates, an exception mid-sweep releases them in
-    ``__exit__``, and a parent process that dies without unwinding is
-    covered by the :mod:`repro.sim.sharedmem` ``atexit`` guard.
+    Historically this was a class owning the optional process pool and
+    shared-memory blocks; the behaviour now lives in the pluggable
+    :mod:`repro.sim.executor` tier, and this factory keeps the engine's
+    (and the tests') construction site unchanged: ``workers == 1`` -- or an
+    explicit ``inline`` spec -- evaluates in-process, ``workers > 1``
+    builds the shared-memory process pool, and a ``tcp`` spec builds the
+    coordinator that serves shards to remote workers.  The returned
+    executor is a context manager; the engine drives it with ``with`` so
+    pools, sockets, and shared blocks are released on every exit path.
     """
-
-    def __init__(self, context: Dict[str, object], workers: int) -> None:
-        self._context = context
-        self._blocks: List[SharedNdarray] = []
-        self._pool: Optional[ProcessPoolExecutor] = None
-        if workers > 1:
-            try:
-                shared, self._blocks = _share_context(context)
-                self._pool = ProcessPoolExecutor(
-                    max_workers=workers,
-                    initializer=_init_worker,
-                    initargs=(shared,),
-                )
-            except BaseException:
-                # A half-built dispatcher never reaches the caller, so close
-                # here or the blocks leak until process exit.
-                self.close()
-                raise
-
-    def __enter__(self) -> "_ShardDispatcher":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        self.close()
-
-    def evaluate_unordered(self, shards, absorb) -> None:
-        """Fixed path: feed each shard's per-die results to ``absorb`` as
-        they complete (result identity is die-keyed, so order is free)."""
-        if self._pool is None:
-            for shard in shards:
-                absorb(_evaluate_shard(shard, self._context))
-            return
-        futures = [
-            self._pool.submit(_pool_evaluate_shard, shard) for shard in shards
-        ]
-        for future in as_completed(futures):
-            absorb(future.result())
-
-    def summarize_ordered(self, shards) -> List[_ShardSummary]:
-        """Adaptive path: one O(bins) summary per shard, *in shard order*.
-
-        Arrival order is discarded on purpose: the caller folds summaries in
-        shard-index order, which is what makes the floating-point merge
-        canonical for any worker count.
-        """
-        if self._pool is None:
-            return [_summarize_shard(shard, self._context) for shard in shards]
-        futures = [
-            self._pool.submit(_pool_summarize_shard, shard) for shard in shards
-        ]
-        return [future.result() for future in futures]
-
-    def close(self) -> None:
-        """Shut the pool down and unlink the shared-memory blocks."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
-        for block in self._blocks:
-            block.unlink()
-        self._blocks = []
+    return make_executor(context, workers, spec=spec, runner=_inline_run_shard)
 
 
 def _summary_payload_scalars(summary: _ShardSummary) -> int:
@@ -1277,6 +991,8 @@ class SweepEngine:
         self._last_adaptive_report: Optional[AdaptiveBudgetReport] = None
         self._last_run_stats: Optional[SweepRunStats] = None
         self._dies_evaluated = 0
+        self._last_executor = "inline"
+        self._last_redispatched = 0
         # Built once: the same (picklable) pipeline object ships to every
         # worker, and building validates the scenario spec eagerly.
         self._scenario = config.build_scenario()
@@ -1402,6 +1118,7 @@ class SweepEngine:
         fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]] = None,
         fixed_point: Optional[FixedPointFormat] = None,
         store: Optional["ResultStore"] = None,
+        executor: Optional[object] = None,
     ) -> Dict[str, QualityDistribution]:
         """Run the sweep and return one :class:`QualityDistribution` per scheme.
 
@@ -1440,6 +1157,15 @@ class SweepEngine:
             with zero new die evaluations and no benchmark training -- and a
             computed sweep is recorded into it.  Results are unchanged either
             way; :attr:`last_run_stats` says which path ran.
+        executor:
+            Shard execution backend: ``None`` (default -- process pool when
+            ``workers > 1``, inline otherwise), a kind string (``"inline"``,
+            ``"local"``, ``"tcp"``), or a full
+            :class:`~repro.sim.executor.ExecutorSpec`.  The ``tcp`` kind
+            starts a coordinator on the spec's ``host:port`` and serves
+            shards to workers started with ``python -m repro.sim.worker
+            --connect HOST:PORT``.  Results are bit-identical for every
+            backend, worker count, and re-dispatch history.
         """
         config = self._config
         if self._scenario.transient is not None:
@@ -1454,6 +1180,9 @@ class SweepEngine:
             fixed_point = FixedPointFormat(
                 total_bits=config.word_width, frac_bits=config.frac_bits
             )
+        executor_spec = ExecutorSpec.coerce(executor)
+        self._last_executor = "inline"
+        self._last_redispatched = 0
         store_key: Optional[str] = None
         if store is not None:
             store_key = self.config_hash(benchmark, fault_maps, fixed_point)
@@ -1494,6 +1223,7 @@ class SweepEngine:
                 workers=workers,
                 checkpoint=checkpoint,
                 config_hash=config_hash,
+                executor=executor_spec,
             )
             results = self._merge_quality_adaptive(
                 benchmark, clean_quality, outcome
@@ -1513,6 +1243,7 @@ class SweepEngine:
                 shard_size=shard_size,
                 shard_order=shard_order,
                 fault_maps=fault_maps,
+                executor=executor_spec,
             )
             results = self._merge_quality(benchmark, clean_quality, die_results)
             total_dies = len(die_results)
@@ -1522,6 +1253,8 @@ class SweepEngine:
             store_hit=False,
             evaluated_dies=self._dies_evaluated,
             total_dies=total_dies,
+            executor=self._last_executor,
+            redispatched_shards=self._last_redispatched,
         )
         if store is not None and store_key is not None:
             self._record_results(store, store_key, "quality", results)
@@ -1548,6 +1281,7 @@ class SweepEngine:
             store_hit=True,
             evaluated_dies=0,
             total_dies=int(meta.get("total_dies", 0)),
+            executor="store",
         )
         return results
 
@@ -1601,6 +1335,7 @@ class SweepEngine:
         fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]] = None,
         include_fault_free: bool = True,
         store: Optional["ResultStore"] = None,
+        executor: Optional[object] = None,
     ) -> Dict[str, "MseDistribution"]:
         """Run the sweep scoring each die by its local MSE (the Fig. 5 study).
 
@@ -1612,7 +1347,8 @@ class SweepEngine:
         ``include_fault_free`` adds the ``Pr(N = 0)`` point mass at MSE = 0
         (pass ``False`` for the paper's Eq. 5 conditional view).
         ``store`` behaves as in :meth:`run` (serve exact hash hits, record
-        computed sweeps).
+        computed sweeps), and so does ``executor`` (``None``/``"local"``,
+        ``"inline"``, or an :class:`~repro.sim.executor.ExecutorSpec`).
         """
         config = self._config
         if self._scenario.transient is not None:
@@ -1621,6 +1357,9 @@ class SweepEngine:
                 "transient faults; run transient scenarios through the "
                 "quality sweep (SweepEngine.run / fig7) instead"
             )
+        executor_spec = ExecutorSpec.coerce(executor)
+        self._last_executor = "inline"
+        self._last_redispatched = 0
         store_key: Optional[str] = None
         if store is not None:
             store_key = self.config_hash(
@@ -1661,6 +1400,7 @@ class SweepEngine:
                 workers=workers,
                 checkpoint=checkpoint,
                 config_hash=config_hash,
+                executor=executor_spec,
             )
             results = self._merge_mse_adaptive(outcome, include_fault_free)
             total_dies = outcome.report.total_dies
@@ -1683,6 +1423,7 @@ class SweepEngine:
                 shard_size=shard_size,
                 shard_order=shard_order,
                 fault_maps=fault_maps,
+                executor=executor_spec,
             )
             results = self._merge_mse(die_results, include_fault_free)
             total_dies = len(die_results)
@@ -1692,6 +1433,8 @@ class SweepEngine:
             store_hit=False,
             evaluated_dies=self._dies_evaluated,
             total_dies=total_dies,
+            executor=self._last_executor,
+            redispatched_shards=self._last_redispatched,
         )
         if store is not None and store_key is not None:
             self._record_results(store, store_key, "mse", results)
@@ -1718,8 +1461,15 @@ class SweepEngine:
             store_hit=True,
             evaluated_dies=0,
             total_dies=int(meta.get("total_dies", 0)),
+            executor="store",
         )
         return results
+
+    def _note_executor(self, dispatcher: ShardExecutor) -> None:
+        """Record which executor tier ran and how many shards it re-dispatched
+        (surfaced through :class:`SweepRunStats` after the run)."""
+        self._last_executor = dispatcher.kind
+        self._last_redispatched += dispatcher.stats.redispatched
 
     def _execute(
         self,
@@ -1731,6 +1481,7 @@ class SweepEngine:
         shard_size: Optional[int],
         shard_order: Optional[Sequence[int]],
         fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]],
+        executor: Optional[ExecutorSpec] = None,
     ) -> Dict[int, List[float]]:
         """Evaluate every pending die of the plan (the shared execution core)."""
         if workers < 1:
@@ -1774,9 +1525,18 @@ class SweepEngine:
             if checkpoint is not None:
                 _save_checkpoint(checkpoint, config_hash, die_results)
 
-        effective_workers = 1 if len(shards) <= 1 else min(workers, len(shards))
-        with _ShardDispatcher(context, effective_workers) as dispatcher:
+        # TCP executors keep their configured fan-out: remote workers decide
+        # their own parallelism, and a single-shard sweep still has to bind
+        # the rendezvous port the workers dial.
+        if executor is not None and executor.kind == "tcp":
+            effective_workers = workers
+        else:
+            effective_workers = (
+                1 if len(shards) <= 1 else min(workers, len(shards))
+            )
+        with _ShardDispatcher(context, effective_workers, executor) as dispatcher:
             dispatcher.evaluate_unordered(shards, _absorb)
+            self._note_executor(dispatcher)
         return die_results
 
     # ------------------------------------------------------------------ #
@@ -1805,6 +1565,7 @@ class SweepEngine:
         workers: int,
         checkpoint: Optional[str],
         config_hash: str,
+        executor: Optional[ExecutorSpec] = None,
     ) -> "_AdaptiveOutcome":
         """Round-based confidence-driven sweep (the adaptive execution core).
 
@@ -1889,7 +1650,7 @@ class SweepEngine:
         }
 
         reached = False
-        dispatcher: Optional[_ShardDispatcher] = None
+        dispatcher: Optional[ShardExecutor] = None
         try:
             while True:
                 total_done = sum(samples_done.values())
@@ -1928,7 +1689,7 @@ class SweepEngine:
                     for start in range(0, len(entries), _ADAPTIVE_SHARD_DIES)
                 ]
                 if dispatcher is None:
-                    dispatcher = _ShardDispatcher(context, workers)
+                    dispatcher = _ShardDispatcher(context, workers, executor)
                 self._dies_evaluated += len(entries)
                 # Canonical fold: shard-index order, then sorted cell keys
                 # inside each shard -- never completion order.
@@ -1967,6 +1728,7 @@ class SweepEngine:
                     )
         finally:
             if dispatcher is not None:
+                self._note_executor(dispatcher)
                 dispatcher.close()
 
         report = AdaptiveBudgetReport(

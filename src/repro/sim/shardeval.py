@@ -1,0 +1,341 @@
+"""Worker-side shard evaluation, shared by every executor backend.
+
+A *shard* is a list of die entries; evaluating one is a pure function of
+``(entries, context)`` where the context carries the sweep's organization,
+schemes, benchmark data, and seeding parameters.  This module holds that
+function -- in both its fixed-budget (:func:`evaluate_shard`) and adaptive
+(:func:`summarize_shard`) forms -- plus the context plumbing each transport
+needs:
+
+* the in-process and process-pool executors ship the context once per worker
+  via :func:`share_context` (big arrays moved to shared memory) and
+  :func:`init_worker` / :func:`pool_run_shard`;
+* the TCP executor pickles the *materialised* context over the wire (shared
+  memory is a single-host capability -- see :mod:`repro.sim.sharedmem`) and
+  remote workers call :func:`run_shard` directly.
+
+Every function here consumes randomness only from per-die
+``SeedSequence`` children (the engine's seeding contract), so a shard's
+result depends on nothing but its entry list -- not on which process, host,
+or re-dispatch attempt evaluated it.  That is the property that makes
+work-stealing and fault-tolerant re-dispatch bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.memory.faults import FaultMap
+from repro.quality.mse import mse_of_fault_map
+from repro.scenarios.base import FaultScenario
+from repro.sim.experiment import BenchmarkDefinition
+from repro.sim.faulty_storage import FaultyTensorStore
+from repro.sim.sharedmem import SharedNdarray
+from repro.stats import FixedGridEcdfSketch, StreamingMoments
+
+__all__ = [
+    "DieEntry",
+    "AdaptiveEntry",
+    "ShardSummary",
+    "REJECTION_MAX_ATTEMPTS",
+    "evaluate_shard",
+    "init_worker",
+    "materialize_context",
+    "pool_run_shard",
+    "run_shard",
+    "share_context",
+    "summarize_shard",
+]
+
+# Each fixed-budget die travels as (die_index, count_index, sample_index,
+# failure_count, fault_map | None); a None map means "draw from the die's
+# seed child".
+DieEntry = Tuple[int, int, int, int, Optional[FaultMap]]
+
+# Adaptive dies travel as (count_index, sample_index, failure_count); the
+# sample index is the die's position within its stratum across all rounds.
+AdaptiveEntry = Tuple[int, int, int]
+
+# One (scheme, stratum) cell of an adaptive shard summary.
+ShardSummary = List[Tuple[Tuple[int, int], StreamingMoments, FixedGridEcdfSketch]]
+
+REJECTION_MAX_ATTEMPTS = 1000
+
+# Set once per worker process by the pool initializer so the (potentially
+# large) training tensor and scheme objects ship once, not once per shard.
+_WORKER_CONTEXT: Optional[Dict[str, object]] = None
+
+#: Test-only fault injection: when this environment variable names a path,
+#: the first shard evaluation to atomically create that file kills its own
+#: process with ``os._exit`` *before* evaluating.  Exactly one worker dies
+#: (``O_EXCL`` arbitrates racing workers), every later evaluation proceeds
+#: normally -- a deterministic "worker crashed after shard k" barrier the
+#: recovery tests are built on.  Never set outside tests.
+KILL_SWITCH_ENV = "REPRO_TEST_WORKER_KILL"
+
+
+def _maybe_die_for_test() -> None:
+    marker = os.environ.get(KILL_SWITCH_ENV)
+    if not marker:
+        return
+    try:
+        fd = os.open(marker, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+    except FileExistsError:
+        return
+    os.close(fd)
+    os._exit(1)
+
+
+# --------------------------------------------------------------------------- #
+# Context shipping
+# --------------------------------------------------------------------------- #
+@dataclass
+class _SharedBenchmark:
+    """Picklable stand-in for a :class:`BenchmarkDefinition` whose data
+    arrays live in shared memory (workers rebuild the real object once)."""
+
+    name: str
+    metric_name: str
+    evaluate: object
+    arrays: Dict[str, SharedNdarray]
+
+    def materialize(self) -> BenchmarkDefinition:
+        return BenchmarkDefinition(
+            name=self.name,
+            metric_name=self.metric_name,
+            train_features=self.arrays["train_features"].asarray(),
+            train_targets=self.arrays["train_targets"].asarray(),
+            test_features=self.arrays["test_features"].asarray(),
+            test_targets=self.arrays["test_targets"].asarray(),
+            evaluate=self.evaluate,
+        )
+
+
+def share_context(
+    context: Dict[str, object],
+) -> Tuple[Dict[str, object], List[SharedNdarray]]:
+    """Move the context's big arrays into shared-memory blocks.
+
+    Returns the picklable context (array fields replaced by
+    :class:`SharedNdarray` handles) plus the blocks the caller must
+    ``unlink`` once the worker pool is done.  Workers attach each block at
+    most once per process, so shard fan-out no longer scales the training
+    set's memory footprint with the worker count.
+
+    This is a **single-host capability**: the handles resolve through
+    ``/dev/shm`` and mean nothing on another machine, which is why the TCP
+    executor ships the raw context instead.
+    """
+    shared = dict(context)
+    blocks: List[SharedNdarray] = []
+    try:
+        raw_features = context.get("raw_features")
+        if isinstance(raw_features, np.ndarray):
+            handle = SharedNdarray.create(raw_features)
+            blocks.append(handle)
+            shared["raw_features"] = handle
+        benchmark = context.get("benchmark")
+        if isinstance(benchmark, BenchmarkDefinition):
+            arrays: Dict[str, SharedNdarray] = {}
+            for field_name in (
+                "train_features",
+                "train_targets",
+                "test_features",
+                "test_targets",
+            ):
+                handle = SharedNdarray.create(
+                    np.asarray(getattr(benchmark, field_name))
+                )
+                blocks.append(handle)
+                arrays[field_name] = handle
+            shared["benchmark"] = _SharedBenchmark(
+                name=benchmark.name,
+                metric_name=benchmark.metric_name,
+                evaluate=benchmark.evaluate,
+                arrays=arrays,
+            )
+    except BaseException:
+        # A failure after the first create must not leak the earlier blocks
+        # (e.g. /dev/shm exhaustion while sharing the third array).
+        for block in blocks:
+            block.unlink()
+        raise
+    return shared, blocks
+
+
+def materialize_context(context: Dict[str, object]) -> Dict[str, object]:
+    """Resolve shared-memory handles back into arrays (worker side)."""
+    context = dict(context)
+    raw_features = context.get("raw_features")
+    if isinstance(raw_features, SharedNdarray):
+        context["raw_features"] = raw_features.asarray()
+    benchmark = context.get("benchmark")
+    if isinstance(benchmark, _SharedBenchmark):
+        context["benchmark"] = benchmark.materialize()
+    return context
+
+
+def init_worker(context: Dict[str, object]) -> None:
+    """Process-pool initializer: materialise the context once per worker."""
+    global _WORKER_CONTEXT
+    _WORKER_CONTEXT = materialize_context(context)
+
+
+def pool_run_shard(kind: str, entries: List[object]) -> object:
+    """Pool-side entry point: evaluate one shard against the worker context."""
+    assert _WORKER_CONTEXT is not None, "worker used before initialisation"
+    return run_shard(kind, entries, _WORKER_CONTEXT)
+
+
+def run_shard(kind: str, entries: List[object], context: Mapping[str, object]) -> object:
+    """Evaluate one shard of ``kind`` (``"evaluate"`` or ``"summarize"``)."""
+    _maybe_die_for_test()
+    if kind == "evaluate":
+        return evaluate_shard(entries, context)
+    if kind == "summarize":
+        return summarize_shard(entries, context)
+    raise ValueError(f"unknown shard kind {kind!r}")
+
+
+# --------------------------------------------------------------------------- #
+# Die evaluation
+# --------------------------------------------------------------------------- #
+def _sample_die_map(
+    context: Mapping[str, object],
+    rng: np.random.Generator,
+    failure_count: int,
+) -> FaultMap:
+    """Draw one die's fault map through the sweep's scenario pipeline.
+
+    The default ``iid-pcell`` scenario issues exactly the historical
+    generator calls, so seeded results are bit-identical to the pre-scenario
+    engine.
+    """
+    max_per_word = 1 if context["discard_multi_fault_words"] else None
+    scenario: FaultScenario = context["scenario"]
+    return scenario.sample_die(
+        context["organization"],
+        failure_count,
+        rng,
+        max_faults_per_word=max_per_word,
+        max_rounds=REJECTION_MAX_ATTEMPTS,
+    )
+
+
+def _die_transient_seed(
+    context: Mapping[str, object], rng: np.random.Generator
+) -> Optional[int]:
+    """The die's transient replay seed, drawn after its fault map.
+
+    Only transient sweeps take this extra draw from the die's child stream,
+    so every non-transient scenario's sampling stream -- and with it every
+    existing seeded result -- stays bit-identical.  Transient events are
+    scheme-independent (they corrupt stored data columns, whatever guards
+    them), so one seed per die serves every scheme's store identically.
+    """
+    if context.get("transient") is None:
+        return None
+    return int(rng.integers(np.iinfo(np.int64).max, dtype=np.int64))
+
+
+def _evaluate_die(
+    context: Mapping[str, object],
+    fault_map: FaultMap,
+    transient_seed: Optional[int] = None,
+) -> List[float]:
+    """Per-scheme score of one die: normalised quality, or local MSE."""
+    if context.get("evaluation", "quality") == "mse":
+        return [
+            float(mse_of_fault_map(fault_map, scheme))
+            for scheme in context["schemes"]
+        ]
+    qualities = []
+    for scheme in context["schemes"]:
+        store = FaultyTensorStore(
+            context["organization"],
+            scheme,
+            fault_map,
+            context["fixed_point"],
+            transient=context.get("transient"),
+            transient_seed=transient_seed,
+            access_trace=int(context.get("access_trace", 1)),
+        )
+        corrupted = store.load_quantized(context["raw_features"])
+        quality = context["benchmark"].quality_with_corrupted_features(corrupted)
+        qualities.append(quality / context["clean_quality"])
+    return qualities
+
+
+def evaluate_shard(
+    entries: List[DieEntry], context: Mapping[str, object]
+) -> List[Tuple[int, List[float]]]:
+    """Evaluate one shard of dies; returns ``(die_index, qualities)`` pairs."""
+    results = []
+    for die_index, _count_index, _sample_index, failure_count, fault_map in entries:
+        transient_seed = None
+        if fault_map is None:
+            child = np.random.SeedSequence(
+                context["master_seed"], spawn_key=(die_index,)
+            )
+            rng = np.random.default_rng(child)
+            fault_map = _sample_die_map(context, rng, failure_count)
+            transient_seed = _die_transient_seed(context, rng)
+        results.append(
+            (die_index, _evaluate_die(context, fault_map, transient_seed))
+        )
+    return results
+
+
+def summarize_shard(
+    entries: List[AdaptiveEntry], context: Mapping[str, object]
+) -> ShardSummary:
+    """Evaluate one adaptive shard and reduce it to streaming summaries.
+
+    The returned payload is O(bins): one indicator-moments accumulator and
+    one fixed-grid ECDF sketch per (scheme, stratum) touched by the shard,
+    regardless of how many dies the shard evaluated.  Dies are evaluated in
+    entry order and folded value-by-value, so the summary is a deterministic
+    function of the entry list alone.
+    """
+    adaptive: Mapping[str, object] = context["adaptive"]
+    threshold = float(adaptive["threshold"])
+    larger_is_better = adaptive["direction"] == "ge"
+    edges = adaptive["edges"]
+    cells: Dict[Tuple[int, int], Tuple[StreamingMoments, FixedGridEcdfSketch]] = {}
+    for count_index, sample_index, failure_count in entries:
+        child = np.random.SeedSequence(
+            context["master_seed"], spawn_key=(count_index, sample_index)
+        )
+        rng = np.random.default_rng(child)
+        fault_map = _sample_die_map(context, rng, failure_count)
+        transient_seed = _die_transient_seed(context, rng)
+        scores = _evaluate_die(context, fault_map, transient_seed)
+        for scheme_index, score in enumerate(scores):
+            key = (scheme_index, count_index)
+            cell = cells.get(key)
+            if cell is None:
+                cell = (StreamingMoments(), FixedGridEcdfSketch(edges))
+                cells[key] = cell
+            moments, sketch = cell
+            passed = score >= threshold if larger_is_better else score <= threshold
+            moments.update_batch([1.0 if passed else 0.0])
+            sketch.update_batch([score])
+    return [
+        (key, cells[key][0], cells[key][1]) for key in sorted(cells)
+    ]
+
+
+def shard_cost(kind: str, entries: List[object]) -> int:
+    """Cost-model estimate of one shard: dies weighted by failure count.
+
+    A die's evaluation cost grows with its failure count (rejection sampling
+    redraws more, corruption masks touch more rows), so the scheduler hands
+    heavy shards out first -- classic longest-processing-time ordering keeps
+    the tail short when shard sizes are uneven.
+    """
+    position = 2 if kind == "summarize" else 3
+    return sum(1 + int(entry[position]) for entry in entries)

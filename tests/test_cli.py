@@ -353,7 +353,7 @@ class TestDseCommands:
         captured = {}
 
         class _FakeExplorer:
-            def __init__(self, spec, workers=1, checkpoint_dir=None, store=None):
+            def __init__(self, spec, workers=1, checkpoint_dir=None, store=None, executor=None):
                 captured["spec"] = spec
 
             def run(self):
@@ -376,7 +376,7 @@ class TestDseCommands:
         captured = {}
 
         class _FakeExplorer:
-            def __init__(self, spec, workers=1, checkpoint_dir=None, store=None):
+            def __init__(self, spec, workers=1, checkpoint_dir=None, store=None, executor=None):
                 captured["spec"] = spec
 
             def run(self):

@@ -13,6 +13,7 @@ import numpy as np
 import pytest
 
 from repro.sim import engine as engine_module
+from repro.sim import executor as executor_module
 from repro.sim.engine import ExperimentConfig, SweepEngine, _ShardDispatcher
 from repro.sim.experiment import BenchmarkDefinition
 from repro.sim.sharedmem import SharedNdarray, live_owned_blocks
@@ -110,7 +111,7 @@ class TestDispatcherLifecycle:
             raise OSError("injected pool spawn failure")
 
         monkeypatch.setattr(
-            engine_module, "ProcessPoolExecutor", exploding_pool
+            executor_module, "ProcessPoolExecutor", exploding_pool
         )
         context = {"raw_features": np.zeros((16, 8))}
         with pytest.raises(OSError, match="injected"):
