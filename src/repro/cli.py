@@ -63,7 +63,13 @@ from repro.analysis.figures import (
     figure7_quality,
 )
 from repro.analysis.tables import table1_applications
-from repro.dse import DesignSpaceExplorer, DseResult, ExperimentSpec
+from repro.dse import (
+    DesignSpaceExplorer,
+    DseResult,
+    ExperimentSpec,
+    OptimizerSpec,
+    ParetoOptimizer,
+)
 from repro.sim.engine import AdaptiveBudget, AdaptiveBudgetReport
 from repro.sim.experiment import standard_benchmarks
 
@@ -749,6 +755,72 @@ def _cmd_dse_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_dse_optimize(args: argparse.Namespace) -> int:
+    spec = ExperimentSpec.from_file(args.spec)
+    base = spec.optimizer if spec.optimizer is not None else OptimizerSpec()
+    overrides: dict = {}
+    if args.rungs is not None:
+        overrides["rungs"] = args.rungs
+    if args.eta is not None:
+        overrides["eta"] = args.eta
+    if args.frontier_slack is not None:
+        overrides["frontier_slack"] = args.frontier_slack
+    if args.rung0_dies is not None:
+        overrides["rung0_dies"] = args.rung0_dies
+    if args.target_ci is not None:
+        overrides["target_ci"] = args.target_ci
+    try:
+        optimizer = replace(base, **overrides) if overrides else base
+    except ValueError as error:
+        raise SystemExit(f"invalid optimizer parameters: {error}") from error
+    store = _open_store(args)
+    try:
+        result = ParetoOptimizer(
+            spec,
+            optimizer=optimizer,
+            workers=args.workers,
+            checkpoint_dir=args.checkpoint,
+            store=store,
+            executor=_resolve_executor(args),
+        ).run()
+    finally:
+        if store is not None:
+            _print_store_events(store)
+            store.close()
+    print(
+        f"Budgeted Pareto optimization: {optimizer.rungs} rungs "
+        f"(eta {optimizer.eta:g}, target CI {optimizer.target_ci:g}, "
+        f"frontier slack {optimizer.frontier_slack:g})"
+    )
+    print(
+        f"dies: {result.total_dies} "
+        f"({result.evaluated_dies} evaluated this run, "
+        f"{result.store_hits} rungs served from the store); "
+        f"exhaustive sweep: {result.exhaustive_dies} dies "
+        f"({result.savings_ratio():.1f}x saving)"
+    )
+    frontier = result.frontier()
+    print(
+        f"recovered frontier: {len(frontier)} of {len(result.rows)} grid "
+        f"points survive (quality at {spec.quality_yield_target:g} yield)"
+    )
+    _print_dse_rows(frontier)
+    if result.prune_log:
+        print()
+        print(f"pruned rows ({len(result.prune_log)}):")
+        for event in result.prune_log:
+            print(
+                f"  rung {event.rung}: {event.scheme}@{event.vdd:g}V "
+                f"(q <= {event.quality_hi:.4f}) dominated by "
+                f"{event.by_scheme}@{event.by_vdd:g}V "
+                f"(q >= {event.by_quality_lo:.4f} at <= energy)"
+            )
+    if args.output is not None:
+        result.save(args.output)
+        print(f"wrote {len(result.rows)} rows to {args.output}")
+    return 0
+
+
 # --------------------------------------------------------------------------- #
 # Result-store maintenance commands
 # --------------------------------------------------------------------------- #
@@ -914,6 +986,103 @@ def build_parser() -> argparse.ArgumentParser:
     _add_dse_options(pd_report)
     pd_report.set_defaults(func=_cmd_dse_report)
 
+    pd_opt = dse_sub.add_parser(
+        "optimize",
+        help="budgeted frontier recovery: surrogate-ordered successive "
+        "halving with CI-band pruning (same frontier as 'dse pareto' for a "
+        "fraction of the dies)",
+    )
+    pd_opt.add_argument(
+        "--spec",
+        required=True,
+        help="ExperimentSpec JSON file describing the sweep grid (an "
+        "'optimizer' section supplies defaults the flags below override)",
+    )
+    pd_opt.add_argument(
+        "--rungs",
+        type=_positive_int,
+        default=None,
+        help="successive-halving rungs (default 3, or the spec's)",
+    )
+    pd_opt.add_argument(
+        "--eta",
+        type=float,
+        default=None,
+        help="die-cap growth factor between rungs (default 2, or the spec's)",
+    )
+    pd_opt.add_argument(
+        "--frontier-slack",
+        type=float,
+        default=None,
+        metavar="QUALITY",
+        help="extra quality-band separation required before a row is pruned "
+        "(default 0; larger values prune less and guard the frontier harder)",
+    )
+    pd_opt.add_argument(
+        "--rung0-dies",
+        type=_positive_int,
+        default=None,
+        metavar="DIES",
+        help="per-cell die cap of rung 0 (default: two dies per failure "
+        "count, the adaptive probe's minimum)",
+    )
+    pd_opt.add_argument(
+        "--target-ci",
+        type=float,
+        default=None,
+        metavar="HALF_WIDTH",
+        help="confidence half-width at which a cell's probe stops early "
+        "(default 0.02, or the spec's optimizer section)",
+    )
+    pd_opt.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="processes per probe sweep (results are bit-identical for any "
+        "count)",
+    )
+    pd_opt.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help="directory of per-cell engine round-state checkpoints "
+        "(default: a run-private temporary directory; a --store covers "
+        "resumption across runs)",
+    )
+    pd_opt.add_argument(
+        "--store",
+        default=None,
+        metavar="DIR",
+        help="persistent result store: finished rungs are recorded as "
+        "dse-rung records and replayed on re-runs with zero die "
+        "evaluations; warm rows also seed the rung-0 surrogate ordering",
+    )
+    pd_opt.add_argument(
+        "--executor",
+        choices=["local", "tcp"],
+        default="local",
+        help="shard executor tier of every probe (see 'dse run --executor')",
+    )
+    pd_opt.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="rendezvous address of the tcp executor (requires --executor tcp)",
+    )
+    pd_opt.add_argument(
+        "--token",
+        default=None,
+        metavar="SECRET",
+        help="shared secret for the tcp handshake (requires --executor tcp)",
+    )
+    pd_opt.add_argument(
+        "--output",
+        default=None,
+        help="write the full audit table (rows, prune log, adaptive "
+        "reports) as JSON",
+    )
+    pd_opt.set_defaults(func=_cmd_dse_optimize)
+
     ps = sub.add_parser(
         "store",
         help="inspect and maintain a persistent result store "
@@ -935,7 +1104,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_store_root(ps_query)
     ps_query.add_argument(
         "--kind",
-        choices=["quality", "mse"],
+        choices=["quality", "mse", "dse-rung"],
         default=None,
         help="only records of this evaluation kind",
     )

@@ -14,9 +14,13 @@ own.  This package joins them behind one declarative surface:
   thin view of (quality, MSE, overhead);
 * :mod:`repro.dse.explore` -- :class:`DesignSpaceExplorer`, which sweeps the
   grid through the parallel :class:`~repro.sim.engine.SweepEngine`, joins
-  energy and overhead, and extracts the energy/quality Pareto frontier.
+  energy and overhead, and extracts the energy/quality Pareto frontier;
+* :mod:`repro.dse.optimize` -- :class:`ParetoOptimizer`, the budgeted
+  successive-halving alternative that recovers the same frontier for a
+  fraction of the exhaustive die bill (with :mod:`repro.dse.surrogate`
+  ordering its rung-0 probes).
 
-CLI: ``repro-faulty-mem dse run|pareto|report --spec grid.json``.
+CLI: ``repro-faulty-mem dse run|pareto|report|optimize --spec grid.json``.
 """
 
 from repro.dse.evaluate import (
@@ -29,8 +33,10 @@ from repro.dse.explore import (
     DSE_COLUMNS,
     DesignSpaceExplorer,
     DseResult,
+    build_dse_row,
     pareto_frontier,
 )
+from repro.dse.optimize import OptimizeResult, ParetoOptimizer, PruneEvent
 from repro.dse.registry import (
     REGISTRY,
     DesignRegistry,
@@ -44,8 +50,10 @@ from repro.dse.spec import (
     GeometrySpec,
     McBudgetSpec,
     OperatingGridSpec,
+    OptimizerSpec,
     SchemeGridSpec,
 )
+from repro.dse.surrogate import QualitySurrogate
 
 __all__ = [
     "BenchmarkGridSpec",
@@ -57,9 +65,15 @@ __all__ = [
     "GeometrySpec",
     "McBudgetSpec",
     "OperatingGridSpec",
+    "OptimizeResult",
+    "OptimizerSpec",
+    "ParetoOptimizer",
+    "PruneEvent",
+    "QualitySurrogate",
     "REGISTRY",
     "SchemeGridSpec",
     "build_benchmark",
+    "build_dse_row",
     "build_pcell_model",
     "build_scheme",
     "evaluate_mse_point",

@@ -168,6 +168,7 @@ def evaluate_quality_point(
     store: Optional["ResultStore"] = None,
     stats_out: Optional[List[SweepRunStats]] = None,
     executor: Optional[object] = None,
+    adaptive_cap_resumable: bool = False,
 ) -> Dict[str, QualityDistribution]:
     """Application-quality distributions of one grid point (a Fig. 7 slice).
 
@@ -179,8 +180,11 @@ def evaluate_quality_point(
     computed sweeps; ``stats_out`` collects the run's
     :class:`~repro.sim.engine.SweepRunStats`; ``executor`` selects the shard
     executor tier (``None``/``"local"``, ``"inline"``, or an
-    :class:`~repro.sim.executor.ExecutorSpec`); everything else is delegated
-    to :meth:`SweepEngine.run`.
+    :class:`~repro.sim.executor.ExecutorSpec`); ``adaptive_cap_resumable``
+    keys the checkpoint by the cap-free adaptive hash so a finished probe at
+    one die cap seeds a later probe at a larger cap (the budgeted
+    optimizer's successive-halving pattern -- requires an adaptive budget);
+    everything else is delegated to :meth:`SweepEngine.run`.
     """
     engine = SweepEngine(config, schemes=schemes)
     results = engine.run(
@@ -191,6 +195,7 @@ def evaluate_quality_point(
         fixed_point=fixed_point,
         store=store,
         executor=executor,
+        adaptive_cap_resumable=adaptive_cap_resumable,
     )
     _record_adaptive_report(engine, report_out)
     _record_run_stats(engine, stats_out)

@@ -39,10 +39,13 @@ __all__ = [
     "DSE_COLUMNS",
     "DesignSpaceExplorer",
     "DseResult",
+    "build_dse_row",
     "pareto_frontier",
 ]
 
-_RESULT_VERSION = 1
+# Version 2 adds the per-grid-point adaptive reports (the audit trail of
+# adaptive and optimizer runs); version-1 files still load, with no reports.
+_RESULT_VERSION = 2
 
 #: Column order of the tidy result table (one row per grid cell).
 DSE_COLUMNS = (
@@ -97,6 +100,77 @@ def pareto_frontier(
     return frontier
 
 
+def build_dse_row(
+    *,
+    benchmark_name: str,
+    scheme_name: str,
+    point,
+    dist: QualityDistribution,
+    overhead: ReadPathOverhead,
+    word_read_energy: float,
+    logic_scale: float,
+    yield_target: float,
+) -> Dict[str, object]:
+    """One tidy-table row: the energy/overhead/quality join of one grid cell.
+
+    Shared by the exhaustive explorer and the budgeted optimizer so both
+    tables carry exactly the same columns (:data:`DSE_COLUMNS`) computed the
+    same way.  The scheme logic's dynamic energy scales with the same CV^2
+    law as the array access it accompanies (``logic_scale``).
+    """
+    scheme_read_energy = overhead.read_power_fj * logic_scale
+    return {
+        "benchmark": benchmark_name,
+        "scheme": scheme_name,
+        "vdd": point.vdd,
+        "p_cell": point.p_cell,
+        "expected_failures": point.expected_failures,
+        "energy_saving": point.energy_saving,
+        "word_read_energy_fj": word_read_energy,
+        "scheme_read_energy_fj": scheme_read_energy,
+        "total_read_energy_fj": word_read_energy + scheme_read_energy,
+        "leakage_power_nw": point.leakage_power_nw,
+        "overhead_area_um2": overhead.area_um2,
+        "overhead_read_delay_ps": overhead.read_delay_ps,
+        "clean_quality": dist.clean_quality,
+        "median_quality": dist.median_quality(),
+        "quality_at_yield": dist.quality_at_yield(yield_target),
+        "yield_q90": dist.yield_at_quality(0.90),
+        "yield_q99": dist.yield_at_quality(0.99),
+        "samples": dist.samples,
+    }
+
+
+def _reports_to_payload(
+    reports: Mapping[Tuple[str, float, float], AdaptiveBudgetReport],
+) -> List[Dict[str, object]]:
+    """JSON-safe list form of ``(benchmark, vdd, p_cell) -> report``."""
+    return [
+        {
+            "benchmark": benchmark,
+            "vdd": vdd,
+            "p_cell": p_cell,
+            "report": reports[(benchmark, vdd, p_cell)].to_dict(),
+        }
+        for benchmark, vdd, p_cell in sorted(reports)
+    ]
+
+
+def _reports_from_payload(
+    entries: Optional[Sequence[Mapping[str, object]]],
+) -> Dict[Tuple[str, float, float], AdaptiveBudgetReport]:
+    """Inverse of :func:`_reports_to_payload` (tuple keys restored)."""
+    reports: Dict[Tuple[str, float, float], AdaptiveBudgetReport] = {}
+    for entry in entries or ():
+        key = (
+            str(entry["benchmark"]),
+            float(entry["vdd"]),
+            float(entry["p_cell"]),
+        )
+        reports[key] = AdaptiveBudgetReport.from_dict(entry["report"])
+    return reports
+
+
 class DseResult:
     """Tidy result table of one design-space exploration run.
 
@@ -106,7 +180,12 @@ class DseResult:
     full per-cell :class:`QualityDistribution` objects for callers that need
     more than the tabulated summary statistics, keyed ``[benchmark][(vdd,
     p_cell)][scheme]`` (in-memory runs only; the JSON round-trip persists the
-    table, not the distributions).
+    table, not the distributions).  ``adaptive_reports`` holds the
+    per-grid-point :class:`~repro.sim.engine.AdaptiveBudgetReport` audit of
+    adaptive-budget runs, keyed ``(benchmark, vdd, p_cell)``; unlike the
+    distributions it *does* survive the JSON round-trip, so a pruned or
+    adaptive run's audit trail (which budget stopped where, at what CI) is
+    not lost by ``save``/``load``.
     """
 
     def __init__(
@@ -116,10 +195,16 @@ class DseResult:
         distributions: Optional[
             Dict[str, Dict[Tuple[float, float], Dict[str, QualityDistribution]]]
         ] = None,
+        adaptive_reports: Optional[
+            Dict[Tuple[str, float, float], AdaptiveBudgetReport]
+        ] = None,
     ) -> None:
         self.spec = spec
         self.rows = rows
         self.distributions = distributions if distributions is not None else {}
+        self.adaptive_reports = (
+            dict(adaptive_reports) if adaptive_reports is not None else {}
+        )
 
     def __len__(self) -> int:
         return len(self.rows)
@@ -184,12 +269,17 @@ class DseResult:
     # Serialisation
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, object]:
-        """JSON-serialisable view (spec + table; distributions excluded)."""
-        return {
+        """JSON view (spec + table + adaptive reports; distributions excluded)."""
+        data: Dict[str, object] = {
             "version": _RESULT_VERSION,
             "spec": self.spec.to_dict(),
             "rows": self.rows,
         }
+        if self.adaptive_reports:
+            data["adaptive_reports"] = _reports_to_payload(
+                self.adaptive_reports
+            )
+        return data
 
     def save(self, path: str) -> None:
         """Write the result table as JSON to ``path``."""
@@ -199,15 +289,25 @@ class DseResult:
 
     @classmethod
     def load(cls, path: str) -> "DseResult":
-        """Load a result table previously written by :meth:`save`."""
+        """Load a result table previously written by :meth:`save`.
+
+        Version-1 files (written before the adaptive-report round-trip)
+        still load; they simply carry no reports.
+        """
         with open(path, "r", encoding="utf-8") as handle:
             data = json.load(handle)
-        if data.get("version") != _RESULT_VERSION:
+        if data.get("version") not in (1, _RESULT_VERSION):
             raise ValueError(
                 f"result file {path!r} has unsupported version "
                 f"{data.get('version')!r}"
             )
-        return cls(ExperimentSpec.from_dict(data["spec"]), data["rows"])
+        return cls(
+            ExperimentSpec.from_dict(data["spec"]),
+            data["rows"],
+            adaptive_reports=_reports_from_payload(
+                data.get("adaptive_reports")
+            ),
+        )
 
 
 class DesignSpaceExplorer:
@@ -391,37 +491,24 @@ class DesignSpaceExplorer:
                         (benchmark_name, point.vdd, point.p_cell)
                     ] = engine.last_run_stats
                 per_point[(point.vdd, point.p_cell)] = results
-                # The scheme logic's dynamic energy scales with the same
-                # CV^2 law as the array access it accompanies.
                 logic_scale = (point.vdd / nominal_vdd) ** 2
                 word_read_energy = scaling.read_energy_fj(point.vdd)
                 for scheme_name in (s.name for s in engine.schemes):
-                    dist = results[scheme_name]
-                    overhead = overheads[scheme_name]
-                    scheme_read_energy = overhead.read_power_fj * logic_scale
                     rows.append(
-                        {
-                            "benchmark": benchmark_name,
-                            "scheme": scheme_name,
-                            "vdd": point.vdd,
-                            "p_cell": point.p_cell,
-                            "expected_failures": point.expected_failures,
-                            "energy_saving": point.energy_saving,
-                            "word_read_energy_fj": word_read_energy,
-                            "scheme_read_energy_fj": scheme_read_energy,
-                            "total_read_energy_fj": word_read_energy
-                            + scheme_read_energy,
-                            "leakage_power_nw": point.leakage_power_nw,
-                            "overhead_area_um2": overhead.area_um2,
-                            "overhead_read_delay_ps": overhead.read_delay_ps,
-                            "clean_quality": dist.clean_quality,
-                            "median_quality": dist.median_quality(),
-                            "quality_at_yield": dist.quality_at_yield(
-                                yield_target
-                            ),
-                            "yield_q90": dist.yield_at_quality(0.90),
-                            "yield_q99": dist.yield_at_quality(0.99),
-                            "samples": dist.samples,
-                        }
+                        build_dse_row(
+                            benchmark_name=benchmark_name,
+                            scheme_name=scheme_name,
+                            point=point,
+                            dist=results[scheme_name],
+                            overhead=overheads[scheme_name],
+                            word_read_energy=word_read_energy,
+                            logic_scale=logic_scale,
+                            yield_target=yield_target,
+                        )
                     )
-        return DseResult(spec, rows, distributions)
+        return DseResult(
+            spec,
+            rows,
+            distributions,
+            adaptive_reports=self._adaptive_reports,
+        )

@@ -28,6 +28,7 @@ spec file must not silently run a default sweep.
 from __future__ import annotations
 
 import json
+import math
 from dataclasses import asdict, dataclass, fields, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
@@ -44,6 +45,7 @@ __all__ = [
     "GeometrySpec",
     "McBudgetSpec",
     "OperatingGridSpec",
+    "OptimizerSpec",
     "SchemeGridSpec",
 ]
 
@@ -241,6 +243,68 @@ class McBudgetSpec:
 
 
 @dataclass(frozen=True)
+class OptimizerSpec:
+    """Budgeted-optimizer layer: the successive-halving schedule and the
+    pruning rule of ``repro.dse.optimize``.
+
+    Each surviving grid cell gets an adaptive-budget probe capped at
+    ``rung0_dies`` dies in rung 0; survivors of each pruning pass carry their
+    round state into the next rung, whose cap grows by ``eta``.  Rows are
+    pruned only on *strict* CI-band separation plus ``frontier_slack`` --
+    ties (including the sketch-quantisation ties of near-saturated
+    qualities) never prune, which is what preserves frontier recall.  The
+    adaptive knobs (``target_ci`` .. ``sketch_bins``) parameterise the inner
+    :class:`~repro.sim.engine.AdaptiveBudget` probes and are validated by
+    constructing one, so a spec file and the engine can never disagree.
+    """
+
+    rungs: int = 3
+    eta: float = 2.0
+    rung0_dies: Optional[int] = None
+    frontier_slack: float = 0.0
+    target_ci: float = 0.02
+    confidence: float = 0.95
+    threshold: Optional[float] = None
+    initial_samples_per_count: int = 2
+    round_dies: int = 32
+    sketch_bins: int = 512
+    warm_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.rungs < 1:
+            raise ValueError("rungs must be at least 1")
+        if not self.eta > 1.0:
+            raise ValueError("eta must be greater than 1")
+        if self.rung0_dies is not None and self.rung0_dies < 2:
+            raise ValueError("rung0_dies must be at least 2")
+        if self.frontier_slack < 0.0:
+            raise ValueError("frontier_slack must be non-negative")
+        # Delegate the adaptive-knob validation to AdaptiveBudget (with a
+        # placeholder cap) so optimizer specs can never carry parameters the
+        # engine would reject mid-run.
+        self.adaptive_budget(max_total_samples=2)
+
+    def adaptive_budget(self, max_total_samples: int) -> "AdaptiveBudget":
+        """The inner adaptive probe budget, capped at ``max_total_samples``."""
+        return AdaptiveBudget(
+            target_ci=self.target_ci,
+            confidence=self.confidence,
+            threshold=self.threshold,
+            initial_samples_per_count=self.initial_samples_per_count,
+            round_dies=self.round_dies,
+            max_total_samples=max_total_samples,
+            sketch_bins=self.sketch_bins,
+        )
+
+    def rung_caps(self, base_dies: int) -> List[int]:
+        """Per-cell cumulative die caps of every rung (geometric in ``eta``)."""
+        return [
+            int(math.ceil(base_dies * self.eta**rung))
+            for rung in range(self.rungs)
+        ]
+
+
+@dataclass(frozen=True)
 class BenchmarkGridSpec:
     """Application layer: which Table 1 benchmarks feel the corruption."""
 
@@ -277,10 +341,24 @@ class ExperimentSpec:
     quality_yield_target: float = 0.99
     scenario: ScenarioSpec = ScenarioSpec()
     access_trace: int = 1
+    optimizer: Optional[OptimizerSpec] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.quality_yield_target < 1.0:
             raise ValueError("quality_yield_target must be in (0, 1)")
+        if self.optimizer is not None:
+            if not isinstance(self.optimizer, OptimizerSpec):
+                raise ValueError(
+                    f"optimizer must be an OptimizerSpec, got "
+                    f"{type(self.optimizer).__name__}"
+                )
+            if self.budget.mode != "fixed":
+                raise ValueError(
+                    "an optimizer section requires budget mode 'fixed': the "
+                    "rung schedule supplies the adaptive probes, and the "
+                    "fixed budget defines the exhaustive baseline the "
+                    "optimizer is measured against"
+                )
         if self.scenario is None:
             object.__setattr__(self, "scenario", ScenarioSpec())
         if not isinstance(self.scenario, ScenarioSpec):
@@ -384,6 +462,10 @@ class ExperimentSpec:
             # Keep default-spec JSON byte-identical to the pre-transient
             # format (and round-trippable by older readers).
             del data["access_trace"]
+        if self.optimizer is None:
+            # Same only-when-present rule: specs without a budgeted-optimizer
+            # section keep their historical JSON byte-for-byte.
+            del data["optimizer"]
         return data
 
     def to_json(self, indent: int = 2) -> str:
@@ -439,6 +521,10 @@ class ExperimentSpec:
             kwargs["quality_yield_target"] = data["quality_yield_target"]
         if "access_trace" in data:
             kwargs["access_trace"] = data["access_trace"]
+        if "optimizer" in data and data["optimizer"] is not None:
+            kwargs["optimizer"] = _from_checked_dict(
+                OptimizerSpec, data["optimizer"], "optimizer"
+            )
         if "scenario" in data:
             scenario = ScenarioSpec.from_dict(data["scenario"])
             # Resolve through the registry now: an unknown scenario name or

@@ -1,0 +1,180 @@
+"""Cheap deterministic quality surrogate for the budgeted optimizer.
+
+The successive-halving optimizer (:mod:`repro.dse.optimize`) spends its
+Monte-Carlo budget rung by rung; *which cell it probes first* never changes
+the result (rung outcomes fold in canonical grid order), but it decides how
+much audit state exists if a run is killed mid-rung and how early the prune
+log starts filling in.  The surrogate orders rung 0 so the cells most likely
+to hold frontier points are measured first -- their CI bands are then already
+in place when the obviously-dominated cells come up for pruning.
+
+The model is a closed-form ridge regression of ``quality_at_yield`` on
+``log10(p_cell)`` and a per-scheme one-hot encoding, fit over warm rows from
+two sources: tidy :class:`~repro.dse.explore.DseResult` tables and quality /
+``dse-rung`` records of a :class:`~repro.store.ResultStore`.  Everything is
+solved by a deterministic normal-equation solve -- no iterative fitting, no
+randomness -- so the predicted ordering is a pure function of the training
+rows.  With no training rows at all the surrogate falls back to an analytic
+prior (the zero-fault probability of each cell), which preserves the "low
+``p_cell`` is probably fine" ordering without any data.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from repro.store.store import ResultStore
+
+__all__ = [
+    "QualitySurrogate",
+    "rank_cells",
+    "warm_rows_from_store",
+]
+
+_RIDGE_LAMBDA = 1e-6
+
+
+def warm_rows_from_store(
+    store: "ResultStore", yield_target: float
+) -> List[Dict[str, object]]:
+    """Training rows from every quality-bearing record of a result store.
+
+    Both finished ``quality`` sweeps and partial ``dse-rung`` probes carry
+    per-scheme distributions; each contributes one ``{scheme, p_cell,
+    quality_at_yield}`` row.  Records are visited in deterministic key order.
+    """
+    from repro.store.schema import quality_results_from_payload
+
+    rows: List[Dict[str, object]] = []
+    summaries = sorted(
+        store.query(kind="quality") + store.query(kind="dse-rung"),
+        key=lambda entry: (entry["kind"], entry["key"]),
+    )
+    for summary in summaries:
+        record = store.get_record(summary["key"], kind=summary["kind"])
+        if record is None:  # pragma: no cover - raced gc
+            continue
+        payload = record["payload"]
+        if summary["kind"] == "dse-rung":
+            payload = payload["results"]
+        for name, dist in quality_results_from_payload(payload).items():
+            rows.append(
+                {
+                    "scheme": name,
+                    "p_cell": float(dist.p_cell),
+                    "quality_at_yield": float(
+                        dist.quality_at_yield(yield_target)
+                    ),
+                }
+            )
+    return rows
+
+
+class QualitySurrogate:
+    """Ridge regression of quality-at-yield on operating point and scheme.
+
+    ``fit`` accepts rows shaped like the tidy DSE table (only the
+    ``scheme`` / ``p_cell`` / ``quality_at_yield`` columns are read); rows
+    from other benchmarks or geometries are legitimate training data -- the
+    surrogate only ranks, it never prunes, so a biased prediction costs
+    ordering quality but never correctness.
+    """
+
+    def __init__(self) -> None:
+        self._schemes: List[str] = []
+        self._beta: Optional[np.ndarray] = None
+
+    @property
+    def fitted(self) -> bool:
+        """Whether any training rows were absorbed."""
+        return self._beta is not None
+
+    def _design_row(self, scheme: str, p_cell: float) -> np.ndarray:
+        row = np.zeros(2 + len(self._schemes), dtype=np.float64)
+        row[0] = 1.0
+        row[1] = math.log10(p_cell)
+        if scheme in self._schemes:
+            row[2 + self._schemes.index(scheme)] = 1.0
+        return row
+
+    def fit(self, rows: Sequence[Mapping[str, object]]) -> "QualitySurrogate":
+        """Fit the closed-form ridge model (no-op on an empty row set)."""
+        usable = [
+            row
+            for row in rows
+            if float(row["p_cell"]) > 0.0
+        ]
+        if not usable:
+            return self
+        self._schemes = sorted({str(row["scheme"]) for row in usable})
+        design = np.stack(
+            [
+                self._design_row(str(row["scheme"]), float(row["p_cell"]))
+                for row in usable
+            ]
+        )
+        target = np.array(
+            [float(row["quality_at_yield"]) for row in usable],
+            dtype=np.float64,
+        )
+        gram = design.T @ design
+        gram += _RIDGE_LAMBDA * np.eye(gram.shape[0])
+        self._beta = np.linalg.solve(gram, design.T @ target)
+        return self
+
+    def predict(
+        self,
+        scheme: str,
+        p_cell: float,
+        zero_fault_probability: Optional[float] = None,
+    ) -> float:
+        """Predicted quality-at-yield of one (scheme, operating point) row.
+
+        Falls back to the analytic prior -- ``Pr(N = 0)`` of the cell, or a
+        log-``p_cell`` proxy when that is not supplied -- while unfitted.
+        """
+        if self._beta is None:
+            if zero_fault_probability is not None:
+                return float(zero_fault_probability)
+            return -math.log10(max(p_cell, 1e-300))
+        return float(self._design_row(scheme, p_cell) @ self._beta)
+
+
+def rank_cells(cell_rows: Sequence[Sequence[Mapping[str, float]]]) -> List[int]:
+    """Evaluation order of the rung-0 cells from predicted rows.
+
+    ``cell_rows[i]`` holds cell ``i``'s predicted ``{"energy", "quality"}``
+    rows.  Each row's *frontier margin* is its predicted quality minus the
+    best predicted quality among strictly cheaper rows anywhere in the grid
+    (the cheapest row of all has margin ``+inf`` -- it can never be
+    dominated); a cell ranks by its best row's margin, descending, so
+    predicted-frontier cells are probed first and the most obviously
+    dominated cells are probed last (and die in the earliest prune pass that
+    can see them).  Ties preserve canonical cell order, keeping the ranking
+    fully deterministic.
+    """
+    all_rows = [
+        (float(row["energy"]), float(row["quality"]))
+        for rows in cell_rows
+        for row in rows
+    ]
+
+    def margin(energy: float, quality: float) -> float:
+        cheaper = [q for e, q in all_rows if e < energy]
+        if not cheaper:
+            return math.inf
+        return quality - max(cheaper)
+
+    scores = [
+        max(
+            (margin(float(row["energy"]), float(row["quality"])) for row in rows),
+            default=-math.inf,
+        )
+        for rows in cell_rows
+    ]
+    order = sorted(range(len(scores)), key=lambda i: (-scores[i], i))
+    return order

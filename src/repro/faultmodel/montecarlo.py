@@ -63,6 +63,15 @@ def failure_count_pmf(total_cells: int, p_cell: float, n: int) -> float:
     return math.exp(log_pmf)
 
 
+# PMF vectors keyed by (total_cells, p_cell), grown on demand.  Grid sweeps
+# and the budgeted optimizer re-derive the failure-count grid of the same
+# operating point many times (every rung revisits every surviving point);
+# each entry is the list of scalar failure_count_pmf values, so a slice of
+# the cached vector is bit-identical to the uncached per-count loop.
+_PMF_ARRAY_CACHE: Dict[tuple, List[float]] = {}
+_PMF_ARRAY_CACHE_MAX_ENTRIES = 64
+
+
 def failure_count_pmf_array(
     total_cells: int, p_cell: float, max_n: int
 ) -> np.ndarray:
@@ -70,14 +79,28 @@ def failure_count_pmf_array(
 
     Bit-identical to calling the scalar function per count (the sweeps that
     re-weight Monte-Carlo strata rely on exact agreement), but a single call
-    replaces an O(``max_n``) loop at every call site.
+    replaces an O(``max_n``) loop at every call site.  Vectors are memoized
+    per ``(total_cells, p_cell)`` operating point -- revisiting a grid point
+    (as every optimizer rung does) reuses the table instead of re-running the
+    ``lgamma`` loop.  Callers receive a fresh array, never a cache alias.
     """
     if max_n < 0:
         raise ValueError("max_n must be non-negative")
-    return np.array(
-        [failure_count_pmf(total_cells, p_cell, n) for n in range(max_n + 1)],
-        dtype=np.float64,
-    )
+    key = (total_cells, p_cell)
+    table = _PMF_ARRAY_CACHE.get(key)
+    if table is None:
+        if len(_PMF_ARRAY_CACHE) >= _PMF_ARRAY_CACHE_MAX_ENTRIES:
+            _PMF_ARRAY_CACHE.pop(next(iter(_PMF_ARRAY_CACHE)))
+        table = _PMF_ARRAY_CACHE[key] = []
+    top = min(max_n, total_cells)
+    while len(table) <= top:
+        table.append(failure_count_pmf(total_cells, p_cell, len(table)))
+    values = table[: max_n + 1]
+    if len(values) < max_n + 1:
+        # Counts past total_cells are impossible; the scalar function
+        # returns 0.0 for them, and so must the cached vector.
+        values = values + [0.0] * (max_n + 1 - len(values))
+    return np.array(values, dtype=np.float64)
 
 
 # Cumulative Pr(N <= n) tables keyed by (total_cells, p_cell).  Sweeps call

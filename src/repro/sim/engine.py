@@ -732,17 +732,35 @@ class ExperimentConfig:
         )
 
     def evaluated_counts(self) -> List[int]:
-        """The failure counts this sweep evaluates."""
-        return evaluated_failure_counts(self.max_failures, self.n_count_points)
+        """The failure counts this sweep evaluates.
+
+        Cached on first access (same ``__dict__`` technique as
+        ``effective_p_cell``): adaptive sweeps and the budgeted optimizer
+        read the grid every round/rung, and the coverage search behind it is
+        the costly part.  A fresh list is returned so callers can never
+        mutate the cache.
+        """
+        cached = self.__dict__.get("_evaluated_counts")
+        if cached is None:
+            cached = evaluated_failure_counts(
+                self.max_failures, self.n_count_points
+            )
+            object.__setattr__(self, "_evaluated_counts", cached)
+        return list(cached)
 
     def count_probabilities(self) -> Dict[int, float]:
-        """``Pr(N = n)`` mass reassigned onto the evaluated counts."""
-        return reassign_count_probabilities(
-            self.rows * self.word_width,
-            self.effective_p_cell,
-            self.max_failures,
-            self.evaluated_counts(),
-        )
+        """``Pr(N = n)`` mass reassigned onto the evaluated counts (cached
+        per config instance, like :meth:`evaluated_counts`)."""
+        cached = self.__dict__.get("_count_probabilities")
+        if cached is None:
+            cached = reassign_count_probabilities(
+                self.rows * self.word_width,
+                self.effective_p_cell,
+                self.max_failures,
+                self.evaluated_counts(),
+            )
+            object.__setattr__(self, "_count_probabilities", cached)
+        return dict(cached)
 
     def build_schemes(self) -> List[ProtectionScheme]:
         """Instantiate the configured protection schemes."""
@@ -1057,6 +1075,7 @@ class SweepEngine:
         fault_maps: Optional[Mapping[Tuple[int, int], FaultMap]] = None,
         fixed_point: Optional[FixedPointFormat] = None,
         extra: Optional[Mapping[str, object]] = None,
+        adaptive_cap_resumable: bool = False,
     ) -> str:
         """Hash identifying this sweep's results (keys the checkpoint cache).
 
@@ -1066,15 +1085,35 @@ class SweepEngine:
         for evaluations that need no training data (the MSE mode), and
         ``extra`` carries any additional mode parameters that must key the
         cache; hashes of benchmark-quality sweeps are unchanged by both.
+
+        ``adaptive_cap_resumable`` drops the adaptive budget's
+        ``max_total_samples`` from the digest and stamps a ``cap_resumable``
+        marker in its place: the round-state checkpoint of an adaptive sweep
+        is then shared by every die cap, so a partial run resumes under a
+        *larger* cap without re-simulating completed rounds.  The marker
+        keeps these hashes disjoint from ordinary (cap-exact) adaptive
+        hashes -- a cache written one way can never be misread the other.
+        Requires an adaptive budget.
         """
+        if adaptive_cap_resumable and self._config.adaptive is None:
+            raise ValueError(
+                "adaptive_cap_resumable requires an adaptive budget (a fixed "
+                "budget has no round state to resume across caps)"
+            )
         if fixed_point is None:
             fixed_point = FixedPointFormat(
                 total_bits=self._config.word_width,
                 frac_bits=self._config.frac_bits,
             )
+        config_dict = self._config.to_dict()
+        if adaptive_cap_resumable:
+            adaptive_dict = dict(config_dict["adaptive"])
+            del adaptive_dict["max_total_samples"]
+            adaptive_dict["cap_resumable"] = True
+            config_dict["adaptive"] = adaptive_dict
         payload: Dict[str, object] = {
             "engine_version": _ENGINE_VERSION,
-            "config": self._config.to_dict(),
+            "config": config_dict,
             "fixed_point": [fixed_point.total_bits, fixed_point.frac_bits],
             "schemes": [scheme.name for scheme in self._schemes],
             "benchmark": (
@@ -1119,6 +1158,7 @@ class SweepEngine:
         fixed_point: Optional[FixedPointFormat] = None,
         store: Optional["ResultStore"] = None,
         executor: Optional[object] = None,
+        adaptive_cap_resumable: bool = False,
     ) -> Dict[str, QualityDistribution]:
         """Run the sweep and return one :class:`QualityDistribution` per scheme.
 
@@ -1166,6 +1206,13 @@ class SweepEngine:
             shards to workers started with ``python -m repro.sim.worker
             --connect HOST:PORT``.  Results are bit-identical for every
             backend, worker count, and re-dispatch history.
+        adaptive_cap_resumable:
+            Key the *checkpoint* by the cap-free adaptive hash (see
+            :meth:`config_hash`), so a finished run at one die cap seeds a
+            later run at a larger cap -- the successive-halving pattern of
+            the budgeted optimizer.  Store records are unaffected: a
+            complete result depends on the cap, so store keys always carry
+            it.  Requires an adaptive budget.
         """
         config = self._config
         if self._scenario.transient is not None:
@@ -1211,11 +1258,20 @@ class SweepEngine:
             "transient": self._scenario.transient,
             "access_trace": config.access_trace,
         }
+        if adaptive_cap_resumable and config.adaptive is None:
+            raise ValueError(
+                "adaptive_cap_resumable requires an adaptive budget"
+            )
         if config.adaptive is not None:
             self._check_adaptive_call(fault_maps, shard_size, shard_order)
             config_hash = ""
             if checkpoint is not None:
-                config_hash = self.config_hash(benchmark, None, fixed_point)
+                config_hash = self.config_hash(
+                    benchmark,
+                    None,
+                    fixed_point,
+                    adaptive_cap_resumable=adaptive_cap_resumable,
+                )
             outcome = self._run_adaptive(
                 context,
                 zero_mass_value=1.0,
@@ -1336,6 +1392,7 @@ class SweepEngine:
         include_fault_free: bool = True,
         store: Optional["ResultStore"] = None,
         executor: Optional[object] = None,
+        adaptive_cap_resumable: bool = False,
     ) -> Dict[str, "MseDistribution"]:
         """Run the sweep scoring each die by its local MSE (the Fig. 5 study).
 
@@ -1347,10 +1404,16 @@ class SweepEngine:
         ``include_fault_free`` adds the ``Pr(N = 0)`` point mass at MSE = 0
         (pass ``False`` for the paper's Eq. 5 conditional view).
         ``store`` behaves as in :meth:`run` (serve exact hash hits, record
-        computed sweeps), and so does ``executor`` (``None``/``"local"``,
-        ``"inline"``, or an :class:`~repro.sim.executor.ExecutorSpec`).
+        computed sweeps), and so do ``executor`` (``None``/``"local"``,
+        ``"inline"``, or an :class:`~repro.sim.executor.ExecutorSpec`) and
+        ``adaptive_cap_resumable`` (checkpoint round-state shared across
+        adaptive die caps).
         """
         config = self._config
+        if adaptive_cap_resumable and config.adaptive is None:
+            raise ValueError(
+                "adaptive_cap_resumable requires an adaptive budget"
+            )
         if self._scenario.transient is not None:
             raise ValueError(
                 "the analytical MSE evaluation cannot model per-read "
@@ -1392,6 +1455,7 @@ class SweepEngine:
                         "evaluation": "mse",
                         "include_fault_free": include_fault_free,
                     },
+                    adaptive_cap_resumable=adaptive_cap_resumable,
                 )
             outcome = self._run_adaptive(
                 context,

@@ -57,8 +57,13 @@ SCHEMA_VERSION = 1
 #: Format marker written to ``store.json`` (refuses foreign directories).
 STORE_FORMAT = "repro-result-store"
 
-#: Record kinds the codecs below can decode.
-RECORD_KINDS = ("quality", "mse")
+#: Record kinds the codecs below can decode.  ``quality`` / ``mse`` hold one
+#: finished sweep per record; ``dse-rung`` holds one *partial* adaptive sweep
+#: of the budgeted optimizer -- the per-scheme distributions at a rung's die
+#: cap plus the engine's round-state checkpoint payload, keyed by the
+#: cap-free (resumable) configuration hash suffixed with the rung index and
+#: cap, so a killed optimizer run resumes mid-rung bit-identically.
+RECORD_KINDS = ("quality", "mse", "dse-rung")
 
 
 class StoreError(RuntimeError):
